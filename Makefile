@@ -1,0 +1,40 @@
+# Development targets for the duedate reproduction. Everything is
+# stdlib-only Go; no external tools are required beyond the toolchain.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's tables and figures (scaled preset, ~minutes).
+experiments:
+	$(GO) run ./cmd/experiments -exp all -preset scaled -out results/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ucddcp_compression
+	$(GO) run ./examples/exact_oracle
+	$(GO) run ./examples/gpu_pipeline
+	$(GO) run ./examples/orlib_cdd
+
+clean:
+	rm -rf results/ test_output.txt bench_output.txt

@@ -1,0 +1,282 @@
+// Macro-benchmarks regenerating the paper's evaluation, one per table and
+// figure. Each benchmark runs a miniature of the corresponding experiment
+// (small sizes and budgets so `go test -bench=.` completes in minutes) and
+// reports the experiment's headline quantity as a custom metric:
+// %Δ for the quality tables (II/IV and Figures 12/15), speedup ratios for
+// the speedup tables (III/V and Figures 13/17), and simulated device
+// seconds for the runtime figures (11/14/16). The full-scale versions run
+// via `go run ./cmd/experiments -preset full`.
+package duedate_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	duedate "repro"
+	"repro/internal/core"
+	"repro/internal/dpso"
+	"repro/internal/harness"
+	"repro/internal/orlib"
+	"repro/internal/parallel"
+	"repro/internal/problem"
+	"repro/internal/sa"
+)
+
+const (
+	benchSeed      = orlib.DefaultSeed
+	benchItersLow  = 100
+	benchItersHigh = 500
+	benchGrid      = 2
+	benchBlock     = 32
+	benchTemp      = 200
+)
+
+var benchSizes = []int{10, 50}
+
+// refCache memoizes the serial CPU reference per instance so the quality
+// benchmarks don't re-run it every b.N iteration.
+var refCache sync.Map
+
+func benchInstance(b *testing.B, kind problem.Kind, size int) *problem.Instance {
+	b.Helper()
+	var (
+		ins []*problem.Instance
+		err error
+	)
+	if kind == problem.UCDDCP {
+		ins, err = orlib.BenchmarkUCDDCP(size, 1, benchSeed)
+	} else {
+		ins, err = orlib.BenchmarkCDD(size, 1, benchSeed)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ins[len(ins)-1]
+}
+
+func referenceCost(b *testing.B, in *problem.Instance) int64 {
+	b.Helper()
+	if v, ok := refCache.Load(in.Name); ok {
+		return v.(int64)
+	}
+	ref := (&parallel.AsyncSA{
+		Inst: in,
+		SA:   sa.Config{Iterations: benchItersHigh, TempSamples: benchTemp},
+		Ens:  parallel.Ensemble{Chains: 4, Seed: 99},
+	}).Solve()
+	refCache.Store(in.Name, ref.BestCost)
+	return ref.BestCost
+}
+
+// benchQuality is the engine behind the Table II/IV and Figure 12/15
+// benchmarks: run one parallel algorithm on the simulated GPU and report
+// its %Δ against the CPU reference.
+func benchQuality(b *testing.B, kind problem.Kind, useDPSO bool, iters int) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			in := benchInstance(b, kind, size)
+			ref := referenceCost(b, in)
+			var last float64
+			for i := 0; i < b.N; i++ {
+				var res core.Result
+				if useDPSO {
+					res = (&parallel.GPUDPSO{
+						Inst: in, PSO: dpso.Config{Iterations: iters},
+						Grid: benchGrid, Block: benchBlock, Seed: uint64(i) + 1,
+					}).Solve()
+				} else {
+					res = (&parallel.GPUSA{
+						Inst: in, SA: sa.Config{Iterations: iters, TempSamples: benchTemp},
+						Grid: benchGrid, Block: benchBlock, Seed: uint64(i) + 1,
+					}).Solve()
+				}
+				last = core.PercentDeviation(res.BestCost, ref)
+			}
+			b.ReportMetric(last, "%Δ")
+		})
+	}
+}
+
+// BenchmarkTableII_CDD_SA / …_DPSO reproduce Table II's quality columns.
+func BenchmarkTableII_CDD_SA_low(b *testing.B)    { benchQuality(b, problem.CDD, false, benchItersLow) }
+func BenchmarkTableII_CDD_SA_high(b *testing.B)   { benchQuality(b, problem.CDD, false, benchItersHigh) }
+func BenchmarkTableII_CDD_DPSO_low(b *testing.B)  { benchQuality(b, problem.CDD, true, benchItersLow) }
+func BenchmarkTableII_CDD_DPSO_high(b *testing.B) { benchQuality(b, problem.CDD, true, benchItersHigh) }
+
+// BenchmarkFigure12_CDD_DeviationBars is the bar-chart view of Table II:
+// one sub-benchmark per (algorithm, size) bar at the low budget.
+func BenchmarkFigure12_CDD_DeviationBars(b *testing.B) {
+	for _, algo := range []string{"SA", "DPSO"} {
+		b.Run(algo, func(b *testing.B) {
+			benchQuality(b, problem.CDD, algo == "DPSO", benchItersLow)
+		})
+	}
+}
+
+// BenchmarkTableIV_UCDDCP_* reproduce Table IV's quality columns.
+func BenchmarkTableIV_UCDDCP_SA_low(b *testing.B) {
+	benchQuality(b, problem.UCDDCP, false, benchItersLow)
+}
+func BenchmarkTableIV_UCDDCP_SA_high(b *testing.B) {
+	benchQuality(b, problem.UCDDCP, false, benchItersHigh)
+}
+func BenchmarkTableIV_UCDDCP_DPSO_low(b *testing.B) {
+	benchQuality(b, problem.UCDDCP, true, benchItersLow)
+}
+func BenchmarkTableIV_UCDDCP_DPSO_high(b *testing.B) {
+	benchQuality(b, problem.UCDDCP, true, benchItersHigh)
+}
+
+// BenchmarkFigure15_UCDDCP_DeviationBars mirrors Figure 15.
+func BenchmarkFigure15_UCDDCP_DeviationBars(b *testing.B) {
+	for _, algo := range []string{"SA", "DPSO"} {
+		b.Run(algo, func(b *testing.B) {
+			benchQuality(b, problem.UCDDCP, algo == "DPSO", benchItersLow)
+		})
+	}
+}
+
+// benchSpeedup measures the serial CPU ensemble wall time against the
+// parallel engine (goroutine-backed simulated GPU) wall time and reports
+// both the measured and the device-model speedup — Tables III/V and
+// Figures 13/17.
+func benchSpeedup(b *testing.B, kind problem.Kind) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			in := benchInstance(b, kind, size)
+			saCfg := sa.Config{Iterations: benchItersLow, TempSamples: benchTemp}
+			var wallSpeedup, simSpeedup float64
+			for i := 0; i < b.N; i++ {
+				serial := (&parallel.AsyncSA{
+					Inst: in, SA: saCfg,
+					Ens: parallel.Ensemble{Chains: benchGrid * benchBlock, Seed: uint64(i) + 1},
+				}).Solve()
+				gpu := (&parallel.GPUSA{
+					Inst: in, SA: saCfg,
+					Grid: benchGrid, Block: benchBlock, Seed: uint64(i) + 1,
+				}).Solve()
+				wallSpeedup = serial.Elapsed.Seconds() / gpu.Elapsed.Seconds()
+				simSpeedup = serial.Elapsed.Seconds() / gpu.SimSeconds
+			}
+			b.ReportMetric(wallSpeedup, "x-wall")
+			b.ReportMetric(simSpeedup, "x-model")
+		})
+	}
+}
+
+// BenchmarkTableIII_CDD_Speedups and BenchmarkFigure13_CDD_SpeedupCurve
+// reproduce the CDD speedup table/plot.
+func BenchmarkTableIII_CDD_Speedups(b *testing.B)     { benchSpeedup(b, problem.CDD) }
+func BenchmarkFigure13_CDD_SpeedupCurve(b *testing.B) { benchSpeedup(b, problem.CDD) }
+
+// BenchmarkTableV_UCDDCP_Speedups and Figure 17 reproduce the UCDDCP
+// speedups.
+func BenchmarkTableV_UCDDCP_Speedups(b *testing.B)       { benchSpeedup(b, problem.UCDDCP) }
+func BenchmarkFigure17_UCDDCP_SpeedupCurve(b *testing.B) { benchSpeedup(b, problem.UCDDCP) }
+
+// benchRuntime reports the simulated device seconds of the GPU pipeline —
+// the runtime curves of Figures 14 (CDD) and 16 (UCDDCP).
+func benchRuntime(b *testing.B, kind problem.Kind, useDPSO bool) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			in := benchInstance(b, kind, size)
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				var res core.Result
+				if useDPSO {
+					res = (&parallel.GPUDPSO{
+						Inst: in, PSO: dpso.Config{Iterations: benchItersLow},
+						Grid: benchGrid, Block: benchBlock, Seed: 1,
+					}).Solve()
+				} else {
+					res = (&parallel.GPUSA{
+						Inst: in, SA: sa.Config{Iterations: benchItersLow, TempSamples: benchTemp},
+						Grid: benchGrid, Block: benchBlock, Seed: 1,
+					}).Solve()
+				}
+				sim = res.SimSeconds
+			}
+			b.ReportMetric(sim*1e3, "sim-ms")
+		})
+	}
+}
+
+func BenchmarkFigure14_CDD_Runtime_SA(b *testing.B)      { benchRuntime(b, problem.CDD, false) }
+func BenchmarkFigure14_CDD_Runtime_DPSO(b *testing.B)    { benchRuntime(b, problem.CDD, true) }
+func BenchmarkFigure16_UCDDCP_Runtime_SA(b *testing.B)   { benchRuntime(b, problem.UCDDCP, false) }
+func BenchmarkFigure16_UCDDCP_Runtime_DPSO(b *testing.B) { benchRuntime(b, problem.UCDDCP, true) }
+
+// BenchmarkFigure11_Surface sweeps threads × generations on the UCDDCP
+// fitness pipeline and reports the simulated device milliseconds of each
+// cell — Figure 11's runtime surface.
+func BenchmarkFigure11_Surface(b *testing.B) {
+	for _, threads := range []int{32, 64, 128} {
+		for _, gens := range []int{50, 100} {
+			b.Run(fmt.Sprintf("threads%d_gens%d", threads, gens), func(b *testing.B) {
+				var sim float64
+				for i := 0; i < b.N; i++ {
+					points, err := harness.Figure11(harness.Fig11Config{
+						Size: 30, Block: 32,
+						Threads:     []int{threads},
+						Generations: []int{gens},
+						TempSamples: 100,
+						Seed:        benchSeed,
+					}, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sim = points[0].SimSeconds
+				}
+				b.ReportMetric(sim*1e3, "sim-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkEvaluatorCDD and BenchmarkEvaluatorUCDDCP time the inner-layer
+// O(n) algorithms themselves (the per-thread fitness cost underlying all
+// of the above).
+func BenchmarkEvaluatorCDD(b *testing.B) {
+	for _, size := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			in := benchInstance(b, problem.CDD, size)
+			eval := core.NewEvaluator(in)
+			seq := problem.IdentitySequence(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eval.Cost(seq)
+			}
+		})
+	}
+}
+
+func BenchmarkEvaluatorUCDDCP(b *testing.B) {
+	for _, size := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			in := benchInstance(b, problem.UCDDCP, size)
+			eval := core.NewEvaluator(in)
+			seq := problem.IdentitySequence(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eval.Cost(seq)
+			}
+		})
+	}
+}
+
+// BenchmarkSolvePublicAPI times the end-to-end public entry point with
+// the (scaled-down) paper defaults, the number a library user sees.
+func BenchmarkSolvePublicAPI(b *testing.B) {
+	in := duedate.PaperExample(duedate.CDD)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := duedate.Solve(in, duedate.Options{
+			Grid: 1, Block: 16, Iterations: 50, TempSamples: 100,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

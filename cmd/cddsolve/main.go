@@ -1,0 +1,141 @@
+// Command cddsolve solves Common Due-Date instances with the hybrid
+// two-layered solvers of the library.
+//
+// With no flags it solves the paper's worked example. To solve instances
+// from an OR-library sch file:
+//
+//	cddsolve -file sch10.txt -n 10 -h 0.6 -index 0
+//
+// To solve a generated benchmark instance:
+//
+//	cddsolve -size 50 -h 0.4 -record 2 -algo sa -engine gpu -iters 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	duedate "repro"
+	"repro/internal/orlib"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cddsolve: ")
+	var (
+		file    = flag.String("file", "", "OR-library sch file to read (requires -n)")
+		n       = flag.Int("n", 0, "jobs per record in -file")
+		size    = flag.Int("size", 0, "generate a benchmark instance of this size instead of -file")
+		record  = flag.Int("record", 0, "record index within the file or generated benchmark")
+		hFactor = flag.Float64("h", 0.6, "restrictive due-date factor d = ⌊h·ΣP⌋")
+		seed    = flag.Uint64("seed", orlib.DefaultSeed, "benchmark generator seed")
+		algo    = flag.String("algo", "sa", "algorithm: sa, dpso, ta, es")
+		engine  = flag.String("engine", "gpu", "engine: gpu, cpu, serial")
+		iters   = flag.Int("iters", 1000, "iterations per chain")
+		grid    = flag.Int("grid", 4, "GPU grid size (blocks)")
+		block   = flag.Int("block", 192, "GPU block size (threads per block)")
+		rngSeed = flag.Uint64("solver-seed", 1, "solver RNG seed")
+		gantt   = flag.Bool("gantt", false, "print a textual Gantt chart (small n only)")
+	)
+	flag.Parse()
+
+	in, err := loadInstance(*file, *n, *size, *record, *hFactor, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := duedate.Options{
+		Iterations: *iters,
+		Grid:       *grid,
+		Block:      *block,
+		Seed:       *rngSeed,
+	}
+	if err := applyAlgoEngine(&opts, *algo, *engine); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := duedate.Solve(in, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := res.Schedule(in)
+	fmt.Printf("instance   %s (n=%d, d=%d)\n", in.Name, in.N(), in.D)
+	fmt.Printf("algorithm  %s on %s\n", opts.Algorithm, opts.Engine)
+	fmt.Printf("best cost  %d\n", res.BestCost)
+	fmt.Printf("sequence   %v\n", onesBased(res.BestSeq))
+	fmt.Printf("start      %d\n", sched.Start)
+	fmt.Printf("wall time  %s\n", res.Elapsed)
+	if res.SimSeconds > 0 {
+		fmt.Printf("device     %.4f s (simulated)\n", res.SimSeconds)
+	}
+	if *gantt {
+		fmt.Println(sched.Gantt(in))
+	}
+}
+
+// loadInstance resolves the instance source: a file, the generator, or
+// the paper example.
+func loadInstance(file string, n, size, record int, h float64, seed uint64) (*duedate.Instance, error) {
+	switch {
+	case file != "":
+		if n <= 0 {
+			return nil, fmt.Errorf("-file requires -n (jobs per record)")
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		raws, err := orlib.ReadCDD(f, n)
+		if err != nil {
+			return nil, err
+		}
+		if record < 0 || record >= len(raws) {
+			return nil, fmt.Errorf("record %d outside [0,%d)", record, len(raws))
+		}
+		return orlib.CDDInstance(raws[record], n, record, h)
+	case size > 0:
+		raws := orlib.GenerateCDD(size, record+1, seed)
+		return orlib.CDDInstance(raws[record], size, record, h)
+	default:
+		return duedate.PaperExample(duedate.CDD), nil
+	}
+}
+
+// applyAlgoEngine parses the -algo and -engine flags into opts.
+func applyAlgoEngine(opts *duedate.Options, algo, engine string) error {
+	switch algo {
+	case "sa":
+		opts.Algorithm = duedate.SA
+	case "dpso":
+		opts.Algorithm = duedate.DPSO
+	case "ta":
+		opts.Algorithm = duedate.TA
+	case "es":
+		opts.Algorithm = duedate.ES
+	default:
+		return fmt.Errorf("unknown algorithm %q (sa, dpso, ta, es)", algo)
+	}
+	switch engine {
+	case "gpu":
+		opts.Engine = duedate.EngineGPU
+	case "cpu":
+		opts.Engine = duedate.EngineCPUParallel
+	case "serial":
+		opts.Engine = duedate.EngineCPUSerial
+	default:
+		return fmt.Errorf("unknown engine %q (gpu, cpu, serial)", engine)
+	}
+	return nil
+}
+
+// onesBased renders a 0-based job sequence with the paper's 1-based ids.
+func onesBased(seq []int) []int {
+	out := make([]int, len(seq))
+	for i, v := range seq {
+		out[i] = v + 1
+	}
+	return out
+}

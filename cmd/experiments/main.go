@@ -1,0 +1,210 @@
+// Command experiments regenerates the paper's evaluation: Tables II–V and
+// Figures 11–17. Each experiment prints its table to stdout and, with
+// -out, writes the figure data as CSV.
+//
+//	experiments -exp all -preset scaled -out results/
+//	experiments -exp table2                       # CDD %Δ table only
+//	experiments -exp fig11 -preset quick
+//	experiments -exp strategy                     # async vs sync SA
+//	experiments -compare results/old.json,results/new.json
+//
+// Presets: quick (seconds), scaled (default, minutes), full (the paper's
+// 768 threads × 5000 iterations × 40 instances/size; hours). With -out,
+// each sweep is archived as JSON for later -compare regression diffs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/problem"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		exp     = flag.String("exp", "all", "experiment: table2, table3, fig12, fig13, fig14 (CDD); table4, table5, fig15, fig16, fig17 (UCDDCP); fig11; strategy; all")
+		preset  = flag.String("preset", "scaled", "preset: quick, scaled, full")
+		out     = flag.String("out", "", "directory for CSV outputs (optional)")
+		verbose = flag.Bool("v", false, "per-instance progress on stderr")
+		compare = flag.String("compare", "", "diff two sweep archives: old.json,new.json (skips running experiments)")
+	)
+	flag.Parse()
+
+	if *compare != "" {
+		if err := compareArchives(*compare); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	p := harness.ByName(*preset)
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	needCDD := map[string]bool{"all": true, "table2": true, "table3": true, "fig12": true, "fig13": true, "fig14": true}[*exp]
+	needUCDDCP := map[string]bool{"all": true, "table4": true, "table5": true, "fig15": true, "fig16": true, "fig17": true}[*exp]
+	needFig11 := *exp == "all" || *exp == "fig11"
+	needStrategy := *exp == "all" || *exp == "strategy"
+	if !needCDD && !needUCDDCP && !needFig11 && !needStrategy {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+
+	if needCDD {
+		sw, err := harness.RunSweep(p, problem.CDD, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emitSweep(sw, *exp, *out, map[string]string{
+			"table2": "",
+			"fig12":  "fig12_cdd_pct_dev.csv",
+			"table3": "",
+			"fig13":  "fig13_cdd_speedups.csv",
+			"fig14":  "fig14_cdd_runtimes.csv",
+		})
+	}
+	if needUCDDCP {
+		sw, err := harness.RunSweep(p, problem.UCDDCP, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emitSweep(sw, *exp, *out, map[string]string{
+			"table4": "",
+			"fig15":  "fig15_ucddcp_pct_dev.csv",
+			"table5": "",
+			"fig17":  "fig17_ucddcp_speedups.csv",
+			"fig16":  "fig16_ucddcp_runtimes.csv",
+		})
+	}
+	if needFig11 {
+		cfg := harness.Fig11Config{Seed: p.Seed, TempSamples: p.TempSamples}
+		if p.Name == "quick" {
+			cfg.Size = 20
+			cfg.Threads = []int{16, 48, 96}
+			cfg.Generations = []int{50, 100, 200}
+		}
+		points, err := harness.Figure11(cfg, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("FIGURE 11 — runtime vs threads × generations (UCDDCP fitness pipeline)")
+		fmt.Printf("%8s %12s %12s %12s\n", "threads", "generations", "wall (s)", "device (s)")
+		for _, pt := range points {
+			fmt.Printf("%8d %12d %12.4f %12.4f\n", pt.Threads, pt.Generations, pt.WallSeconds, pt.SimSeconds)
+		}
+		writeCSV(*out, "fig11_surface.csv", harness.Fig11CSV(points))
+	}
+	if needStrategy {
+		rows, err := harness.CompareStrategies(p, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(harness.RenderStrategies(rows))
+	}
+}
+
+// emitSweep prints the tables selected by exp and writes the CSVs.
+func emitSweep(sw *harness.Sweep, exp, out string, files map[string]string) {
+	all := exp == "all"
+	if all || exp == "table2" || exp == "table4" || exp == "fig12" || exp == "fig15" {
+		fmt.Println(sw.DeviationTable())
+	}
+	if all || exp == "table3" || exp == "table5" || exp == "fig13" || exp == "fig17" {
+		fmt.Println(sw.SpeedupTable())
+	}
+	if all || exp == "fig14" || exp == "fig16" {
+		fmt.Println(sw.RuntimeTable())
+	}
+	fmt.Println("Shape checks (paper findings):")
+	fmt.Println(harness.RenderChecks(sw.ShapeChecks()))
+	if out == "" {
+		return
+	}
+	// Archive the full sweep for later re-rendering and regression diffs
+	// (harness.ReadSweepJSON / CompareSweeps).
+	archive := fmt.Sprintf("sweep_%s_%s.json", sw.Kind, sw.Preset.Name)
+	f, err := os.Create(filepath.Join(out, archive))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sw.WriteJSON(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(out, archive))
+	for key, name := range files {
+		if name == "" || (!all && key != exp) {
+			continue
+		}
+		switch key {
+		case "fig12", "fig15":
+			writeCSV(out, name, sw.DeviationCSV())
+		case "fig13", "fig17":
+			writeCSV(out, name, sw.SpeedupCSV())
+		case "fig14", "fig16":
+			writeCSV(out, name, sw.RuntimeCSV())
+		}
+	}
+}
+
+// compareArchives renders the per-size quality drift between two sweep
+// archives written by earlier runs (-out).
+func compareArchives(spec string) error {
+	parts := strings.SplitN(spec, ",", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("-compare wants old.json,new.json")
+	}
+	load := func(path string) (*harness.Sweep, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return harness.ReadSweepJSON(f)
+	}
+	older, err := load(parts[0])
+	if err != nil {
+		return err
+	}
+	newer, err := load(parts[1])
+	if err != nil {
+		return err
+	}
+	lines, err := harness.CompareSweeps(older, newer)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("quality drift (%s → %s), mean %%Δ per size and algorithm:\n", parts[0], parts[1])
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	return nil
+}
+
+func writeCSV(dir, name, content string) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

@@ -1,0 +1,84 @@
+// Command genbench writes OR-library-style benchmark files for the CDD
+// and UCDDCP problems, reproducing the Biskup–Feldmann distributions
+// deterministically (see internal/orlib).
+//
+//	genbench -out bench/                 # full paper suite, both problems
+//	genbench -kind cdd -sizes 10,50 -records 10 -out bench/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/orlib"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genbench: ")
+	var (
+		kind    = flag.String("kind", "both", "cdd, ucddcp or both")
+		sizes   = flag.String("sizes", "10,20,50,100,200,500,1000", "comma-separated job counts")
+		records = flag.Int("records", orlib.InstancesPerSize, "records per size")
+		seed    = flag.Uint64("seed", orlib.DefaultSeed, "generator seed")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	sizeList, err := parseSizes(*sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range sizeList {
+		if *kind == "cdd" || *kind == "both" {
+			path := filepath.Join(*out, fmt.Sprintf("sch%d.txt", n))
+			if err := writeFile(path, func(f *os.File) error {
+				return orlib.WriteCDD(f, orlib.GenerateCDD(n, *records, *seed))
+			}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d records, h applied at load time)\n", path, *records)
+		}
+		if *kind == "ucddcp" || *kind == "both" {
+			path := filepath.Join(*out, fmt.Sprintf("ucddcp%d.txt", n))
+			if err := writeFile(path, func(f *os.File) error {
+				return orlib.WriteUCDDCP(f, orlib.GenerateUCDDCP(n, *records, *seed))
+			}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d records)\n", path, *records)
+		}
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,106 @@
+// Command gpuprof profiles the simulated GPU pipeline: it runs the
+// four-kernel SA (or DPSO) pipeline on a benchmark instance and prints
+// the per-kernel profile (the simulator's nvprof), optionally writing a
+// Chrome trace-event timeline for chrome://tracing / Perfetto.
+//
+//	gpuprof -size 100 -iters 200 -trace timeline.json
+//	gpuprof -algo dpso -grid 4 -block 192 -kind ucddcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cudasim"
+	"repro/internal/dpso"
+	"repro/internal/orlib"
+	"repro/internal/parallel"
+	"repro/internal/problem"
+	"repro/internal/sa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpuprof: ")
+	var (
+		kind        = flag.String("kind", "cdd", "problem: cdd or ucddcp")
+		algo        = flag.String("algo", "sa", "algorithm: sa, dpso, persistent")
+		size        = flag.Int("size", 100, "benchmark instance size")
+		iters       = flag.Int("iters", 200, "iterations")
+		grid        = flag.Int("grid", 4, "blocks")
+		block       = flag.Int("block", 48, "threads per block")
+		seed        = flag.Uint64("seed", 1, "solver seed")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event timeline to this file")
+		cooperative = flag.Bool("cooperative", false, "goroutine-per-thread barrier execution")
+	)
+	flag.Parse()
+
+	var (
+		inst *problem.Instance
+		err  error
+	)
+	if *kind == "ucddcp" {
+		var ins []*problem.Instance
+		ins, err = orlib.BenchmarkUCDDCP(*size, 1, orlib.DefaultSeed)
+		if err == nil {
+			inst = ins[0]
+		}
+	} else {
+		var ins []*problem.Instance
+		ins, err = orlib.BenchmarkCDD(*size, 1, orlib.DefaultSeed)
+		if err == nil {
+			inst = ins[2]
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dev := cudasim.NewDevice(cudasim.GT560M())
+	if *tracePath != "" {
+		dev.EnableTrace()
+	}
+
+	saCfg := sa.Config{Iterations: *iters, TempSamples: 500}
+	var (
+		best int64
+		sim  float64
+	)
+	switch *algo {
+	case "sa":
+		res := (&parallel.GPUSA{Inst: inst, SA: saCfg, Grid: *grid, Block: *block,
+			Seed: *seed, Dev: dev, Cooperative: *cooperative}).Solve()
+		best, sim = res.BestCost, res.SimSeconds
+	case "persistent":
+		res := (&parallel.PersistentGPUSA{Inst: inst, SA: saCfg, Grid: *grid, Block: *block,
+			Seed: *seed, Dev: dev}).Solve()
+		best, sim = res.BestCost, res.SimSeconds
+	case "dpso":
+		res := (&parallel.GPUDPSO{Inst: inst, PSO: dpso.Config{Iterations: *iters},
+			Grid: *grid, Block: *block, Seed: *seed, Dev: dev, Cooperative: *cooperative}).Solve()
+		best, sim = res.BestCost, res.SimSeconds
+	default:
+		log.Fatalf("unknown algorithm %q (sa, dpso, persistent)", *algo)
+	}
+
+	fmt.Printf("instance  %s   best=%d   device=%.4fs (simulated)\n", inst.Name, best, sim)
+	fmt.Printf("memory    %d B device buffers live\n\n", dev.MemoryInUse())
+	fmt.Print(dev.Profiler().Report())
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dev.WriteTrace(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d events) — open in chrome://tracing\n", *tracePath, len(dev.TraceEvents()))
+	}
+}

@@ -1,0 +1,84 @@
+// Package duedate is a Go reproduction of "GPGPU-based Parallel
+// Algorithms for Scheduling Against Due Date" (Awasthi, Lässig,
+// Leuschner, Weise; IPDPSW/PCO 2016): hybrid two-layered solvers for the
+// Common Due-Date problem (CDD) and the Unrestricted Common Due-Date
+// problem with Controllable Processing Times (UCDDCP).
+//
+// The two layers are (i) metaheuristics searching the space of job
+// sequences — Simulated Annealing and Discrete Particle Swarm
+// Optimization, serial or as parallel ensembles — and (ii) exact O(n)
+// linear algorithms that optimally time (and, for UCDDCP, compress) any
+// fixed sequence. The paper's CUDA implementation is reproduced on a
+// simulated GPU device (internal/cudasim) with the same four-kernel
+// pipeline: perturbation, fitness, acceptance, reduction.
+//
+// Quick start:
+//
+//	in, _ := duedate.NewCDDInstance("mine", p, alpha, beta, d)
+//	res, _ := duedate.Solve(in, duedate.Options{})          // GPU-SA defaults
+//	sched := res.Schedule(in)                               // timed schedule
+//
+// The experiment harness reproducing the paper's Tables II–V and Figures
+// 11–17 lives in cmd/experiments; OR-library-style benchmark instances
+// come from GenerateCDDBenchmark / GenerateUCDDCPBenchmark.
+package duedate
+
+import (
+	"repro/internal/core"
+	"repro/internal/orlib"
+	"repro/internal/problem"
+)
+
+// Kind selects the problem: CDD or UCDDCP.
+type Kind = problem.Kind
+
+// The two problems of the paper.
+const (
+	CDD    = problem.CDD
+	UCDDCP = problem.UCDDCP
+)
+
+// Job is one job: processing time, minimum processing time, and the
+// earliness/tardiness/compression penalty rates.
+type Job = problem.Job
+
+// Instance is a problem instance: jobs plus a common due date.
+type Instance = problem.Instance
+
+// Schedule is a fully timed (and, for UCDDCP, compressed) solution.
+type Schedule = problem.Schedule
+
+// Result is a solver outcome: best sequence, exact cost, and timing.
+type Result = core.Result
+
+// NewCDDInstance builds a validated CDD instance from parallel slices of
+// processing times and earliness/tardiness penalties.
+func NewCDDInstance(name string, p, alpha, beta []int, d int64) (*Instance, error) {
+	return problem.NewCDD(name, p, alpha, beta, d)
+}
+
+// NewUCDDCPInstance builds a validated UCDDCP instance; m holds the
+// minimum processing times and gamma the compression penalties, and the
+// due date must satisfy d ≥ Σp (the unrestricted condition).
+func NewUCDDCPInstance(name string, p, m, alpha, beta, gamma []int, d int64) (*Instance, error) {
+	return problem.NewUCDDCP(name, p, m, alpha, beta, gamma, d)
+}
+
+// PaperExample returns the worked 5-job example of the paper's Table I
+// (optimal penalty 81 for CDD with d = 16, and 77 for UCDDCP with d = 22,
+// both under the identity sequence).
+func PaperExample(kind Kind) *Instance { return problem.PaperExample(kind) }
+
+// GenerateCDDBenchmark deterministically generates the OR-library-style
+// CDD benchmark for one job size: `records` records × the four
+// restrictive due-date factors h ∈ {0.2, 0.4, 0.6, 0.8}. The paper's
+// configuration is records = 10 (40 instances per size).
+func GenerateCDDBenchmark(size, records int, seed uint64) ([]*Instance, error) {
+	return orlib.BenchmarkCDD(size, records, seed)
+}
+
+// GenerateUCDDCPBenchmark generates the controllable benchmark for one
+// job size (`records` unrestricted instances).
+func GenerateUCDDCPBenchmark(size, records int, seed uint64) ([]*Instance, error) {
+	return orlib.BenchmarkUCDDCP(size, records, seed)
+}

@@ -1,0 +1,171 @@
+package duedate_test
+
+import (
+	"strings"
+	"testing"
+
+	duedate "repro"
+)
+
+func TestPaperExampleThroughPublicAPI(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	sched, cost, err := duedate.OptimizeSequence(in, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 81 {
+		t.Errorf("CDD paper example cost = %d, want 81", cost)
+	}
+	if sched.Start != 5 {
+		t.Errorf("start = %d, want 5", sched.Start)
+	}
+	if got := sched.Cost(in); got != 81 {
+		t.Errorf("schedule re-evaluates to %d", got)
+	}
+
+	inU := duedate.PaperExample(duedate.UCDDCP)
+	_, costU, err := duedate.OptimizeSequence(inU, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costU != 77 {
+		t.Errorf("UCDDCP paper example cost = %d, want 77", costU)
+	}
+}
+
+func TestSolveDefaultsOnSmallInstance(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	res, err := duedate.Solve(in, duedate.Options{
+		Iterations: 100, Grid: 1, Block: 16, TempSamples: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := duedate.Cost(in, res.BestSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.BestCost {
+		t.Errorf("result cost %d, sequence evaluates to %d", res.BestCost, got)
+	}
+	if res.BestCost > 81 {
+		t.Errorf("GPU SA best %d, expected ≤ 81", res.BestCost)
+	}
+	if res.SimSeconds <= 0 {
+		t.Error("GPU engine reported no simulated time")
+	}
+}
+
+func TestSolveAllAlgorithmEngineCombos(t *testing.T) {
+	in := duedate.PaperExample(duedate.UCDDCP)
+	combos := []struct {
+		algo   duedate.Algorithm
+		engine duedate.Engine
+	}{
+		{duedate.SA, duedate.EngineGPU},
+		{duedate.SA, duedate.EngineCPUParallel},
+		{duedate.SA, duedate.EngineCPUSerial},
+		{duedate.DPSO, duedate.EngineGPU},
+		{duedate.DPSO, duedate.EngineCPUParallel},
+		{duedate.DPSO, duedate.EngineCPUSerial},
+		{duedate.TA, duedate.EngineCPUSerial},
+		{duedate.ES, duedate.EngineCPUSerial},
+	}
+	for _, c := range combos {
+		t.Run(c.algo.String()+"/"+c.engine.String(), func(t *testing.T) {
+			res, err := duedate.Solve(in, duedate.Options{
+				Algorithm: c.algo, Engine: c.engine,
+				Iterations: 40, Grid: 1, Block: 8, TempSamples: 50,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := duedate.Cost(in, res.BestSeq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != res.BestCost {
+				t.Errorf("reported %d, evaluates to %d", res.BestCost, got)
+			}
+		})
+	}
+}
+
+func TestSolveRejectsGPUBaselines(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	for _, algo := range []duedate.Algorithm{duedate.TA, duedate.ES} {
+		if _, err := duedate.Solve(in, duedate.Options{Algorithm: algo, Engine: duedate.EngineGPU}); err == nil {
+			t.Errorf("%v on GPU accepted", algo)
+		}
+	}
+}
+
+func TestSolveValidatesInstance(t *testing.T) {
+	bad := duedate.PaperExample(duedate.CDD)
+	bad.D = -4
+	if _, err := duedate.Solve(bad, duedate.Options{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestOptimizeSequenceRejections(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	if _, _, err := duedate.OptimizeSequence(in, []int{0, 1, 2}); err == nil {
+		t.Error("short sequence accepted")
+	}
+	if _, _, err := duedate.OptimizeSequence(in, []int{0, 0, 1, 2, 3}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+}
+
+func TestBenchmarkGenerators(t *testing.T) {
+	cddIns, err := duedate.GenerateCDDBenchmark(20, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cddIns) != 8 {
+		t.Errorf("CDD benchmark size = %d, want 8 (2 records × 4 h)", len(cddIns))
+	}
+	uIns, err := duedate.GenerateUCDDCPBenchmark(20, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uIns) != 3 {
+		t.Errorf("UCDDCP benchmark size = %d, want 3", len(uIns))
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if duedate.SA.String() != "SA" || duedate.DPSO.String() != "DPSO" {
+		t.Error("Algorithm.String broken")
+	}
+	if duedate.EngineGPU.String() != "gpu" {
+		t.Error("Engine.String broken")
+	}
+	if !strings.Contains(duedate.Algorithm(9).String(), "9") {
+		t.Error("unknown algorithm formatting broken")
+	}
+	if !strings.Contains(duedate.Engine(9).String(), "9") {
+		t.Error("unknown engine formatting broken")
+	}
+}
+
+func TestSolvePersistentEngine(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	opts := duedate.Options{Iterations: 80, Grid: 1, Block: 8, TempSamples: 50}
+	normal, err := duedate.Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Persistent = true
+	pers, err := duedate.Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normal.BestCost != pers.BestCost {
+		t.Errorf("persistent engine differs: %d vs %d", pers.BestCost, normal.BestCost)
+	}
+	if pers.SimSeconds >= normal.SimSeconds {
+		t.Errorf("persistent engine not faster: %g vs %g", pers.SimSeconds, normal.SimSeconds)
+	}
+}

@@ -1,0 +1,36 @@
+package cdd
+
+import "repro/internal/problem"
+
+// ReferenceOptimize computes the optimal timing of a fixed sequence by
+// exhaustively evaluating every integer start time in [0, d]. Because the
+// cost is piecewise linear in the start time with integer breakpoints, an
+// integer optimum always exists, and no start beyond d can be optimal
+// (every job would only grow more tardy). The function runs in O(n·d) and
+// exists solely as a test oracle for OptimizeSequence.
+func ReferenceOptimize(in *problem.Instance, seq []int) Result {
+	comp := make([]int64, len(seq))
+	var t int64
+	for pos, job := range seq {
+		t += int64(in.Jobs[job].P)
+		comp[pos] = t
+	}
+	e := Evaluator{in: in}
+	best := Result{Cost: e.costAt(seq, comp, 0), Start: 0}
+	limit := in.D
+	if limit < 0 {
+		limit = 0
+	}
+	for s := int64(1); s <= limit; s++ {
+		if c := e.costAt(seq, comp, s); c < best.Cost {
+			best = Result{Cost: c, Start: s}
+		}
+	}
+	for pos := range seq {
+		if comp[pos]+best.Start == in.D {
+			best.DueJob = pos + 1
+			break
+		}
+	}
+	return best
+}

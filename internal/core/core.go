@@ -1,0 +1,144 @@
+// Package core ties the two layers of the paper's approach together: it
+// dispatches the exact O(n) per-sequence optimizers (layer two) behind a
+// single Evaluator interface that every metaheuristic (layer one) consumes,
+// and it provides the shared solver vocabulary — results, initial
+// temperature estimation, and random-restart utilities.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cdd"
+	"repro/internal/perm"
+	"repro/internal/problem"
+	"repro/internal/ucddcp"
+	"repro/internal/xrand"
+)
+
+// Evaluator computes the exact optimal penalty of a job sequence for one
+// instance: the CDD or UCDDCP linear algorithm of Section IV. Evaluators
+// carry scratch state and are not safe for concurrent use; create one per
+// chain/thread with NewEvaluator.
+type Evaluator interface {
+	// Cost returns the minimal total penalty achievable by the sequence.
+	Cost(seq []int) int64
+	// Instance returns the instance being optimized.
+	Instance() *problem.Instance
+}
+
+// NewEvaluator returns the appropriate linear-algorithm evaluator for the
+// instance's problem kind.
+func NewEvaluator(in *problem.Instance) Evaluator {
+	switch in.Kind {
+	case problem.UCDDCP:
+		return ucddcp.NewEvaluator(in)
+	default:
+		return cdd.NewEvaluator(in)
+	}
+}
+
+// Result is the outcome of one solver run.
+type Result struct {
+	// BestSeq is the best job sequence found (owned by the result).
+	BestSeq []int
+	// BestCost is its exact penalty under the instance's objective.
+	BestCost int64
+	// Iterations is the number of metaheuristic iterations executed.
+	Iterations int
+	// Evaluations counts fitness-function invocations across all chains.
+	Evaluations int64
+	// Elapsed is the host wall-clock duration of the run.
+	Elapsed time.Duration
+	// SimSeconds is the simulated GPU time for device-backed engines
+	// (zero for CPU engines).
+	SimSeconds float64
+}
+
+// Schedule materializes the result's sequence into a fully timed schedule
+// (with compressions for UCDDCP instances).
+func (r *Result) Schedule(in *problem.Instance) problem.Schedule {
+	if in.Kind == problem.UCDDCP {
+		opt := ucddcp.OptimizeSequence(in, r.BestSeq)
+		return problem.Schedule{Seq: r.BestSeq, Start: opt.Start, X: opt.X}
+	}
+	opt := cdd.OptimizeSequence(in, r.BestSeq)
+	return problem.Schedule{Seq: r.BestSeq, Start: opt.Start}
+}
+
+// Solver is a runnable optimizer configuration bound to an instance.
+type Solver interface {
+	// Name identifies the solver in experiment tables ("SA_1000", …).
+	Name() string
+	// Solve runs the optimization once and returns its result.
+	Solve() Result
+}
+
+// InitialTemperature estimates T₀ as the standard deviation of the
+// fitness values of `samples` uniformly random job sequences, the rule of
+// Salamon, Sibani and Frost adopted by the paper (with samples = 5000).
+// It is deterministic given the rng.
+func InitialTemperature(eval Evaluator, rng *xrand.XORWOW, samples int) float64 {
+	if samples < 2 {
+		samples = 2
+	}
+	n := eval.Instance().N()
+	seq := problem.IdentitySequence(n)
+	var sum, sumSq float64
+	for i := 0; i < samples; i++ {
+		perm.FisherYates(rng, seq)
+		f := float64(eval.Cost(seq))
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / float64(samples)
+	variance := sumSq/float64(samples) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sd := math.Sqrt(variance)
+	if sd <= 0 {
+		// Degenerate landscape (all sequences equal): any positive
+		// temperature works; pick 1 so exp((E−E')/T) stays defined.
+		sd = 1
+	}
+	return sd
+}
+
+// RandomSolution evaluates one uniformly random sequence; solvers use it
+// for initialization and tests for baselines.
+func RandomSolution(eval Evaluator, rng *xrand.XORWOW) ([]int, int64) {
+	seq := perm.Random(rng, eval.Instance().N())
+	return seq, eval.Cost(seq)
+}
+
+// BestOf runs every solver and returns the index and result of the best
+// (lowest-cost) one; it is the reduce step over heterogeneous engines.
+func BestOf(solvers ...Solver) (int, Result, error) {
+	if len(solvers) == 0 {
+		return 0, Result{}, fmt.Errorf("core: BestOf with no solvers")
+	}
+	bestIdx := -1
+	var best Result
+	for i, s := range solvers {
+		r := s.Solve()
+		if bestIdx < 0 || r.BestCost < best.BestCost {
+			bestIdx, best = i, r
+		}
+	}
+	return bestIdx, best, nil
+}
+
+// PercentDeviation returns 100·(z−zBest)/zBest, the %Δ metric of the
+// paper's result tables. A zero zBest with nonzero z yields +Inf; both
+// zero yields 0.
+func PercentDeviation(z, zBest int64) float64 {
+	if zBest == 0 {
+		if z == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(z-zBest) / float64(zBest) * 100
+}

@@ -1,0 +1,38 @@
+package cudasim
+
+import "fmt"
+
+// Dim3 is a CUDA-style three-dimensional extent or index. The paper uses
+// strictly linear configurations (G = (g,1,1), B = (b,1,1)) to avoid
+// shared-memory race conditions, but the simulator supports all three
+// dimensions.
+type Dim3 struct {
+	X, Y, Z int
+}
+
+// Dim returns a linear (x,1,1) extent, the paper's configuration style.
+func Dim(x int) Dim3 { return Dim3{X: x, Y: 1, Z: 1} }
+
+// Count returns the total number of elements covered by the extent.
+func (d Dim3) Count() int { return d.X * d.Y * d.Z }
+
+// Linear returns the flattened index of idx inside extent d
+// (x fastest, z slowest — the CUDA convention).
+func (d Dim3) Linear(idx Dim3) int {
+	return idx.X + d.X*(idx.Y+d.Y*idx.Z)
+}
+
+// Valid reports whether the extent is positive in every dimension.
+func (d Dim3) Valid() bool { return d.X > 0 && d.Y > 0 && d.Z > 0 }
+
+// String implements fmt.Stringer in CUDA's (x,y,z) notation.
+func (d Dim3) String() string { return fmt.Sprintf("(%d,%d,%d)", d.X, d.Y, d.Z) }
+
+// unflatten converts a linear index back to a Dim3 index within extent d.
+func (d Dim3) unflatten(i int) Dim3 {
+	x := i % d.X
+	i /= d.X
+	y := i % d.Y
+	z := i / d.Y
+	return Dim3{X: x, Y: y, Z: z}
+}

@@ -1,0 +1,228 @@
+package cudasim
+
+import (
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoryAccounting(t *testing.T) {
+	d := testDevice()
+	if d.MemoryInUse() != 0 {
+		t.Fatalf("fresh device has %d B in use", d.MemoryInUse())
+	}
+	b := NewBuffer[int64](d, 1000)
+	if got := d.MemoryInUse(); got != 8000 {
+		t.Errorf("in use = %d, want 8000", got)
+	}
+	b2 := NewBuffer[int32](d, 10)
+	if got := d.MemoryInUse(); got != 8040 {
+		t.Errorf("in use = %d, want 8040", got)
+	}
+	b.Free()
+	if got := d.MemoryInUse(); got != 40 {
+		t.Errorf("after free in use = %d, want 40", got)
+	}
+	b2.Free()
+	if got := d.MemoryInUse(); got != 0 {
+		t.Errorf("after all frees in use = %d", got)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	spec := GT560M()
+	spec.GlobalMemBytes = 1024
+	d := NewDevice(spec)
+	if _, err := TryNewBuffer[int64](d, 100); err != nil {
+		t.Fatalf("800 B allocation failed under 1 KiB capacity: %v", err)
+	}
+	if _, err := TryNewBuffer[int64](d, 100); err == nil {
+		t.Fatal("second 800 B allocation should exceed 1 KiB capacity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBuffer did not panic on OOM")
+		}
+	}()
+	NewBuffer[int64](d, 1000)
+}
+
+func TestUnlimitedMemory(t *testing.T) {
+	spec := GT560M()
+	spec.GlobalMemBytes = 0
+	d := NewDevice(spec)
+	if _, err := TryNewBuffer[int64](d, 1_000_000); err != nil {
+		t.Fatalf("unlimited device rejected allocation: %v", err)
+	}
+}
+
+func TestTextureSnapshotSemantics(t *testing.T) {
+	d := testDevice()
+	b := NewBufferFrom(d, []int64{1, 2, 3, 4})
+	tex := NewTexture(b)
+	b.Raw()[0] = 99 // later writes must not be visible through the texture
+	var got int64
+	d.MustLaunch(LaunchConfig{Name: "tex", Grid: Dim(1), Block: Dim(1)}, func(c *Ctx) {
+		var cache TexCache
+		got = tex.Fetch(c, &cache, 0)
+	})
+	if got != 1 {
+		t.Errorf("texture fetch = %d, want the bind-time value 1", got)
+	}
+	if tex.Len() != 4 {
+		t.Errorf("Len = %d", tex.Len())
+	}
+}
+
+// TestTextureLocalityModel: sequential fetches through the cache must be
+// far cheaper than scattered ones, and the profiler must see the misses.
+func TestTextureLocalityModel(t *testing.T) {
+	const n = 4096
+	run := func(stride int) float64 {
+		d := testDevice()
+		data := make([]int64, n)
+		b := NewBufferFrom(d, data)
+		tex := NewTexture(b)
+		d.MustLaunch(LaunchConfig{Name: "scan", Grid: Dim(1), Block: Dim(1)}, func(c *Ctx) {
+			var cache TexCache
+			idx := 0
+			for i := 0; i < n; i++ {
+				tex.Fetch(c, &cache, idx)
+				idx = (idx + stride) % n
+			}
+		})
+		return d.SimTime()
+	}
+	sequential := run(1)
+	scattered := run(TexLineElems*7 + 3)
+	if scattered <= sequential*2 {
+		t.Errorf("texture cache model has no locality effect: seq=%g scattered=%g", sequential, scattered)
+	}
+}
+
+func TestTextureCountersInProfiler(t *testing.T) {
+	d := testDevice()
+	b := NewBufferFrom(d, make([]int64, 64))
+	tex := NewTexture(b)
+	d.MustLaunch(LaunchConfig{Name: "texprof", Grid: Dim(1), Block: Dim(4)}, func(c *Ctx) {
+		var cache TexCache
+		for i := 0; i < 32; i++ {
+			tex.Fetch(c, &cache, i)
+		}
+	})
+	ks := d.Profiler().Kernel("texprof")
+	if ks.TexFetches != 4*32 {
+		t.Errorf("tex fetches = %d, want 128", ks.TexFetches)
+	}
+	if ks.TexMisses == 0 || ks.TexMisses >= ks.TexFetches {
+		t.Errorf("tex misses = %d of %d, expected some but not all", ks.TexMisses, ks.TexFetches)
+	}
+}
+
+// TestStreamsOverlapAccounting: two equal kernels on two streams must
+// advance the device clock by roughly one kernel's duration after Join,
+// not two.
+func TestStreamsOverlapAccounting(t *testing.T) {
+	work := func(c *Ctx) { c.ChargeArith(100000) }
+	cfg := LaunchConfig{Name: "w", Grid: Dim(2), Block: Dim(64)}
+
+	serial := testDevice()
+	serial.MustLaunch(cfg, work)
+	serial.MustLaunch(cfg, work)
+	serialTime := serial.SimTime()
+
+	overlapped := testDevice()
+	s1, s2 := overlapped.NewStream(), overlapped.NewStream()
+	if err := s1.Launch(cfg, work); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Launch(cfg, work); err != nil {
+		t.Fatal(err)
+	}
+	if overlapped.SimTime() > serialTime/4 {
+		t.Errorf("stream launches advanced the device clock prematurely: %g", overlapped.SimTime())
+	}
+	if s1.SimTime() <= 0 || s2.SimTime() <= 0 {
+		t.Fatal("stream timelines empty")
+	}
+	overlapped.Join(s1, s2)
+	joined := overlapped.SimTime()
+	if joined <= serialTime*0.4 || joined >= serialTime*0.75 {
+		t.Errorf("overlapped time = %g, want ≈ half of serial %g", joined, serialTime)
+	}
+	if s1.SimTime() != 0 || s2.SimTime() != 0 {
+		t.Error("Join did not reset the stream timelines")
+	}
+}
+
+// TestStreamExecutionStillRuns: stream launches must actually execute the
+// kernel (they only change accounting).
+func TestStreamExecutionStillRuns(t *testing.T) {
+	d := testDevice()
+	s := d.NewStream()
+	var ran int32
+	if err := s.Launch(LaunchConfig{Name: "r", Grid: Dim(1), Block: Dim(8)}, func(c *Ctx) {
+		atomic.AddInt32(&ran, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 8 {
+		t.Errorf("stream kernel ran %d threads, want 8", ran)
+	}
+}
+
+func TestTraceTimeline(t *testing.T) {
+	d := testDevice().EnableTrace()
+	b := NewBufferFrom(d, make([]int64, 128)) // one H2D event
+	d.MustLaunch(LaunchConfig{Name: "alpha", Grid: Dim(2), Block: Dim(32)}, func(c *Ctx) {
+		c.ChargeArith(1000)
+	})
+	d.MustLaunch(LaunchConfig{Name: "beta", Grid: Dim(1), Block: Dim(32)}, func(c *Ctx) {
+		c.ChargeArith(1000)
+	})
+	b.CopyToHost(make([]int64, 128)) // one D2H event
+	events := d.TraceEvents()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	// Events are ordered and non-overlapping on the simulated timeline.
+	for i := 1; i < len(events); i++ {
+		prevEnd := events[i-1].Ts + events[i-1].Dur
+		if events[i].Ts < prevEnd-1e-9 {
+			t.Errorf("event %d (%s) starts at %v before previous ends %v",
+				i, events[i].Name, events[i].Ts, prevEnd)
+		}
+	}
+	names := map[string]bool{}
+	for _, e := range events {
+		names[e.Name] = true
+		if e.Ph != "X" || e.Dur <= 0 {
+			t.Errorf("malformed event %+v", e)
+		}
+	}
+	for _, want := range []string{"alpha", "beta", "memcpy"} {
+		if !names[want] {
+			t.Errorf("missing event %q", want)
+		}
+	}
+	var buf strings.Builder
+	if err := d.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []TraceEvent
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(back) != 4 {
+		t.Errorf("roundtrip lost events: %d", len(back))
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	d := testDevice()
+	d.MustLaunch(LaunchConfig{Name: "x", Grid: Dim(1), Block: Dim(1)}, func(c *Ctx) {})
+	if got := d.TraceEvents(); got != nil {
+		t.Errorf("tracing recorded %d events without EnableTrace", len(got))
+	}
+}

@@ -1,0 +1,151 @@
+package cudasim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// counters are the per-thread event tallies folded up into kernel stats.
+type counters struct {
+	globalAccesses uint64
+	sharedAccesses uint64
+	constReads     uint64
+	atomics        uint64
+	texFetches     uint64
+	texMisses      uint64
+}
+
+func (a *counters) add(b *counters) {
+	a.globalAccesses += b.globalAccesses
+	a.sharedAccesses += b.sharedAccesses
+	a.constReads += b.constReads
+	a.atomics += b.atomics
+	a.texFetches += b.texFetches
+	a.texMisses += b.texMisses
+}
+
+// KernelStats aggregates all launches of one kernel name.
+type KernelStats struct {
+	Launches       int
+	Blocks         int
+	Threads        int
+	ComputeCycles  uint64
+	MemoryCycles   uint64
+	GlobalAccesses uint64
+	SharedAccesses uint64
+	ConstReads     uint64
+	Atomics        uint64
+	TexFetches     uint64
+	TexMisses      uint64
+	SimSeconds     float64
+}
+
+// TransferStats aggregates host↔device copies in one direction.
+type TransferStats struct {
+	Count      int
+	Bytes      int64
+	SimSeconds float64
+}
+
+// Profiler plays the role of the Nvidia CUDA profiler the paper used to
+// tune performance and memory usage: it tallies, per kernel, the launch
+// count, cycle classes, and memory traffic, plus PCIe transfer volume.
+type Profiler struct {
+	mu       sync.Mutex
+	kernels  map[string]*KernelStats
+	h2d, d2h TransferStats
+}
+
+func newProfiler() *Profiler {
+	return &Profiler{kernels: make(map[string]*KernelStats)}
+}
+
+func (p *Profiler) recordKernel(cfg LaunchConfig, blocks []blockCost, seconds float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ks := p.kernels[cfg.Name]
+	if ks == nil {
+		ks = &KernelStats{}
+		p.kernels[cfg.Name] = ks
+	}
+	ks.Launches++
+	ks.Blocks += len(blocks)
+	ks.Threads += len(blocks) * cfg.Block.Count()
+	for _, bc := range blocks {
+		ks.ComputeCycles += bc.compute
+		ks.MemoryCycles += bc.memory
+		ks.GlobalAccesses += bc.counters.globalAccesses
+		ks.SharedAccesses += bc.counters.sharedAccesses
+		ks.ConstReads += bc.counters.constReads
+		ks.Atomics += bc.counters.atomics
+		ks.TexFetches += bc.counters.texFetches
+		ks.TexMisses += bc.counters.texMisses
+	}
+	ks.SimSeconds += seconds
+}
+
+func (p *Profiler) recordTransfer(bytes int, seconds float64, toDevice bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := &p.d2h
+	if toDevice {
+		t = &p.h2d
+	}
+	t.Count++
+	t.Bytes += int64(bytes)
+	t.SimSeconds += seconds
+}
+
+// Kernel returns a copy of the stats for one kernel name (zero value if
+// never launched).
+func (p *Profiler) Kernel(name string) KernelStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ks := p.kernels[name]; ks != nil {
+		return *ks
+	}
+	return KernelStats{}
+}
+
+// Transfers returns copies of the host-to-device and device-to-host
+// transfer stats.
+func (p *Profiler) Transfers() (h2d, d2h TransferStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.h2d, p.d2h
+}
+
+// Reset clears all statistics.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.kernels = make(map[string]*KernelStats)
+	p.h2d, p.d2h = TransferStats{}, TransferStats{}
+}
+
+// Report renders a human-readable profile, one row per kernel plus the
+// transfer summary — the simulator's answer to `nvprof`.
+func (p *Profiler) Report() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.kernels))
+	for name := range p.kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %10s %12s %12s %10s %8s %10s\n",
+		"kernel", "launches", "threads", "sim ms", "compute cyc", "memory cyc", "global", "shared", "atomics")
+	for _, name := range names {
+		ks := p.kernels[name]
+		fmt.Fprintf(&b, "%-12s %8d %8d %10.3f %12d %12d %10d %8d %10d\n",
+			name, ks.Launches, ks.Threads, ks.SimSeconds*1e3,
+			ks.ComputeCycles, ks.MemoryCycles,
+			ks.GlobalAccesses, ks.SharedAccesses, ks.Atomics)
+	}
+	fmt.Fprintf(&b, "H2D: %d copies, %d bytes, %.3f ms\n", p.h2d.Count, p.h2d.Bytes, p.h2d.SimSeconds*1e3)
+	fmt.Fprintf(&b, "D2H: %d copies, %d bytes, %.3f ms\n", p.d2h.Count, p.d2h.Bytes, p.d2h.SimSeconds*1e3)
+	return b.String()
+}

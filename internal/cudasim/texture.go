@@ -1,0 +1,84 @@
+package cudasim
+
+// Texture memory. The paper's conclusion lists "utilization of the
+// texture memory of the GPU to make use of its spatial cache" as future
+// work; this file implements that extension for the simulator. A texture
+// is a read-only snapshot of device data fetched through a small
+// spatially-indexed cache: fetches that hit the neighbourhood of a recent
+// fetch cost close to a register read, while cache misses pay a reduced
+// global-memory latency (the texture path has its own cache hierarchy).
+// The GPUSA pipeline exposes a TextureMemory option and
+// BenchmarkAblationTexture measures the effect.
+
+// Texture cost model constants.
+const (
+	// TexLineElems is the granularity of the texture cache in elements.
+	TexLineElems = 16
+	// CyclesTexHit is a fetch served by the texture cache.
+	CyclesTexHit = 4
+	// CyclesTexMiss is a fetch that misses to device memory through the
+	// texture path.
+	CyclesTexMiss = 100
+	// texCacheLines is the per-thread modelled texture-cache capacity in
+	// lines (tiny, as on real hardware where the per-SM texture cache is
+	// shared by many threads).
+	texCacheLines = 4
+)
+
+// Texture is a read-only texture binding of a data snapshot.
+type Texture[T any] struct {
+	data []T
+}
+
+// NewTexture binds a texture over a copy of the buffer's current
+// contents (cudaBindTexture semantics: the texture sees the data as of
+// binding time; later buffer writes are not reflected).
+func NewTexture[T any](b *Buffer[T]) *Texture[T] {
+	t := &Texture[T]{data: make([]T, len(b.data))}
+	copy(t.data, b.data)
+	return t
+}
+
+// Len returns the element count of the texture.
+func (t *Texture[T]) Len() int { return len(t.data) }
+
+// TexCache is the per-thread texture-cache model state. Allocate one per
+// simulated thread (it models the thread's view of the SM texture cache)
+// and pass it to Fetch.
+type TexCache struct {
+	lines [texCacheLines]int
+	next  int
+	init  bool
+}
+
+// Reset invalidates the cache (e.g. between kernels).
+func (c *TexCache) Reset() { *c = TexCache{} }
+
+// Fetch reads element i through the texture cache, charging the thread
+// according to spatial locality.
+func (t *Texture[T]) Fetch(ctx *Ctx, cache *TexCache, i int) T {
+	line := i / TexLineElems
+	if !cache.init {
+		for k := range cache.lines {
+			cache.lines[k] = -1
+		}
+		cache.init = true
+	}
+	hit := false
+	for _, l := range cache.lines {
+		if l == line {
+			hit = true
+			break
+		}
+	}
+	if hit {
+		ctx.computeCycles += CyclesTexHit
+	} else {
+		ctx.memCycles += CyclesTexMiss
+		ctx.counts.texMisses++
+		cache.lines[cache.next] = line
+		cache.next = (cache.next + 1) % texCacheLines
+	}
+	ctx.counts.texFetches++
+	return t.data[i]
+}

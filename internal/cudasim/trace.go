@@ -1,0 +1,93 @@
+package cudasim
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Tracing records every kernel launch and host↔device transfer on the
+// simulated timeline and exports them in the Chrome trace-event format
+// (load into chrome://tracing or Perfetto) — the timeline view the Nvidia
+// profiler offers for real devices. Enable with Device.EnableTrace before
+// launching work; events carry simulated timestamps.
+
+// TraceEvent is one complete event ("ph":"X") on the simulated timeline.
+type TraceEvent struct {
+	// Name is the kernel or transfer label.
+	Name string `json:"name"`
+	// Cat groups events: "kernel", "h2d", "d2h".
+	Cat string `json:"cat"`
+	// Ph is the Chrome trace phase; always "X" (complete event).
+	Ph string `json:"ph"`
+	// Ts is the start timestamp in microseconds of simulated time.
+	Ts float64 `json:"ts"`
+	// Dur is the duration in microseconds of simulated time.
+	Dur float64 `json:"dur"`
+	// Pid and Tid place the event on a track; the device is pid 0 and
+	// kernels/copies are separated by tid.
+	Pid int `json:"pid"`
+	Tid int `json:"tid"`
+}
+
+// tracer accumulates events; nil when tracing is disabled.
+type tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// EnableTrace turns on timeline recording for all subsequent launches and
+// transfers. Returns the device for chaining.
+func (d *Device) EnableTrace() *Device {
+	d.mu.Lock()
+	if d.trace == nil {
+		d.trace = &tracer{}
+	}
+	d.mu.Unlock()
+	return d
+}
+
+// TraceEvents returns a copy of the recorded events (empty when tracing
+// was never enabled).
+func (d *Device) TraceEvents() []TraceEvent {
+	d.mu.Lock()
+	tr := d.trace
+	d.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]TraceEvent, len(tr.events))
+	copy(out, tr.events)
+	return out
+}
+
+// WriteTrace serializes the timeline as a Chrome trace-event JSON array.
+func (d *Device) WriteTrace(w io.Writer) error {
+	events := d.TraceEvents()
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// recordTraceEvent appends one event if tracing is enabled. start and dur
+// are simulated seconds.
+func (d *Device) recordTraceEvent(name, cat string, start, dur float64, tid int) {
+	d.mu.Lock()
+	tr := d.trace
+	d.mu.Unlock()
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.events = append(tr.events, TraceEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "X",
+		Ts:   start * 1e6,
+		Dur:  dur * 1e6,
+		Pid:  0,
+		Tid:  tid,
+	})
+	tr.mu.Unlock()
+}

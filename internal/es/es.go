@@ -1,0 +1,140 @@
+// Package es implements a (μ+λ) Evolution Strategy on job permutations,
+// the second member of the Feldmann–Biskup [18] metaheuristic family used
+// as a CPU comparator in this repository's speedup experiments. Each
+// generation creates λ offspring by mutating uniformly chosen parents
+// (partial shuffle or swap) and keeps the best μ of parents ∪ offspring.
+package es
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/xrand"
+)
+
+// DefaultConfig returns (16+48)-ES parameters with the paper's
+// perturbation size as the mutation strength.
+func DefaultConfig() Config {
+	return Config{
+		Generations: 250,
+		Mu:          16,
+		Lambda:      48,
+		Pert:        4,
+		SwapProb:    0.5,
+	}
+}
+
+// Config are the ES parameters.
+type Config struct {
+	// Generations is the number of selection rounds.
+	Generations int
+	// Mu is the parent population size.
+	Mu int
+	// Lambda is the offspring count per generation.
+	Lambda int
+	// Pert is the partial-shuffle mutation size.
+	Pert int
+	// SwapProb is the probability that a mutation is a plain swap instead
+	// of a partial shuffle (mixing the two keeps small moves available).
+	SwapProb float64
+}
+
+func (c Config) normalized(n int) Config {
+	d := DefaultConfig()
+	if c.Generations <= 0 {
+		c.Generations = d.Generations
+	}
+	if c.Mu <= 0 {
+		c.Mu = d.Mu
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = d.Lambda
+	}
+	if c.Pert <= 0 {
+		c.Pert = d.Pert
+	}
+	if c.Pert > n {
+		c.Pert = n
+	}
+	if c.SwapProb < 0 || c.SwapProb > 1 {
+		c.SwapProb = d.SwapProb
+	}
+	return c
+}
+
+type individual struct {
+	seq  []int
+	cost int64
+}
+
+// Strategy is a (μ+λ) evolution strategy bound to one instance.
+type Strategy struct {
+	cfg   Config
+	eval  core.Evaluator
+	rng   *xrand.XORWOW
+	ops   *perm.Ops
+	pop   []individual // parents ∪ offspring, parents in pop[:Mu]
+	evals int64
+}
+
+// New creates and evaluates the initial random population.
+func New(cfg Config, eval core.Evaluator, rng *xrand.XORWOW) *Strategy {
+	n := eval.Instance().N()
+	cfg = cfg.normalized(n)
+	s := &Strategy{cfg: cfg, eval: eval, rng: rng, ops: perm.NewOps(n)}
+	s.pop = make([]individual, cfg.Mu+cfg.Lambda)
+	for i := range s.pop {
+		s.pop[i].seq = make([]int, n)
+	}
+	for i := 0; i < cfg.Mu; i++ {
+		copy(s.pop[i].seq, perm.Random(rng, n))
+		s.pop[i].cost = eval.Cost(s.pop[i].seq)
+		s.evals++
+	}
+	s.sortParents()
+	return s
+}
+
+func (s *Strategy) sortParents() {
+	sort.SliceStable(s.pop[:s.cfg.Mu], func(a, b int) bool {
+		return s.pop[a].cost < s.pop[b].cost
+	})
+}
+
+// Step runs one generation and returns the best cost after selection.
+func (s *Strategy) Step() int64 {
+	mu, lambda := s.cfg.Mu, s.cfg.Lambda
+	for i := 0; i < lambda; i++ {
+		parent := &s.pop[s.rng.Intn(mu)]
+		child := &s.pop[mu+i]
+		copy(child.seq, parent.seq)
+		if s.rng.Float64() < s.cfg.SwapProb {
+			perm.Swap(s.rng, child.seq)
+		} else {
+			s.ops.PartialShuffle(s.rng, child.seq, s.cfg.Pert)
+		}
+		child.cost = s.eval.Cost(child.seq)
+		s.evals++
+	}
+	// (μ+λ) selection: best μ of the whole pool become the new parents.
+	sort.SliceStable(s.pop, func(a, b int) bool {
+		return s.pop[a].cost < s.pop[b].cost
+	})
+	return s.pop[0].cost
+}
+
+// Run executes the configured generations and returns the best cost.
+func (s *Strategy) Run() int64 {
+	best := s.pop[0].cost
+	for g := 0; g < s.cfg.Generations; g++ {
+		best = s.Step()
+	}
+	return best
+}
+
+// Best returns the best sequence (borrowed) and its cost.
+func (s *Strategy) Best() ([]int, int64) { return s.pop[0].seq, s.pop[0].cost }
+
+// Evaluations returns the number of fitness evaluations performed.
+func (s *Strategy) Evaluations() int64 { return s.evals }

@@ -1,0 +1,104 @@
+package es
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/problem"
+	"repro/internal/xrand"
+)
+
+func randomCDD(rng *rand.Rand, n int) *problem.Instance {
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(20)
+		alpha[i] = 1 + rng.Intn(10)
+		beta[i] = 1 + rng.Intn(15)
+		sum += int64(p[i])
+	}
+	in, err := problem.NewCDD("t", p, alpha, beta, int64(float64(sum)*0.6))
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestBestMonotoneUnderPlusSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := randomCDD(rng, 20)
+	eval := core.NewEvaluator(in)
+	s := New(DefaultConfig(), eval, xrand.New(1))
+	_, prev := s.Best()
+	for g := 0; g < 60; g++ {
+		s.Step()
+		_, cur := s.Best()
+		if cur > prev {
+			t.Fatalf("(μ+λ) selection lost the best: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestImprovesOverRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 4; trial++ {
+		in := randomCDD(rng, 25)
+		eval := core.NewEvaluator(in)
+		xr := xrand.New(uint64(trial + 10))
+		_, randCost := core.RandomSolution(eval, xr)
+		cfg := DefaultConfig()
+		cfg.Generations = 100
+		best := New(cfg, eval, xr).Run()
+		if best > randCost {
+			t.Errorf("trial %d: ES best %d worse than random %d", trial, best, randCost)
+		}
+	}
+}
+
+func TestPopulationStaysPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomCDD(rng, 12)
+	eval := core.NewEvaluator(in)
+	s := New(DefaultConfig(), eval, xrand.New(5))
+	for g := 0; g < 30; g++ {
+		s.Step()
+	}
+	for i := 0; i < s.cfg.Mu; i++ {
+		if !problem.IsPermutation(s.pop[i].seq) {
+			t.Fatalf("parent %d is not a permutation: %v", i, s.pop[i].seq)
+		}
+		if got := eval.Cost(s.pop[i].seq); got != s.pop[i].cost {
+			t.Fatalf("parent %d cached cost %d != %d", i, s.pop[i].cost, got)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := randomCDD(rng, 18)
+	run := func() int64 {
+		eval := core.NewEvaluator(in)
+		cfg := DefaultConfig()
+		cfg.Generations = 50
+		return New(cfg, eval, xrand.New(77)).Run()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed differs: %d vs %d", a, b)
+	}
+}
+
+func TestEvaluationAccounting(t *testing.T) {
+	in := problem.PaperExample(problem.CDD)
+	eval := core.NewEvaluator(in)
+	cfg := DefaultConfig()
+	cfg.Mu, cfg.Lambda, cfg.Generations = 4, 12, 10
+	s := New(cfg, eval, xrand.New(8))
+	s.Run()
+	if got := s.Evaluations(); got != 4+12*10 {
+		t.Errorf("evaluations = %d, want 124", got)
+	}
+}

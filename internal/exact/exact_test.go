@@ -1,0 +1,186 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/problem"
+	"repro/internal/sa"
+)
+
+func randomUnrestrictedCDD(rng *rand.Rand, n int) *problem.Instance {
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(15)
+		alpha[i] = 1 + rng.Intn(10)
+		beta[i] = 1 + rng.Intn(15)
+		sum += int64(p[i])
+	}
+	d := sum + int64(rng.Intn(20))
+	in, err := problem.NewCDD("u", p, alpha, beta, d)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func randomRestrictiveCDD(rng *rand.Rand, n int) *problem.Instance {
+	in := randomUnrestrictedCDD(rng, n)
+	in.D = int64(float64(in.SumP()) * (0.2 + 0.6*rng.Float64()))
+	return in
+}
+
+// TestPaperExampleExact: the global optimum of the Table I CDD instance
+// over all 120 sequences is 81 (the identity sequence is optimal).
+func TestPaperExampleExact(t *testing.T) {
+	res, err := Brute(problem.PaperExample(problem.CDD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 81 {
+		t.Errorf("brute optimum = %d, want 81", res.Cost)
+	}
+	if res.Nodes != 120 {
+		t.Errorf("nodes = %d, want 120", res.Nodes)
+	}
+	resU, err := Brute(problem.PaperExample(problem.UCDDCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resU.Cost != 77 {
+		t.Errorf("UCDDCP brute optimum = %d, want 77", resU.Cost)
+	}
+}
+
+// TestSubsetMatchesBrute is the V-shape dominance check: on random
+// unrestricted instances the partition enumeration must match full
+// permutation enumeration exactly.
+func TestSubsetMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(7)
+		in := randomUnrestrictedCDD(rng, n)
+		sub, err := SubsetCDD(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := Brute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Cost != brute.Cost {
+			t.Fatalf("trial %d (n=%d, d=%d): subset %d != brute %d\njobs=%+v",
+				trial, n, in.D, sub.Cost, brute.Cost, in.Jobs)
+		}
+	}
+}
+
+// TestSubsetTiesWithZeroWeights exercises α = 0 / β = 0 corner cases of
+// the ratio orderings.
+func TestSubsetTiesWithZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(6)
+		in := randomUnrestrictedCDD(rng, n)
+		// Zero out some weights.
+		for i := range in.Jobs {
+			if rng.Intn(3) == 0 {
+				in.Jobs[i].Alpha = 0
+			}
+			if rng.Intn(3) == 0 {
+				in.Jobs[i].Beta = 0
+			}
+		}
+		sub, err := SubsetCDD(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := Brute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Cost != brute.Cost {
+			t.Fatalf("trial %d: subset %d != brute %d (zero-weight case)\njobs=%+v d=%d",
+				trial, sub.Cost, brute.Cost, in.Jobs, in.D)
+		}
+	}
+}
+
+func TestGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	big := randomUnrestrictedCDD(rng, MaxBruteN+1)
+	if _, err := Brute(big); err == nil {
+		t.Error("brute accepted oversized instance")
+	}
+	huge := randomUnrestrictedCDD(rng, MaxSubsetN+1)
+	if _, err := SubsetCDD(huge); err == nil {
+		t.Error("subset accepted oversized instance")
+	}
+	restr := randomRestrictiveCDD(rng, 6)
+	if _, err := SubsetCDD(restr); err == nil {
+		t.Error("subset accepted a restrictive instance")
+	}
+	ucd := problem.PaperExample(problem.UCDDCP)
+	if _, err := SubsetCDD(ucd); err == nil {
+		t.Error("subset accepted a controllable instance")
+	}
+}
+
+func TestSolveDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// Unrestricted n=12: must route to the subset method (brute would
+	// error at this size).
+	in := randomUnrestrictedCDD(rng, 12)
+	res, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !problem.IsPermutation(res.Seq) {
+		t.Error("optimal sequence is not a permutation")
+	}
+	eval := core.NewEvaluator(in)
+	if got := eval.Cost(res.Seq); got != res.Cost {
+		t.Errorf("optimum %d but sequence evaluates to %d", res.Cost, got)
+	}
+	// Restrictive n=8: routes to brute.
+	in2 := randomRestrictiveCDD(rng, 8)
+	res2, err := Solve(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Nodes != 40320 {
+		t.Errorf("expected brute enumeration (8! nodes), got %d", res2.Nodes)
+	}
+}
+
+// TestSAReachesExactOptimum is the integration oracle: the parallel SA
+// ensemble must hit the exact optimum on small instances.
+func TestSAReachesExactOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		in := randomUnrestrictedCDD(rng, 8)
+		opt, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sa.DefaultConfig()
+		cfg.Iterations = 400
+		cfg.TempSamples = 200
+		res := (&parallel.AsyncSA{
+			Inst: in, SA: cfg,
+			Ens:      parallel.Ensemble{Chains: 16, Seed: uint64(trial)},
+			Parallel: true,
+		}).Solve()
+		if res.BestCost < opt.Cost {
+			t.Fatalf("trial %d: SA %d beats the exact optimum %d — a solver bug", trial, res.BestCost, opt.Cost)
+		}
+		if res.BestCost != opt.Cost {
+			t.Errorf("trial %d: SA %d missed the exact optimum %d on n=8", trial, res.BestCost, opt.Cost)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Check is one qualitative assertion from the paper's findings, evaluated
+// against a sweep. EXPERIMENTS.md records these for the shipped runs and
+// TestShapeChecks enforces the critical ones.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// ShapeChecks evaluates the paper's qualitative claims on the sweep:
+//
+//  1. DPSO's quality degrades with instance size much faster than SA's —
+//     at the largest size DPSO_low is several times worse than SA_low.
+//  2. SA_high dominates SA_low in quality at the largest size.
+//  3. The high-iteration variants cost roughly 5× (budget ratio) the
+//     simulated runtime of the low-iteration variants.
+//  4. SA is faster than DPSO at equal iteration budgets.
+//  5. The simulated-device speedup over the serial CPU reference grows
+//     from the smallest to the largest size.
+func (sw *Sweep) ShapeChecks() []Check {
+	var checks []Check
+	last := sw.Rows[len(sw.Rows)-1]
+	first := sw.Rows[0]
+	budgetRatio := float64(sw.Preset.ItersHigh) / float64(sw.Preset.ItersLow)
+
+	gapFirst := first.MeanPctDev["DPSO_low"] - first.MeanPctDev["SA_low"]
+	gapLast := last.MeanPctDev["DPSO_low"] - last.MeanPctDev["SA_low"]
+	dpsoWorse := gapLast > gapFirst && gapLast > 0
+	checks = append(checks, Check{
+		Name: "DPSO degrades at scale",
+		Pass: dpsoWorse,
+		Detail: fmt.Sprintf("DPSO_low−SA_low gap: n=%d → %.3f%%, n=%d → %.3f%%",
+			first.Size, gapFirst, last.Size, gapLast),
+	})
+
+	saHighBetter := last.MeanPctDev["SA_high"] <= last.MeanPctDev["SA_low"]
+	checks = append(checks, Check{
+		Name: "more iterations help SA",
+		Pass: saHighBetter,
+		Detail: fmt.Sprintf("n=%d: SA_high %.3f%% vs SA_low %.3f%%",
+			last.Size, last.MeanPctDev["SA_high"], last.MeanPctDev["SA_low"]),
+	})
+
+	ratio := last.MeanSim["SA_high"] / last.MeanSim["SA_low"]
+	ratioOK := ratio > budgetRatio*0.6 && ratio < budgetRatio*1.7
+	checks = append(checks, Check{
+		Name: "runtime scales with iterations",
+		Pass: ratioOK,
+		Detail: fmt.Sprintf("n=%d: sim(SA_high)/sim(SA_low) = %.2f (budget ratio %.1f)",
+			last.Size, ratio, budgetRatio),
+	})
+
+	saFaster := last.MeanSim["SA_low"] <= last.MeanSim["DPSO_low"]*1.05
+	checks = append(checks, Check{
+		Name: "SA at least as fast as DPSO",
+		Pass: saFaster,
+		Detail: fmt.Sprintf("n=%d: sim(SA_low) %.4fs vs sim(DPSO_low) %.4fs",
+			last.Size, last.MeanSim["SA_low"], last.MeanSim["DPSO_low"]),
+	})
+
+	growth := last.SpeedupSim7["SA_low"] > first.SpeedupSim7["SA_low"]
+	checks = append(checks, Check{
+		Name: "speedup grows with size",
+		Pass: growth,
+		Detail: fmt.Sprintf("model speedup SA_low: n=%d → %.1f, n=%d → %.1f",
+			first.Size, first.SpeedupSim7["SA_low"], last.Size, last.SpeedupSim7["SA_low"]),
+	})
+	return checks
+}
+
+// RenderChecks formats checks for reports.
+func RenderChecks(checks []Check) string {
+	var b strings.Builder
+	for _, c := range checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %-32s %s\n", status, c.Name, c.Detail)
+	}
+	return b.String()
+}

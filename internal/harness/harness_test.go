@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/problem"
+)
+
+// quickSweep runs the tiny preset once per kind and is shared by the
+// structural tests below.
+func quickSweep(t *testing.T, kind problem.Kind) *Sweep {
+	t.Helper()
+	sw, err := RunSweep(Quick(), kind, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestSweepStructureCDD(t *testing.T) {
+	sw := quickSweep(t, problem.CDD)
+	p := Quick()
+	if len(sw.Rows) != len(p.Sizes) {
+		t.Fatalf("rows = %d, want %d", len(sw.Rows), len(p.Sizes))
+	}
+	wantInstances := len(p.Sizes) * p.Records * 4 // ×4 h factors
+	if len(sw.Instances) != wantInstances {
+		t.Fatalf("instances = %d, want %d", len(sw.Instances), wantInstances)
+	}
+	for _, row := range sw.Rows {
+		for _, algo := range AlgoNames {
+			if _, ok := row.MeanPctDev[algo]; !ok {
+				t.Fatalf("size %d missing algo %s", row.Size, algo)
+			}
+			if row.MeanSim[algo] <= 0 {
+				t.Errorf("size %d algo %s has no simulated time", row.Size, algo)
+			}
+		}
+		if row.RefWall7 <= 0 || row.RefWall18 <= 0 {
+			t.Errorf("size %d missing reference times", row.Size)
+		}
+	}
+}
+
+func TestSweepStructureUCDDCP(t *testing.T) {
+	sw := quickSweep(t, problem.UCDDCP)
+	p := Quick()
+	if len(sw.Instances) != len(p.Sizes)*p.Records {
+		t.Fatalf("instances = %d, want %d", len(sw.Instances), len(p.Sizes)*p.Records)
+	}
+	// Quality sanity: the GPU SA_high ensemble should stay within a loose
+	// band of the CPU reference even in the quick preset.
+	for _, row := range sw.Rows {
+		if dev := row.MeanPctDev["SA_high"]; dev > 25 {
+			t.Errorf("size %d: SA_high %%Δ = %.2f, implausibly bad", row.Size, dev)
+		}
+	}
+}
+
+func TestRenderersNonEmpty(t *testing.T) {
+	sw := quickSweep(t, problem.CDD)
+	dev := sw.DeviationTable()
+	if !strings.Contains(dev, "TABLE II") || !strings.Contains(dev, "SA_high") {
+		t.Errorf("deviation table malformed:\n%s", dev)
+	}
+	sp := sw.SpeedupTable()
+	if !strings.Contains(sp, "TABLE III") || !strings.Contains(sp, "[7]") {
+		t.Errorf("speedup table malformed:\n%s", sp)
+	}
+	rt := sw.RuntimeTable()
+	if !strings.Contains(rt, "FIGURE 14") {
+		t.Errorf("runtime table malformed:\n%s", rt)
+	}
+	for name, csv := range map[string]string{
+		"DeviationCSV": sw.DeviationCSV(),
+		"SpeedupCSV":   sw.SpeedupCSV(),
+		"RuntimeCSV":   sw.RuntimeCSV(),
+	} {
+		lines := strings.Count(csv, "\n")
+		if lines < 3 {
+			t.Errorf("%s has only %d lines", name, lines)
+		}
+	}
+	checks := sw.ShapeChecks()
+	if len(checks) != 5 {
+		t.Errorf("got %d shape checks, want 5", len(checks))
+	}
+	rendered := RenderChecks(checks)
+	if !strings.Contains(rendered, "DPSO degrades") {
+		t.Errorf("checks rendering malformed:\n%s", rendered)
+	}
+}
+
+func TestUCDDCPTablesUseOwnTitles(t *testing.T) {
+	sw := quickSweep(t, problem.UCDDCP)
+	if !strings.Contains(sw.DeviationTable(), "TABLE IV") {
+		t.Error("UCDDCP deviation table should be Table IV")
+	}
+	if !strings.Contains(sw.SpeedupTable(), "TABLE V") {
+		t.Error("UCDDCP speedup table should be Table V")
+	}
+	if !strings.Contains(sw.RuntimeTable(), "FIGURE 16") {
+		t.Error("UCDDCP runtime table should be Figure 16")
+	}
+}
+
+func TestFigure11SmallSurface(t *testing.T) {
+	cfg := Fig11Config{
+		Size:        20,
+		Block:       16,
+		Threads:     []int{16, 64},
+		Generations: []int{20, 80},
+		TempSamples: 50,
+	}
+	points, err := Figure11(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	byKey := map[[2]int]Fig11Point{}
+	for _, p := range points {
+		byKey[[2]int{p.Threads, p.Generations}] = p
+		if p.SimSeconds <= 0 {
+			t.Errorf("point %+v has no simulated time", p)
+		}
+	}
+	// Figure 11 shape: both axes increase the simulated runtime.
+	if !(byKey[[2]int{16, 80}].SimSeconds > byKey[[2]int{16, 20}].SimSeconds) {
+		t.Error("more generations did not increase sim time")
+	}
+	if !(byKey[[2]int{64, 20}].SimSeconds > byKey[[2]int{16, 20}].SimSeconds) {
+		t.Error("more threads did not increase sim time")
+	}
+	csv := Fig11CSV(points)
+	if strings.Count(csv, "\n") != 5 {
+		t.Errorf("CSV malformed:\n%s", csv)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	full := Full()
+	if full.Grid != 4 || full.Block != 192 {
+		t.Errorf("full preset geometry %dx%d, paper uses 4x192", full.Grid, full.Block)
+	}
+	if full.ItersLow != 1000 || full.ItersHigh != 5000 {
+		t.Errorf("full preset iterations %d/%d, paper uses 1000/5000", full.ItersLow, full.ItersHigh)
+	}
+	if full.Ensemble() != 768 {
+		t.Errorf("full ensemble = %d, paper uses 768", full.Ensemble())
+	}
+	if got := ByName("full").Name; got != "full" {
+		t.Errorf("ByName(full) = %s", got)
+	}
+	if got := ByName("nonsense").Name; got != "scaled" {
+		t.Errorf("ByName fallback = %s, want scaled", got)
+	}
+	if len(full.Sizes) != 7 || full.Sizes[6] != 1000 {
+		t.Errorf("full sizes = %v", full.Sizes)
+	}
+}
+
+func TestCompareStrategies(t *testing.T) {
+	rows, err := CompareStrategies(Quick(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Quick().Sizes) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Quick().Sizes))
+	}
+	out := RenderStrategies(rows)
+	if !strings.Contains(out, "STRATEGY COMPARISON") || !strings.Contains(out, "async") {
+		t.Errorf("rendering malformed:\n%s", out)
+	}
+}
+
+func TestSweepJSONRoundtrip(t *testing.T) {
+	sw := quickSweep(t, problem.CDD)
+	var buf bytes.Buffer
+	if err := sw.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSweepJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != sw.Kind || len(back.Rows) != len(sw.Rows) || len(back.Instances) != len(sw.Instances) {
+		t.Fatalf("roundtrip lost structure: %+v", back)
+	}
+	for i, row := range sw.Rows {
+		for _, algo := range AlgoNames {
+			if back.Rows[i].MeanPctDev[algo] != row.MeanPctDev[algo] {
+				t.Fatalf("size %d algo %s: %v != %v", row.Size, algo,
+					back.Rows[i].MeanPctDev[algo], row.MeanPctDev[algo])
+			}
+		}
+	}
+	// The archive is enough to re-render every table.
+	if !strings.Contains(back.DeviationTable(), "TABLE II") {
+		t.Error("re-rendering from archive failed")
+	}
+}
+
+func TestReadSweepJSONRejects(t *testing.T) {
+	if _, err := ReadSweepJSON(strings.NewReader(`{"kind":"WAT","rows":[{}]}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadSweepJSON(strings.NewReader(`{"kind":"CDD","rows":[]}`)); err == nil {
+		t.Error("empty archive accepted")
+	}
+	if _, err := ReadSweepJSON(strings.NewReader(`garbage`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCompareSweeps(t *testing.T) {
+	a := quickSweep(t, problem.CDD)
+	lines, err := CompareSweeps(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(a.Rows)*len(AlgoNames) {
+		t.Errorf("got %d diff lines, want %d", len(lines), len(a.Rows)*len(AlgoNames))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "+0.000") {
+			t.Errorf("self-diff not zero: %s", l)
+		}
+	}
+	b := quickSweep(t, problem.UCDDCP)
+	if _, err := CompareSweeps(a, b); err == nil {
+		t.Error("cross-kind comparison accepted")
+	}
+}

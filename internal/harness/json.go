@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/problem"
+)
+
+// Result archives: a Sweep (preset, per-instance measurements and
+// per-size aggregates) serializes to JSON so full experiment runs can be
+// stored next to the CSVs and reloaded for later analysis or regression
+// comparison against a newer run.
+
+// sweepJSON is the wire form; Kind is a string for self-description.
+type sweepJSON struct {
+	Preset    Preset           `json:"preset"`
+	Kind      string           `json:"kind"`
+	Instances []InstanceResult `json:"instances"`
+	Rows      []SizeRow        `json:"rows"`
+	ElapsedMS float64          `json:"elapsedMs"`
+}
+
+// WriteJSON serializes the sweep to w.
+func (sw *Sweep) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sweepJSON{
+		Preset:    sw.Preset,
+		Kind:      sw.Kind.String(),
+		Instances: sw.Instances,
+		Rows:      sw.Rows,
+		ElapsedMS: sw.Elapsed.Seconds() * 1e3,
+	})
+}
+
+// ReadSweepJSON parses a sweep archive.
+func ReadSweepJSON(r io.Reader) (*Sweep, error) {
+	var w sweepJSON
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, err
+	}
+	sw := &Sweep{Preset: w.Preset, Instances: w.Instances, Rows: w.Rows}
+	switch w.Kind {
+	case "CDD":
+		sw.Kind = problem.CDD
+	case "UCDDCP":
+		sw.Kind = problem.UCDDCP
+	default:
+		return nil, fmt.Errorf("harness: unknown sweep kind %q", w.Kind)
+	}
+	if len(sw.Rows) == 0 {
+		return nil, fmt.Errorf("harness: sweep archive has no rows")
+	}
+	return sw, nil
+}
+
+// CompareSweeps diffs two sweeps of the same kind/sizes: for each size
+// and algorithm it reports the change in mean %Δ (newer − older). Used
+// for regression tracking across library versions.
+func CompareSweeps(older, newer *Sweep) ([]string, error) {
+	if older.Kind != newer.Kind {
+		return nil, fmt.Errorf("harness: comparing %v sweep against %v", older.Kind, newer.Kind)
+	}
+	oldBySize := map[int]SizeRow{}
+	for _, r := range older.Rows {
+		oldBySize[r.Size] = r
+	}
+	var lines []string
+	for _, r := range newer.Rows {
+		o, ok := oldBySize[r.Size]
+		if !ok {
+			continue
+		}
+		for _, algo := range AlgoNames {
+			delta := r.MeanPctDev[algo] - o.MeanPctDev[algo]
+			lines = append(lines, fmt.Sprintf("n=%d %s: %+0.3f pts (%.3f → %.3f)",
+				r.Size, algo, delta, o.MeanPctDev[algo], r.MeanPctDev[algo]))
+		}
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("harness: sweeps share no sizes")
+	}
+	return lines, nil
+}

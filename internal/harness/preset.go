@@ -1,0 +1,107 @@
+// Package harness reproduces the paper's evaluation section: Tables II–V
+// and Figures 11–17. One sweep per problem kind runs the four parallel
+// algorithms (SA and DPSO, each with a low and a high iteration budget)
+// against the CPU reference implementations over the OR-library-style
+// benchmark, collecting solution quality (%Δ, Tables II/IV and Figures
+// 12/15), speedups (Tables III/V and Figures 13/17), and runtime curves
+// (Figures 14/16). Figure 11's threads × generations runtime surface has
+// its own driver.
+//
+// Because the full paper configuration (768 threads × 5000 iterations ×
+// sizes up to 1000 × 40 instances) is hours of CPU, the harness ships two
+// presets: Scaled (the default, minutes) and Full (paper parameters).
+// EXPERIMENTS.md records the shape checks both must satisfy.
+package harness
+
+import "repro/internal/orlib"
+
+// Preset bundles every knob of a sweep.
+type Preset struct {
+	// Name labels the preset in reports.
+	Name string
+	// Sizes are the job counts to sweep.
+	Sizes []int
+	// Records is the number of generated OR-library records per size;
+	// each CDD record yields 4 instances (h ∈ {0.2,0.4,0.6,0.8}).
+	Records int
+	// Grid and Block are the GPU launch geometry (ensemble = Grid·Block).
+	Grid, Block int
+	// ItersLow and ItersHigh are the two iteration budgets of the paper
+	// (1000 and 5000).
+	ItersLow, ItersHigh int
+	// TempSamples is the SA T₀ estimation sample count.
+	TempSamples int
+	// RefChains is the chain count of the serial CPU reference runs that
+	// stand in for the published [7]/[18] results (Z_best and CPU time).
+	RefChains int
+	// Seed makes the whole sweep reproducible.
+	Seed uint64
+}
+
+// Ensemble returns the total GPU thread count.
+func (p Preset) Ensemble() int { return p.Grid * p.Block }
+
+// Scaled returns the default preset: the paper's iteration budgets on a
+// smaller ensemble, fewer instances and sizes up to 200, so a sweep takes
+// minutes of CPU while preserving every shape the paper reports.
+func Scaled() Preset {
+	return Preset{
+		Name:        "scaled",
+		Sizes:       []int{10, 20, 50, 100, 200},
+		Records:     2,  // ×4 h-factors = 8 CDD instances per size
+		Grid:        4,  // one block per simulated SM, as in the paper
+		Block:       24, // ensemble of 96 chains
+		ItersLow:    1000,
+		ItersHigh:   5000,
+		TempSamples: 1000,
+		RefChains:   4,
+		Seed:        orlib.DefaultSeed,
+	}
+}
+
+// Quick returns a tiny preset for tests and smoke runs (seconds).
+func Quick() Preset {
+	return Preset{
+		Name:        "quick",
+		Sizes:       []int{10, 20},
+		Records:     1,
+		Grid:        4,
+		Block:       4,
+		ItersLow:    60,
+		ItersHigh:   300,
+		TempSamples: 100,
+		RefChains:   2,
+		Seed:        orlib.DefaultSeed,
+	}
+}
+
+// Full returns the paper's configuration: 4 blocks × 192 threads, 1000
+// and 5000 iterations, 10 records (40 CDD instances) per size, sizes up
+// to 1000 jobs. Expect hours of CPU.
+func Full() Preset {
+	return Preset{
+		Name:        "full",
+		Sizes:       []int{10, 20, 50, 100, 200, 500, 1000},
+		Records:     orlib.InstancesPerSize,
+		Grid:        4,
+		Block:       192,
+		ItersLow:    1000,
+		ItersHigh:   5000,
+		TempSamples: 5000,
+		RefChains:   8,
+		Seed:        orlib.DefaultSeed,
+	}
+}
+
+// ByName resolves a preset name ("scaled", "quick", "full"); unknown
+// names return Scaled.
+func ByName(name string) Preset {
+	switch name {
+	case "quick":
+		return Quick()
+	case "full":
+		return Full()
+	default:
+		return Scaled()
+	}
+}

@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dpso"
+	"repro/internal/orlib"
+	"repro/internal/parallel"
+	"repro/internal/problem"
+	"repro/internal/sa"
+	"repro/internal/stats"
+	"repro/internal/ta"
+	"repro/internal/xrand"
+)
+
+// AlgoNames are the four parallel algorithms of the result tables, in the
+// paper's column order.
+var AlgoNames = []string{"SA_low", "SA_high", "DPSO_low", "DPSO_high"}
+
+// InstanceRun is the outcome of one algorithm on one instance.
+type InstanceRun struct {
+	Cost   int64
+	Wall   float64 // host seconds
+	Sim    float64 // simulated device seconds
+	Evals  int64   // fitness evaluations performed
+	PctDev float64 // 100·(Z−Z_best)/Z_best against the CPU reference
+}
+
+// InstanceResult collects everything measured on one instance.
+type InstanceResult struct {
+	Name       string
+	Size       int
+	RefCost    int64   // Z_best of the serial CPU SA reference ([7] stand-in)
+	RefWall7   float64 // its wall-clock seconds
+	RefEvals7  int64   // its fitness evaluations
+	RefWall18  float64 // wall-clock of the serial TA reference ([18] stand-in)
+	RefEvals18 int64   // its fitness evaluations
+	Runs       map[string]InstanceRun
+}
+
+// SizeRow aggregates a job size: the mean %Δ of Tables II/IV, the mean
+// speedups of Tables III/V and the mean runtimes of Figures 14/16.
+type SizeRow struct {
+	Size int
+	// MeanPctDev, MeanWall, MeanSim and speedups are keyed by algorithm.
+	MeanPctDev map[string]float64
+	MeanWall   map[string]float64
+	MeanSim    map[string]float64
+	// Speedups are budget-normalized: reference seconds-per-evaluation ×
+	// the run's evaluation count, divided by the run's wall (Wall) or
+	// simulated device (Sim) time.
+	SpeedupWall7  map[string]float64
+	SpeedupSim7   map[string]float64
+	SpeedupWall18 map[string]float64
+	// RawSim7 is the paper-style end-to-end ratio: the reference's wall
+	// seconds divided by the run's simulated device seconds, without
+	// budget normalization (so the high-iteration variants show ~5× lower
+	// values, as in the paper's Tables III/V).
+	RawSim7   map[string]float64
+	RefWall7  float64
+	RefWall18 float64
+}
+
+// Sweep is the full dataset behind one problem kind's tables and figures.
+type Sweep struct {
+	Preset    Preset
+	Kind      problem.Kind
+	Instances []InstanceResult
+	Rows      []SizeRow
+	Elapsed   time.Duration
+}
+
+// RunSweep executes the benchmark sweep for one problem kind. Progress
+// lines go to progress when non-nil.
+func RunSweep(p Preset, kind problem.Kind, progress io.Writer) (*Sweep, error) {
+	start := time.Now()
+	sw := &Sweep{Preset: p, Kind: kind}
+	for _, size := range p.Sizes {
+		instances, err := benchmarkInstances(p, kind, size)
+		if err != nil {
+			return nil, err
+		}
+		var results []InstanceResult
+		for idx, inst := range instances {
+			seed := p.Seed ^ uint64(size)<<32 ^ uint64(idx)<<8 ^ uint64(kind)
+			res := runInstance(p, inst, seed)
+			results = append(results, res)
+			if progress != nil {
+				fmt.Fprintf(progress, "%s n=%d %s: ref=%d", kind, size, inst.Name, res.RefCost)
+				for _, algo := range AlgoNames {
+					fmt.Fprintf(progress, " %s=%.2f%%", algo, res.Runs[algo].PctDev)
+				}
+				fmt.Fprintln(progress)
+			}
+		}
+		sw.Instances = append(sw.Instances, results...)
+		sw.Rows = append(sw.Rows, aggregateSize(size, results))
+	}
+	sw.Elapsed = time.Since(start)
+	return sw, nil
+}
+
+// benchmarkInstances returns the per-size instance slice of a kind.
+func benchmarkInstances(p Preset, kind problem.Kind, size int) ([]*problem.Instance, error) {
+	if kind == problem.UCDDCP {
+		return orlib.BenchmarkUCDDCP(size, p.Records, p.Seed)
+	}
+	return orlib.BenchmarkCDD(size, p.Records, p.Seed)
+}
+
+// runInstance executes the references and the four parallel algorithms on
+// one instance.
+func runInstance(p Preset, inst *problem.Instance, seed uint64) InstanceResult {
+	res := InstanceResult{
+		Name: inst.Name,
+		Size: inst.N(),
+		Runs: make(map[string]InstanceRun, len(AlgoNames)),
+	}
+
+	// CPU reference [7]: the serial hybrid SA of Lässig et al. — a serial
+	// ensemble of RefChains chains at the high iteration budget. Its best
+	// value is Z_best, its wall time the CPU[7] runtime.
+	saRef := sa.Config{
+		Iterations:  p.ItersHigh,
+		TempSamples: p.TempSamples,
+	}
+	refStart := time.Now()
+	ref := (&parallel.AsyncSA{
+		Label: "CPU-SA-ref", Inst: inst, SA: saRef,
+		Ens:      parallel.Ensemble{Chains: p.RefChains, Seed: seed ^ 0xAE5},
+		Parallel: false,
+	}).Solve()
+	res.RefWall7 = time.Since(refStart).Seconds()
+	res.RefCost = ref.BestCost
+	res.RefEvals7 = ref.Evaluations
+
+	// CPU reference [18]: the Feldmann–Biskup metaheuristic family,
+	// represented by serial Threshold Accepting with the same budget.
+	taStart := time.Now()
+	taCfg := ta.Config{Iterations: p.ItersHigh, TempSamples: p.TempSamples}
+	for c := 0; c < p.RefChains; c++ {
+		eval := core.NewEvaluator(inst)
+		chain := ta.NewChain(taCfg, eval, xrand.NewStream(seed^0x18, uint64(c)))
+		chain.Run()
+		res.RefEvals18 += chain.Evaluations()
+	}
+	res.RefWall18 = time.Since(taStart).Seconds()
+
+	saLow := sa.Config{Iterations: p.ItersLow, TempSamples: p.TempSamples}
+	saHigh := sa.Config{Iterations: p.ItersHigh, TempSamples: p.TempSamples}
+	psLow := dpso.Config{Iterations: p.ItersLow}
+	psHigh := dpso.Config{Iterations: p.ItersHigh}
+
+	solvers := map[string]core.Solver{
+		"SA_low":    &parallel.GPUSA{Inst: inst, SA: saLow, Grid: p.Grid, Block: p.Block, Seed: seed},
+		"SA_high":   &parallel.GPUSA{Inst: inst, SA: saHigh, Grid: p.Grid, Block: p.Block, Seed: seed + 1},
+		"DPSO_low":  &parallel.GPUDPSO{Inst: inst, PSO: psLow, Grid: p.Grid, Block: p.Block, Seed: seed + 2},
+		"DPSO_high": &parallel.GPUDPSO{Inst: inst, PSO: psHigh, Grid: p.Grid, Block: p.Block, Seed: seed + 3},
+	}
+	for _, algo := range AlgoNames {
+		r := solvers[algo].Solve()
+		res.Runs[algo] = InstanceRun{
+			Cost:   r.BestCost,
+			Wall:   r.Elapsed.Seconds(),
+			Sim:    r.SimSeconds,
+			Evals:  r.Evaluations,
+			PctDev: core.PercentDeviation(r.BestCost, res.RefCost),
+		}
+	}
+	return res
+}
+
+// aggregateSize folds the per-instance results of one size into a row.
+func aggregateSize(size int, results []InstanceResult) SizeRow {
+	row := SizeRow{
+		Size:          size,
+		MeanPctDev:    map[string]float64{},
+		MeanWall:      map[string]float64{},
+		MeanSim:       map[string]float64{},
+		SpeedupWall7:  map[string]float64{},
+		SpeedupSim7:   map[string]float64{},
+		SpeedupWall18: map[string]float64{},
+		RawSim7:       map[string]float64{},
+	}
+	var ref7, ref18 []float64
+	for _, r := range results {
+		ref7 = append(ref7, r.RefWall7)
+		ref18 = append(ref18, r.RefWall18)
+	}
+	row.RefWall7 = stats.Mean(ref7)
+	row.RefWall18 = stats.Mean(ref18)
+	for _, algo := range AlgoNames {
+		var devs, walls, sims []float64
+		var spWall7, spSim7, spWall18, rawSim7 []float64
+		for _, r := range results {
+			run := r.Runs[algo]
+			devs = append(devs, run.PctDev)
+			walls = append(walls, run.Wall)
+			sims = append(sims, run.Sim)
+			// Budget-normalized speedups: the serial CPU reference's
+			// seconds-per-evaluation, projected onto this run's
+			// evaluation count, divided by the run's time. This is the
+			// like-for-like "how much faster does the parallel engine
+			// chew the same workload" ratio; the paper's end-to-end
+			// implementation ratios are not reproducible without the
+			// original binaries (see EXPERIMENTS.md).
+			cpuPerEval7 := r.RefWall7 / float64(maxInt64(r.RefEvals7, 1))
+			cpuPerEval18 := r.RefWall18 / float64(maxInt64(r.RefEvals18, 1))
+			projected7 := cpuPerEval7 * float64(run.Evals)
+			projected18 := cpuPerEval18 * float64(run.Evals)
+			spWall7 = append(spWall7, stats.Speedup(projected7, run.Wall))
+			spSim7 = append(spSim7, stats.Speedup(projected7, run.Sim))
+			spWall18 = append(spWall18, stats.Speedup(projected18, run.Wall))
+			rawSim7 = append(rawSim7, stats.Speedup(r.RefWall7, run.Sim))
+		}
+		row.MeanPctDev[algo] = stats.Mean(devs)
+		row.MeanWall[algo] = stats.Mean(walls)
+		row.MeanSim[algo] = stats.Mean(sims)
+		row.SpeedupWall7[algo] = stats.Mean(spWall7)
+		row.SpeedupSim7[algo] = stats.Mean(spSim7)
+		row.SpeedupWall18[algo] = stats.Mean(spWall18)
+		row.RawSim7[algo] = stats.Mean(rawSim7)
+	}
+	return row
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

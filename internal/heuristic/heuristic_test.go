@@ -1,0 +1,140 @@
+package heuristic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/orlib"
+	"repro/internal/problem"
+	"repro/internal/xrand"
+)
+
+func TestVShapeIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		ins, err := orlib.BenchmarkCDD(n, 1, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range ins {
+			if seq := VShape(in); !problem.IsPermutation(seq) {
+				t.Fatalf("trial %d %s: V-shape output is not a permutation: %v", trial, in.Name, seq)
+			}
+		}
+	}
+}
+
+// TestVShapeBeatsRandomOnAverage: the constructive heuristic must clearly
+// beat the mean random sequence.
+func TestVShapeBeatsRandomOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xr := xrand.New(3)
+	wins, trials := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + rng.Intn(40)
+		ins, err := orlib.BenchmarkCDD(n, 1, uint64(trial+500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := ins[rng.Intn(len(ins))]
+		eval := core.NewEvaluator(in)
+		heurCost := eval.Cost(VShape(in))
+		_, randCost := core.RandomSolution(eval, xr)
+		trials++
+		if heurCost <= randCost {
+			wins++
+		}
+	}
+	if wins*10 < trials*8 {
+		t.Errorf("V-shape beat random only %d/%d times", wins, trials)
+	}
+}
+
+func TestLocalSearchMonotoneAndTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(20)
+		ins, err := orlib.BenchmarkCDD(n, 1, uint64(trial+900))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := ins[0]
+		eval := core.NewEvaluator(in)
+		start := VShape(in)
+		startCost := eval.Cost(start)
+		polished, cost, evals := LocalSearch(eval, start, 0)
+		if cost > startCost {
+			t.Fatalf("local search worsened: %d -> %d", startCost, cost)
+		}
+		if !problem.IsPermutation(polished) {
+			t.Fatal("local search broke the permutation")
+		}
+		if got := eval.Cost(polished); got != cost {
+			t.Fatalf("reported %d, evaluates to %d", cost, got)
+		}
+		if evals < 1 {
+			t.Fatal("no evaluations counted")
+		}
+		// The input must not be mutated.
+		if got := eval.Cost(start); got != startCost {
+			t.Fatal("local search mutated its input")
+		}
+	}
+}
+
+// TestConstructNearExact measures the heuristic against the exact optimum
+// on small unrestricted instances: it must be within 25% on average.
+func TestConstructNearExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var totalGap float64
+	trials := 0
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(5)
+		p := make([]int, n)
+		alpha := make([]int, n)
+		beta := make([]int, n)
+		var sum int64
+		for i := 0; i < n; i++ {
+			p[i] = 1 + rng.Intn(15)
+			alpha[i] = 1 + rng.Intn(10)
+			beta[i] = 1 + rng.Intn(15)
+			sum += int64(p[i])
+		}
+		in, err := problem.NewCDD("h", p, alpha, beta, sum+int64(rng.Intn(10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := exact.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cost := Construct(in)
+		if cost < opt.Cost {
+			t.Fatalf("heuristic %d beats exact optimum %d", cost, opt.Cost)
+		}
+		totalGap += float64(cost-opt.Cost) / float64(opt.Cost)
+		trials++
+	}
+	if mean := totalGap / float64(trials) * 100; mean > 25 {
+		t.Errorf("mean heuristic gap to optimum = %.1f%%, want ≤ 25%%", mean)
+	}
+}
+
+func TestConstructOnUCDDCP(t *testing.T) {
+	ins, err := orlib.BenchmarkUCDDCP(15, 1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ins[0]
+	seq, cost := Construct(in)
+	if !problem.IsPermutation(seq) {
+		t.Fatal("not a permutation")
+	}
+	eval := core.NewEvaluator(in)
+	if got := eval.Cost(seq); got != cost {
+		t.Errorf("reported %d, evaluates to %d", cost, got)
+	}
+}

@@ -1,0 +1,137 @@
+// Package lpref builds and solves the per-sequence linear program of
+// Section III of the paper. Once the binary sequencing variables δ_ij of
+// the 0-1 integer programming formulation are fixed (i.e. a job sequence
+// is chosen), the remaining problem — optimal completion times and
+// processing-time reductions — is the LP
+//
+//	minimize   Σ α_i·E_i + β_i·T_i + γ_i·X_i
+//	subject to E_i ≥ d − C_i,  T_i ≥ C_i − d,  0 ≤ X_i ≤ P_i − M_i,
+//	           C_i = s + Σ_{k≤i} (P_k − X_k),  s ≥ 0,
+//
+// which this package solves with the dense two-phase simplex of
+// internal/simplex. The paper's point is that iterating a general LP
+// solver inside a metaheuristic is far too slow, motivating the O(n)
+// specialized algorithms of Section IV; tests pin the LP optimum to those
+// algorithms and BenchmarkLPvsLinear quantifies the gap.
+package lpref
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/problem"
+	"repro/internal/simplex"
+)
+
+// Result is the LP optimum for a fixed sequence.
+type Result struct {
+	// Cost is the optimal objective value (integral for integer data, up
+	// to floating-point round-off).
+	Cost float64
+	// Start is the optimal start time s of the first job.
+	Start float64
+	// X is the compression per job (indexed by job id).
+	X []float64
+	// Iterations counts simplex pivots.
+	Iterations int
+}
+
+// Build constructs the per-sequence LP in the standard form of
+// internal/simplex (min cᵀx, Ax = b, x ≥ 0, b ≥ 0).
+//
+// Variable layout (all ≥ 0):
+//
+//	x[0]                 s, the start time
+//	x[1..n]              X_i by position
+//	x[n+1..2n]           E_i by position
+//	x[2n+1..3n]          T_i by position
+//	x[3n+1..4n]          surplus of the earliness rows
+//	x[4n+1..5n]          surplus of the tardiness rows
+//	x[5n+1..6n]          slacks of the compression bounds
+func Build(in *problem.Instance, seq []int) *simplex.Problem {
+	n := len(seq)
+	nv := 6*n + 1
+	rows := 3 * n
+	p := &simplex.Problem{
+		A: make([][]float64, rows),
+		B: make([]float64, rows),
+		C: make([]float64, nv),
+	}
+	for i := range p.A {
+		p.A[i] = make([]float64, nv)
+	}
+	// Objective.
+	for pos, job := range seq {
+		j := in.Jobs[job]
+		p.C[1+pos] = float64(j.Gamma)
+		p.C[1+n+pos] = float64(j.Alpha)
+		p.C[1+2*n+pos] = float64(j.Beta)
+	}
+	d := float64(in.D)
+	prefix := 0.0
+	for pos, job := range seq {
+		prefix += float64(in.Jobs[job].P)
+		// C_pos = s + prefix − Σ_{k≤pos} X_k.
+		// Earliness row: E + C ≥ d  ⇒  E + s − ΣX − sur = d − prefix.
+		rowE := p.A[pos]
+		rowE[1+n+pos] = 1 // E
+		rowE[0] = 1       // s
+		for k := 0; k <= pos; k++ {
+			rowE[1+k] = -1 // −X_k
+		}
+		rowE[1+3*n+pos] = -1 // surplus
+		p.B[pos] = d - prefix
+		// Tardiness row: T − C ≥ −d ⇒ T − s + ΣX − sur = prefix − d.
+		rowT := p.A[n+pos]
+		rowT[1+2*n+pos] = 1 // T
+		rowT[0] = -1        // −s
+		for k := 0; k <= pos; k++ {
+			rowT[1+k] = 1 // +X_k
+		}
+		rowT[1+4*n+pos] = -1 // surplus
+		p.B[n+pos] = prefix - d
+		// Compression bound: X + slack = U.
+		rowX := p.A[2*n+pos]
+		rowX[1+pos] = 1
+		rowX[1+5*n+pos] = 1
+		p.B[2*n+pos] = float64(in.Jobs[seq[pos]].MaxCompression())
+	}
+	// Standard form needs b ≥ 0: negate rows with negative RHS.
+	for i := range p.B {
+		if p.B[i] < 0 {
+			p.B[i] = -p.B[i]
+			for j := range p.A[i] {
+				p.A[i][j] = -p.A[i][j]
+			}
+		}
+	}
+	return p
+}
+
+// Solve builds and solves the per-sequence LP, returning the optimum with
+// the compressions mapped back to job ids.
+func Solve(in *problem.Instance, seq []int) (Result, error) {
+	lp := Build(in, seq)
+	sol, err := simplex.Solve(lp)
+	if err != nil {
+		return Result{}, err
+	}
+	if sol.Status != simplex.Optimal {
+		return Result{}, fmt.Errorf("lpref: LP %v for sequence of %s", sol.Status, in.Name)
+	}
+	res := Result{
+		Cost:       sol.Objective,
+		Start:      sol.X[0],
+		X:          make([]float64, in.N()),
+		Iterations: sol.Iterations,
+	}
+	for pos, job := range seq {
+		res.X[job] = sol.X[1+pos]
+	}
+	return res, nil
+}
+
+// RoundedCost returns the LP optimum rounded to the nearest integer —
+// safe for the all-integer instances of this repository, where an integer
+// optimum exists.
+func (r Result) RoundedCost() int64 { return int64(math.Round(r.Cost)) }

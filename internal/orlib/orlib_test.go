@@ -1,0 +1,212 @@
+package orlib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/problem"
+)
+
+func TestGenerateCDDDistributions(t *testing.T) {
+	raws := GenerateCDD(1000, 10, DefaultSeed)
+	if len(raws) != 10 {
+		t.Fatalf("got %d records, want 10", len(raws))
+	}
+	var pMin, pMax, aMin, aMax, bMin, bMax = 99, 0, 99, 0, 99, 0
+	for _, r := range raws {
+		if r.N() != 1000 {
+			t.Fatalf("record size %d, want 1000", r.N())
+		}
+		for j := range r.P {
+			pMin, pMax = minI(pMin, r.P[j]), maxI(pMax, r.P[j])
+			aMin, aMax = minI(aMin, r.Alpha[j]), maxI(aMax, r.Alpha[j])
+			bMin, bMax = minI(bMin, r.Beta[j]), maxI(bMax, r.Beta[j])
+		}
+	}
+	if pMin < 1 || pMax > 20 {
+		t.Errorf("p range [%d,%d], want within [1,20]", pMin, pMax)
+	}
+	if pMin != 1 || pMax != 20 {
+		t.Errorf("p range [%d,%d] does not cover [1,20] over 10000 draws", pMin, pMax)
+	}
+	if aMin != 1 || aMax != 10 {
+		t.Errorf("alpha range [%d,%d], want [1,10]", aMin, aMax)
+	}
+	if bMin != 1 || bMax != 15 {
+		t.Errorf("beta range [%d,%d], want [1,15]", bMin, bMax)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateCDD(50, 3, 42)
+	b := GenerateCDD(50, 3, 42)
+	for i := range a {
+		for j := range a[i].P {
+			if a[i].P[j] != b[i].P[j] || a[i].Alpha[j] != b[i].Alpha[j] || a[i].Beta[j] != b[i].Beta[j] {
+				t.Fatalf("record %d job %d differs between identical calls", i, j)
+			}
+		}
+	}
+	c := GenerateCDD(50, 3, 43)
+	same := true
+	for j := range a[0].P {
+		if a[0].P[j] != c[0].P[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical records")
+	}
+}
+
+func TestCDDInstanceDueDates(t *testing.T) {
+	raws := GenerateCDD(20, 1, 7)
+	sum := raws[0].SumP()
+	for _, h := range Hs {
+		in, err := CDDInstance(raws[0], 20, 0, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(h * float64(sum)); in.D != want {
+			t.Errorf("h=%.1f: d=%d, want %d", h, in.D, want)
+		}
+		if !in.Restrictive() {
+			t.Errorf("h=%.1f: instance not restrictive", h)
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("h=%.1f: %v", h, err)
+		}
+	}
+}
+
+func TestBenchmarkCDDCount(t *testing.T) {
+	ins, err := BenchmarkCDD(10, InstancesPerSize, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 40 {
+		t.Fatalf("benchmark has %d instances per size, paper uses 40", len(ins))
+	}
+	names := map[string]bool{}
+	for _, in := range ins {
+		if names[in.Name] {
+			t.Errorf("duplicate instance name %q", in.Name)
+		}
+		names[in.Name] = true
+		if in.Kind != problem.CDD {
+			t.Errorf("instance %q has kind %v", in.Name, in.Kind)
+		}
+	}
+}
+
+func TestBenchmarkUCDDCPUnrestricted(t *testing.T) {
+	ins, err := BenchmarkUCDDCP(50, InstancesPerSize, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != InstancesPerSize {
+		t.Fatalf("got %d instances, want %d", len(ins), InstancesPerSize)
+	}
+	for _, in := range ins {
+		if in.Restrictive() {
+			t.Errorf("%q: UCDDCP instance is restrictive (d=%d, ΣP=%d)", in.Name, in.D, in.SumP())
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("%q: %v", in.Name, err)
+		}
+		compressible := 0
+		for _, j := range in.Jobs {
+			if j.M > j.P || j.M < (j.P+1)/2 {
+				t.Errorf("%q: M=%d outside [⌈P/2⌉,P] for P=%d", in.Name, j.M, j.P)
+			}
+			if j.MaxCompression() > 0 {
+				compressible++
+			}
+		}
+		if compressible == 0 {
+			t.Errorf("%q: no compressible job at all", in.Name)
+		}
+	}
+}
+
+func TestCDDRoundtrip(t *testing.T) {
+	raws := GenerateCDD(30, 5, 11)
+	var buf bytes.Buffer
+	if err := WriteCDD(&buf, raws); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCDD(&buf, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 {
+		t.Fatalf("read %d records, want 5", len(back))
+	}
+	for i := range raws {
+		for j := 0; j < 30; j++ {
+			if raws[i].P[j] != back[i].P[j] || raws[i].Alpha[j] != back[i].Alpha[j] || raws[i].Beta[j] != back[i].Beta[j] {
+				t.Fatalf("record %d job %d mismatch after roundtrip", i, j)
+			}
+		}
+	}
+}
+
+func TestUCDDCPRoundtrip(t *testing.T) {
+	raws := GenerateUCDDCP(25, 4, 13)
+	var buf bytes.Buffer
+	if err := WriteUCDDCP(&buf, raws); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUCDDCP(&buf, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raws {
+		for j := 0; j < 25; j++ {
+			if raws[i].M[j] != back[i].M[j] || raws[i].Gamma[j] != back[i].Gamma[j] {
+				t.Fatalf("record %d job %d M/Gamma mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestWriteKindMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCDD(&buf, GenerateUCDDCP(5, 1, 1)); err == nil {
+		t.Error("WriteCDD accepted a controllable record")
+	}
+	if err := WriteUCDDCP(&buf, GenerateCDD(5, 1, 1)); err == nil {
+		t.Error("WriteUCDDCP accepted a plain record")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadCDD(strings.NewReader(""), 5); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCDD(strings.NewReader("2\n1 2 3\n"), 1); err == nil {
+		t.Error("truncated input accepted")
+	}
+	if _, err := ReadCDD(strings.NewReader("-1\n"), 1); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := ReadUCDDCP(strings.NewReader("1\n1 2 3\n"), 1); err == nil {
+		t.Error("short UCDDCP row accepted")
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package parallel
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dpso"
+	"repro/internal/problem"
+	"repro/internal/xrand"
+)
+
+// ParallelDPSO drives the Discrete PSO with one particle per ensemble
+// member. By default it mirrors the paper's asynchronous scheme — the
+// particles never communicate, so each one's swarm best is its own
+// personal best and the reduction only tracks the reported minimum; with
+// ShareSwarmBest every generation's reduced best is broadcast to all
+// particles (see GPUDPSO for the rationale). With Parallel=false the
+// identical swarm is executed on one goroutine as the CPU-time baseline.
+type ParallelDPSO struct {
+	Label string
+	Inst  *problem.Instance
+	// PSO holds the particle parameters; its Swarm field is ignored (the
+	// ensemble size is the swarm size).
+	PSO dpso.Config
+	Ens Ensemble
+	// Parallel selects the multi-goroutine driver.
+	Parallel bool
+	// ShareSwarmBest broadcasts the true swarm best each generation
+	// instead of the paper's communication-free scheme.
+	ShareSwarmBest bool
+}
+
+// Name implements core.Solver.
+func (d *ParallelDPSO) Name() string {
+	if d.Label != "" {
+		return d.Label
+	}
+	return "ParallelDPSO"
+}
+
+// Solve runs the configured generations. Results are deterministic for a
+// fixed seed regardless of Parallel: particle i always consumes RNG
+// stream i and gbest ties resolve to the lowest particle index.
+func (d *ParallelDPSO) Solve() core.Result {
+	ens := d.Ens.normalized()
+	cfg := d.PSO.Normalized()
+	start := time.Now()
+	n := d.Inst.N()
+
+	particles := make([]*dpso.Particle, ens.Chains)
+	evals := make([]core.Evaluator, ens.Chains)
+	runOverWorkers(ens.Chains, ens.Workers, d.Parallel, func(i int) {
+		evals[i] = core.NewEvaluator(d.Inst)
+		particles[i] = dpso.NewParticle(cfg, evals[i], xrand.NewStream(ens.Seed, uint64(i)))
+	})
+
+	gbest := make([]int, n)
+	gbestCost := int64(1) << 62
+	reduce := func() {
+		for _, p := range particles {
+			if seq, cost := p.Best(); cost < gbestCost {
+				gbestCost = cost
+				copy(gbest, seq)
+			}
+		}
+	}
+	reduce()
+
+	iters := cfg.Iterations
+	// In shared mode, particles read the previous generation's gbest
+	// (recomputed only after the generation barrier), mirroring the
+	// update → fitness → reduce → broadcast kernel sequence of the GPU
+	// implementation. In the default asynchronous mode each particle's
+	// swarm best is its own personal best.
+	gbestSnapshot := make([]int, n)
+	for g := 0; g < iters; g++ {
+		copy(gbestSnapshot, gbest)
+		runOverWorkers(ens.Chains, ens.Workers, d.Parallel, func(i int) {
+			ref := gbestSnapshot
+			if !d.ShareSwarmBest {
+				ref, _ = particles[i].Best()
+			}
+			particles[i].Update(ref, evals[i])
+		})
+		reduce()
+	}
+
+	res := core.Result{
+		BestSeq:     gbest,
+		BestCost:    gbestCost,
+		Iterations:  iters,
+		Evaluations: int64(ens.Chains) * int64(iters+1),
+		Elapsed:     time.Since(start),
+	}
+	return res
+}

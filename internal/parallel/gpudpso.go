@@ -1,0 +1,245 @@
+package parallel
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cudasim"
+	"repro/internal/dpso"
+	"repro/internal/perm"
+	"repro/internal/problem"
+)
+
+// GPUDPSO is the paper's GPU implementation of the Discrete PSO: one
+// particle per simulated CUDA thread, with the same kernel pipeline
+// structure as the SA version —
+//
+//	update     velocity swap + cognition/social crossovers (Equation 3)
+//	fitness    the O(n) linear algorithm on the new positions
+//	pbest      personal-best refresh (the acceptance analogue)
+//	reduce     packed atomic-min over personal bests
+//	broadcast  (ShareSwarmBest only) the winner publishes its pbest
+//
+// The paper parallelizes DPSO "in the asynchronous manner, as explained
+// for SA" — i.e. the threads run without communicating, so each
+// particle's view of the swarm best g(t) in Equation (3) degenerates to
+// its own personal best; the reduction kernel only tracks the global
+// minimum for reporting. That is the default here, and it reproduces the
+// paper's central DPSO finding (quality collapses as n grows because the
+// social component carries no cross-thread information). Setting
+// ShareSwarmBest broadcasts the true reduced swarm best back to all
+// particles each generation — the ablation showing how much of the
+// paper's DPSO deficit is caused by the asynchronous design.
+type GPUDPSO struct {
+	// Label names the solver in result tables.
+	Label string
+	// Inst is the instance to optimize (CDD or UCDDCP).
+	Inst *problem.Instance
+	// PSO holds the particle parameters; Swarm is ignored (the launch
+	// geometry is the swarm).
+	PSO dpso.Config
+	// Grid and Block default to the paper's 4 × 192.
+	Grid, Block int
+	// Seed derives all per-thread RNG streams.
+	Seed uint64
+	// Dev is the device to run on; nil creates a fresh simulated GT 560M.
+	Dev *cudasim.Device
+	// Cooperative selects barrier-backed shared-memory staging.
+	Cooperative bool
+	// ShareSwarmBest broadcasts the reduced swarm best to every particle
+	// each generation instead of the paper's communication-free
+	// asynchronous scheme.
+	ShareSwarmBest bool
+	// PTimeAccess selects the processing-time read mode of the fitness
+	// kernel (see PAccess).
+	PTimeAccess PAccess
+}
+
+// Name implements core.Solver.
+func (g *GPUDPSO) Name() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return "GPU-DPSO"
+}
+
+// Solve runs the full pipeline and returns the reduced best solution.
+func (g *GPUDPSO) Solve() core.Result {
+	grid, block := g.Grid, g.Block
+	if grid <= 0 {
+		grid = 4
+	}
+	if block <= 0 {
+		block = 192
+	}
+	dev := g.Dev
+	if dev == nil {
+		dev = cudasim.NewDevice(cudasim.GT560M())
+	}
+	cfg := g.PSO.Normalized()
+	n := g.Inst.N()
+	start := time.Now()
+	simStart := dev.SimTime()
+
+	pl := newPipeline(dev, g.Inst, grid, block, g.Cooperative, g.Seed)
+	pl.setPAccess(g.PTimeAccess)
+	N := pl.threads
+
+	// Device state: positions, personal bests, swarm best, costs.
+	posBuf := cudasim.NewBufferFrom(dev, pl.randomRows())
+	costBuf := cudasim.NewBuffer[int64](dev, N)
+	pbestBuf := cudasim.NewBuffer[int32](dev, N*n)
+	pbestCostBuf := cudasim.NewBuffer[int64](dev, N)
+	gbestBuf := cudasim.NewBuffer[int32](dev, n)
+	packedBuf := cudasim.NewBufferFrom(dev, []int64{math.MaxInt64})
+
+	// Host-side per-thread operator scratch (local memory of the update
+	// kernel: crossover buffers and the used-markers of the order
+	// crossovers).
+	ops := make([]*perm.Ops, N)
+	buf1 := make([][]int, N)
+	buf2 := make([][]int, N)
+	buf3 := make([][]int, N)
+	for t := 0; t < N; t++ {
+		ops[t] = perm.NewOps(n)
+		buf1[t] = make([]int, n)
+		buf2[t] = make([]int, n)
+		buf3[t] = make([]int, n)
+	}
+
+	var evalCount int64
+	// Initial fitness; personal bests = initial positions.
+	if err := pl.fitnessKernel(posBuf, costBuf); err != nil {
+		panic(err)
+	}
+	evalCount += int64(N)
+	dev.MustLaunch(pl.launchCfg("init"), func(c *cudasim.Ctx) {
+		tid := c.GlobalThreadID()
+		v := costBuf.Load(c, tid)
+		pbestCostBuf.Store(c, tid, v)
+		copy(pbestBuf.Raw()[tid*n:(tid+1)*n], posBuf.Raw()[tid*n:(tid+1)*n])
+		c.ChargeGlobal(2*n, true)
+		cudasim.AtomicMinInt64(c, packedBuf, 0, v<<tidBits|int64(tid))
+	})
+	broadcast := func() {
+		if !g.ShareSwarmBest {
+			return
+		}
+		dev.MustLaunch(pl.launchCfg("broadcast"), func(c *cudasim.Ctx) {
+			tid := c.GlobalThreadID()
+			winner := int(cudasim.AtomicLoadInt64(c, packedBuf, 0) & (1<<tidBits - 1))
+			if tid == winner {
+				copy(gbestBuf.Raw(), pbestBuf.Raw()[tid*n:(tid+1)*n])
+				c.ChargeGlobal(2*n, true)
+			}
+		})
+	}
+	broadcast()
+
+	for it := 0; it < cfg.Iterations; it++ {
+		// Kernel 1: position update per Equation (3). Reads the swarm
+		// best published by the previous broadcast (asynchronous: all
+		// particles see the same, possibly one-generation-old gbest).
+		dev.MustLaunch(pl.launchCfg("update"), func(c *cudasim.Ctx) {
+			tid := c.GlobalThreadID()
+			rng := pl.rngs[tid]
+			pos := posBuf.Raw()[tid*n : (tid+1)*n]
+			pbest := pbestBuf.Raw()[tid*n : (tid+1)*n]
+			// Asynchronous (paper) mode: no cross-thread state — g(t)
+			// collapses to the particle's own best.
+			gbest := pbest
+			if g.ShareSwarmBest {
+				gbest = gbestBuf.Raw()
+			}
+			c.ChargeGlobal(3*n, true)
+
+			// λ = w ⊕ F1(pos): swap. a/b ping-pong so crossover source and
+			// destination never alias.
+			a, b := buf1[tid], buf2[tid]
+			cur := a
+			for i, v := range pos {
+				cur[i] = int(v)
+			}
+			if rng.Float64() < cfg.W {
+				perm.Swap(rng, cur)
+			}
+			// δ = c1 ⊕ F2(λ, pbest): one-point crossover.
+			if rng.Float64() < cfg.C1 {
+				pb := buf3[tid]
+				for i, v := range pbest {
+					pb[i] = int(v)
+				}
+				ops[tid].OnePoint(rng, b, cur, pb)
+				cur = b
+			}
+			// pos' = c2 ⊕ F3(δ, gbest): two-point crossover.
+			if rng.Float64() < cfg.C2 {
+				gb := buf3[tid]
+				for i, v := range gbest {
+					gb[i] = int(v)
+				}
+				dst := a
+				if len(cur) > 0 && &cur[0] == &a[0] {
+					dst = b
+				}
+				ops[tid].TwoPoint(rng, dst, cur, gb)
+				cur = dst
+			}
+			for i, v := range cur {
+				pos[i] = int32(v)
+			}
+			c.ChargeGlobal(n, true)
+			// Each order crossover is ~3 passes over the sequence (copy
+			// the donor segment, scan the other parent, maintain the
+			// used-markers in local memory), plus the swap and the final
+			// write-back conversion — far heavier than SA's Pert-element
+			// shuffle, which is why the paper's Figures 14/16 show DPSO
+			// consistently slower than SA at equal budgets.
+			c.ChargeArith(20 * n)
+		})
+
+		// Kernel 2: fitness of the new positions.
+		if err := pl.fitnessKernel(posBuf, costBuf); err != nil {
+			panic(err)
+		}
+		evalCount += int64(N)
+
+		// Kernel 3: personal-best refresh.
+		dev.MustLaunch(pl.launchCfg("pbest"), func(c *cudasim.Ctx) {
+			tid := c.GlobalThreadID()
+			v := costBuf.Load(c, tid)
+			if v < pbestCostBuf.Load(c, tid) {
+				pbestCostBuf.Store(c, tid, v)
+				copy(pbestBuf.Raw()[tid*n:(tid+1)*n], posBuf.Raw()[tid*n:(tid+1)*n])
+				c.ChargeGlobal(2*n, true)
+			}
+		})
+
+		// Kernel 4: reduction, then gbest broadcast.
+		if err := pl.reduceKernel(pbestCostBuf, packedBuf); err != nil {
+			panic(err)
+		}
+		broadcast()
+		dev.Synchronize()
+	}
+
+	packed := make([]int64, 1)
+	packedBuf.CopyToHost(packed)
+	winner := int(packed[0] & (1<<tidBits - 1))
+	bestCost := packed[0] >> tidBits
+	row := make([]int32, n)
+	pbestBuf.CopyRegionToHost(row, winner*n)
+	bestSeq := make([]int, n)
+	for i, v := range row {
+		bestSeq[i] = int(v)
+	}
+	return core.Result{
+		BestSeq:     bestSeq,
+		BestCost:    bestCost,
+		Iterations:  cfg.Iterations,
+		Evaluations: evalCount,
+		Elapsed:     time.Since(start),
+		SimSeconds:  dev.SimTime() - simStart,
+	}
+}

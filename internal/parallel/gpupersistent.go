@@ -1,0 +1,208 @@
+package parallel
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cudasim"
+	"repro/internal/problem"
+	"repro/internal/sa"
+	"repro/internal/xrand"
+)
+
+// PersistentGPUSA is the persistent-kernel variant of GPUSA: instead of
+// the paper's four kernel launches per iteration (Figure 10), a single
+// launch keeps every thread resident and runs the whole annealing loop —
+// perturbation, fitness, acceptance — inside the kernel, with one final
+// reduction. This is the classic CUDA optimization for iteration-heavy
+// pipelines: it removes the per-iteration launch overhead and the
+// device-wide synchronization between kernels at the cost of flexibility
+// (no host-side control between iterations).
+//
+// With the same seed it consumes the per-thread RNG streams in exactly
+// the order of the four-kernel pipeline, so its results are bit-identical
+// to GPUSA's (TestPersistentMatchesPipelined) while the simulated time
+// drops by the saved launch overhead (BenchmarkAblationPersistentKernel).
+type PersistentGPUSA struct {
+	// Label names the solver in result tables.
+	Label string
+	// Inst is the instance to optimize (CDD or UCDDCP).
+	Inst *problem.Instance
+	// SA holds the annealing parameters shared by all threads.
+	SA sa.Config
+	// Grid and Block default to the paper's 4 × 192.
+	Grid, Block int
+	// Seed derives all per-thread RNG streams.
+	Seed uint64
+	// Dev is the device to run on; nil creates a fresh simulated GT 560M.
+	Dev *cudasim.Device
+}
+
+// Name implements core.Solver.
+func (g *PersistentGPUSA) Name() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return "GPU-SA-persistent"
+}
+
+// Solve runs the persistent kernel and returns the reduced best solution.
+func (g *PersistentGPUSA) Solve() core.Result {
+	grid, block := g.Grid, g.Block
+	if grid <= 0 {
+		grid = 4
+	}
+	if block <= 0 {
+		block = 192
+	}
+	dev := g.Dev
+	if dev == nil {
+		dev = cudasim.NewDevice(cudasim.GT560M())
+	}
+	cfg := g.SA
+	n := g.Inst.N()
+	start := time.Now()
+	simStart := dev.SimTime()
+
+	pl := newPipeline(dev, g.Inst, grid, block, false, g.Seed)
+	N := pl.threads
+
+	full := sa.DefaultConfig()
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = full.Iterations
+	}
+	if cfg.Cooling <= 0 || cfg.Cooling >= 1 {
+		cfg.Cooling = full.Cooling
+	}
+	if cfg.Pert <= 0 {
+		cfg.Pert = full.Pert
+	}
+	if cfg.Pert > n {
+		cfg.Pert = n
+	}
+	if cfg.ReselectPeriod <= 0 {
+		cfg.ReselectPeriod = full.ReselectPeriod
+	}
+	if cfg.TempSamples <= 0 {
+		cfg.TempSamples = full.TempSamples
+	}
+
+	var evalCount int64
+	t0 := cfg.T0
+	if t0 <= 0 {
+		eval := core.NewEvaluator(g.Inst)
+		t0 = core.InitialTemperature(eval, xrand.NewStream(g.Seed, uint64(N)+1), cfg.TempSamples)
+		evalCount += int64(cfg.TempSamples)
+	}
+
+	seqBuf := cudasim.NewBufferFrom(dev, pl.randomRows())
+	bestCostBuf := cudasim.NewBuffer[int64](dev, N)
+	bestSeqBuf := cudasim.NewBuffer[int32](dev, N*n)
+	packedBuf := cudasim.NewBufferFrom(dev, []int64{math.MaxInt64})
+
+	// Per-thread candidate rows live in registers/local memory of the
+	// persistent kernel.
+	cand := make([][]int32, N)
+	positions := make([][]int, N)
+	for t := 0; t < N; t++ {
+		cand[t] = make([]int32, n)
+		positions[t] = make([]int, 0, cfg.Pert)
+	}
+
+	kernelCfg := pl.launchCfg("persistent")
+	dev.MustLaunch(kernelCfg, func(c *cudasim.Ctx) {
+		shA, shB := pl.stagePenalties(c)
+		tid := c.GlobalThreadID()
+		rng := pl.rngs[tid]
+		cur := seqBuf.Raw()[tid*n : (tid+1)*n]
+		cnd := cand[tid]
+		d := c.ConstInt("d")
+
+		evalRow := func(row []int32) int64 {
+			c.ChargeGlobal(n, true) // row traffic
+			c.ChargeShared(2 * n)
+			pArr := pl.loadProcessingTimes(c, tid, row)
+			var cost int64
+			var ops int
+			if pl.inst.Kind == problem.UCDDCP {
+				cost, ops = fitnessUCDDCPArrays(row, pArr, pl.mBuf.Raw(), shA, shB, pl.gammaBuf.Raw(), d, pl.comp[tid], pl.aux[tid])
+				c.ChargeGlobal(2*n, true)
+			} else {
+				cost, ops = fitnessCDDArrays(row, pArr, shA, shB, d, pl.comp[tid])
+			}
+			c.ChargeArith(ops)
+			return cost
+		}
+
+		curCost := evalRow(cur)
+		bestCost := curCost
+		copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], cur)
+		c.ChargeGlobal(2*n, true)
+
+		temp := t0
+		for it := 0; it < cfg.Iterations; it++ {
+			// Perturbation (as the perturb kernel).
+			copy(cnd, cur)
+			c.ChargeGlobal(2*n, true)
+			if it%cfg.ReselectPeriod == 0 || len(positions[tid]) == 0 {
+				positions[tid] = drawPositions(rng, positions[tid][:0], n, cfg.Pert)
+				c.ChargeArith(4 * cfg.Pert)
+			}
+			pos := positions[tid]
+			for i := len(pos) - 1; i > 0; i-- {
+				j := rng.Intn(i + 1)
+				a, b := pos[i], pos[j]
+				cnd[a], cnd[b] = cnd[b], cnd[a]
+			}
+			c.ChargeGlobal(2*len(pos), false)
+			c.ChargeArith(6 * len(pos))
+
+			// Fitness.
+			candCost := evalRow(cnd)
+
+			// Acceptance (as the accept kernel).
+			accept := candCost <= curCost
+			if !accept && temp > 0 {
+				accept = math.Exp(float64(curCost-candCost)/temp) >= rng.Float64()
+			}
+			c.ChargeArith(12)
+			if accept {
+				copy(cur, cnd)
+				curCost = candCost
+				c.ChargeGlobal(2*n, true)
+				if candCost < bestCost {
+					bestCost = candCost
+					copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], cnd)
+					c.ChargeGlobal(2*n, true)
+				}
+			}
+			temp *= cfg.Cooling
+			if cfg.TMin > 0 && temp < cfg.TMin {
+				temp = cfg.TMin
+			}
+		}
+		bestCostBuf.Store(c, tid, bestCost)
+		cudasim.AtomicMinInt64(c, packedBuf, 0, bestCost<<tidBits|int64(tid))
+	})
+	evalCount += int64(N) * int64(cfg.Iterations+1)
+
+	packed := make([]int64, 1)
+	packedBuf.CopyToHost(packed)
+	winner := int(packed[0] & (1<<tidBits - 1))
+	bestCost := packed[0] >> tidBits
+	row := make([]int32, n)
+	bestSeqBuf.CopyRegionToHost(row, winner*n)
+	bestSeq := make([]int, n)
+	for i, v := range row {
+		bestSeq[i] = int(v)
+	}
+	return core.Result{
+		BestSeq:     bestSeq,
+		BestCost:    bestCost,
+		Iterations:  cfg.Iterations,
+		Evaluations: evalCount,
+		Elapsed:     time.Since(start),
+		SimSeconds:  dev.SimTime() - simStart,
+	}
+}

@@ -1,0 +1,240 @@
+// Package parallel implements the paper's parallelization layer: the
+// asynchronous and synchronous multiple-Markov-chain strategies of
+// Ferreiro et al. (Section V), the CPU ensemble drivers used as speedup
+// baselines, and the four-kernel GPU pipeline of Section VI (fitness,
+// perturbation, acceptance, reduction) mapped onto the cudasim device.
+//
+// Every driver implements core.Solver, so the experiment harness treats
+// serial CPU, parallel CPU and simulated-GPU engines uniformly.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/problem"
+	"repro/internal/sa"
+	"repro/internal/xrand"
+)
+
+// Ensemble describes a population of independent chains: the paper's
+// grid of 4 blocks × 192 threads = 768 chains.
+type Ensemble struct {
+	// Chains is the total chain/particle count (threads on the GPU).
+	Chains int
+	// Seed derives every chain's RNG sub-stream.
+	Seed uint64
+	// Workers bounds host goroutines for the CPU drivers; 0 means
+	// GOMAXPROCS. Serial drivers ignore it.
+	Workers int
+}
+
+func (e Ensemble) normalized() Ensemble {
+	if e.Chains <= 0 {
+		e.Chains = 768
+	}
+	if e.Workers <= 0 {
+		e.Workers = runtime.GOMAXPROCS(0)
+	}
+	return e
+}
+
+// runOverWorkers executes fn(chainIndex) for every chain, spreading the
+// calls over at most `workers` goroutines when parallelOK, or serially on
+// the calling goroutine otherwise.
+func runOverWorkers(chains, workers int, parallelOK bool, fn func(i int)) {
+	if !parallelOK || workers <= 1 {
+		for i := 0; i < chains; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	if workers > chains {
+		workers = chains
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < chains; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// AsyncSA is the asynchronous parallel Simulated Annealing of Figure 7:
+// Chains independent SA trajectories followed by one reduction. With
+// Parallel=false it is the serial CPU baseline executing the identical
+// ensemble on one goroutine (identical results, different wall-clock).
+type AsyncSA struct {
+	// Label names the solver in result tables.
+	Label string
+	// Inst is the instance to optimize.
+	Inst *problem.Instance
+	// SA holds the per-chain annealing parameters.
+	SA sa.Config
+	// Ens is the ensemble geometry.
+	Ens Ensemble
+	// Parallel selects the multi-goroutine driver; false runs the same
+	// chains serially (the CPU-time baseline).
+	Parallel bool
+}
+
+// Name implements core.Solver.
+func (a *AsyncSA) Name() string {
+	if a.Label != "" {
+		return a.Label
+	}
+	return "AsyncSA"
+}
+
+// Solve runs every chain to completion and reduces to the best solution.
+// Results are deterministic for a fixed seed regardless of Parallel,
+// because chain i always consumes RNG stream i.
+func (a *AsyncSA) Solve() core.Result {
+	ens := a.Ens.normalized()
+	start := time.Now()
+	type chainOut struct {
+		cost  int64
+		seq   []int
+		evals int64
+	}
+	outs := make([]chainOut, ens.Chains)
+	runOverWorkers(ens.Chains, ens.Workers, a.Parallel, func(i int) {
+		eval := core.NewEvaluator(a.Inst)
+		chain := sa.NewChain(a.SA, eval, xrand.NewStream(ens.Seed, uint64(i)))
+		chain.Run()
+		seq, cost := chain.Best()
+		outs[i] = chainOut{cost: cost, seq: append([]int(nil), seq...), evals: chain.Evaluations()}
+	})
+	res := core.Result{BestCost: 1 << 62}
+	for _, o := range outs {
+		res.Evaluations += o.evals
+		if o.cost < res.BestCost {
+			res.BestCost = o.cost
+			res.BestSeq = o.seq
+		}
+	}
+	res.Iterations = a.SA.Iterations
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// SyncSA is the synchronous parallel Simulated Annealing of Figure 8:
+// all chains anneal at a common temperature level for a Markov chain of
+// length M, then the minimum state is reduced and broadcast as every
+// chain's starting state for the next level. The paper found this variant
+// converges prematurely, which TestSynchronousDiversityCollapse verifies.
+type SyncSA struct {
+	Label string
+	Inst  *problem.Instance
+	SA    sa.Config
+	Ens   Ensemble
+	// MarkovLen is M, the per-level chain length.
+	MarkovLen int
+	// Levels is the number of temperature levels t.
+	Levels int
+	// Parallel selects the multi-goroutine driver.
+	Parallel bool
+}
+
+// Name implements core.Solver.
+func (s *SyncSA) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "SyncSA"
+}
+
+// Solve runs Levels rounds of MarkovLen steps with broadcast reduction in
+// between.
+func (s *SyncSA) Solve() core.Result {
+	ens := s.Ens.normalized()
+	markov := s.MarkovLen
+	if markov <= 0 {
+		markov = 10
+	}
+	levels := s.Levels
+	if levels <= 0 {
+		levels = 100
+	}
+	start := time.Now()
+
+	chains := make([]*sa.Chain, ens.Chains)
+	evals := make([]core.Evaluator, ens.Chains)
+	runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
+		evals[i] = core.NewEvaluator(s.Inst)
+		chains[i] = sa.NewChain(s.SA, evals[i], xrand.NewStream(ens.Seed, uint64(i)))
+	})
+
+	bestSeq := make([]int, s.Inst.N())
+	bestCost := int64(1) << 62
+	for level := 0; level < levels; level++ {
+		runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
+			for m := 0; m < markov; m++ {
+				chains[i].Step()
+			}
+		})
+		// Reduce: s_j^min over current states.
+		minIdx := 0
+		_, minCost := chains[0].Current()
+		for i := 1; i < ens.Chains; i++ {
+			if _, c := chains[i].Current(); c < minCost {
+				minCost, minIdx = c, i
+			}
+		}
+		minSeq, _ := chains[minIdx].Current()
+		if minCost < bestCost {
+			bestCost = minCost
+			copy(bestSeq, minSeq)
+		}
+		// Broadcast as the next level's initial state on all processors.
+		seqCopy := append([]int(nil), minSeq...)
+		runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
+			chains[i].SetSolution(seqCopy, minCost)
+		})
+	}
+	res := core.Result{BestSeq: bestSeq, BestCost: bestCost, Iterations: levels * markov}
+	for _, c := range chains {
+		res.Evaluations += c.Evaluations()
+	}
+	// The final global best may be better than the last broadcast.
+	for _, c := range chains {
+		if seq, cost := c.Best(); cost < res.BestCost {
+			res.BestCost = cost
+			copy(res.BestSeq, seq)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Diversity returns the mean pairwise Hamming distance of the chains'
+// current sequences, a collapse diagnostic used by tests and examples.
+func Diversity(seqs [][]int) float64 {
+	if len(seqs) < 2 {
+		return 0
+	}
+	total, pairs := 0, 0
+	for i := 0; i < len(seqs); i++ {
+		for j := i + 1; j < len(seqs); j++ {
+			for p := range seqs[i] {
+				if seqs[i][p] != seqs[j][p] {
+					total++
+				}
+			}
+			pairs++
+		}
+	}
+	return float64(total) / float64(pairs)
+}

@@ -1,0 +1,128 @@
+package problem
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON interchange for instances and schedules, used by the CLI tools and
+// the harness result archives. The format is self-describing (kind is a
+// string) and validated on load.
+
+// instanceJSON is the wire form of an Instance.
+type instanceJSON struct {
+	Name string    `json:"name"`
+	Kind string    `json:"kind"`
+	D    int64     `json:"dueDate"`
+	Jobs []jobJSON `json:"jobs"`
+}
+
+type jobJSON struct {
+	P     int `json:"p"`
+	M     int `json:"m,omitempty"`
+	Alpha int `json:"alpha"`
+	Beta  int `json:"beta"`
+	Gamma int `json:"gamma,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with the stable wire form.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	w := instanceJSON{Name: in.Name, Kind: in.Kind.String(), D: in.D}
+	for _, j := range in.Jobs {
+		jj := jobJSON{P: j.P, Alpha: j.Alpha, Beta: j.Beta}
+		if in.Kind == UCDDCP {
+			jj.M = j.M
+			jj.Gamma = j.Gamma
+		}
+		w.Jobs = append(w.Jobs, jj)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, including validation.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var w instanceJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	out := Instance{Name: w.Name, D: w.D}
+	switch w.Kind {
+	case "CDD":
+		out.Kind = CDD
+	case "UCDDCP":
+		out.Kind = UCDDCP
+	default:
+		return fmt.Errorf("problem: unknown kind %q", w.Kind)
+	}
+	for _, jj := range w.Jobs {
+		j := Job{P: jj.P, M: jj.M, Alpha: jj.Alpha, Beta: jj.Beta, Gamma: jj.Gamma}
+		if out.Kind == CDD || j.M == 0 {
+			j.M = j.P
+		}
+		if out.Kind == CDD {
+			j.Gamma = 0
+		}
+		out.Jobs = append(out.Jobs, j)
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*in = out
+	return nil
+}
+
+// WriteInstanceJSON serializes an instance to w.
+func WriteInstanceJSON(w io.Writer, in *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// ReadInstanceJSON parses and validates an instance from r.
+func ReadInstanceJSON(r io.Reader) (*Instance, error) {
+	var in Instance
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+// scheduleJSON is the wire form of a Schedule.
+type scheduleJSON struct {
+	Seq   []int   `json:"sequence"`
+	Start int64   `json:"start"`
+	X     []int64 `json:"compressions,omitempty"`
+	Cost  int64   `json:"cost"`
+}
+
+// MarshalScheduleJSON serializes a schedule with its exact cost for the
+// given instance.
+func MarshalScheduleJSON(in *Instance, s *Schedule) ([]byte, error) {
+	if err := s.Validate(in); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(scheduleJSON{
+		Seq:   s.Seq,
+		Start: s.Start,
+		X:     s.X,
+		Cost:  s.Cost(in),
+	}, "", "  ")
+}
+
+// UnmarshalScheduleJSON parses a schedule and verifies both feasibility
+// and that the recorded cost matches the exact evaluation.
+func UnmarshalScheduleJSON(in *Instance, data []byte) (*Schedule, error) {
+	var w scheduleJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, err
+	}
+	s := &Schedule{Seq: w.Seq, Start: w.Start, X: w.X}
+	if err := s.Validate(in); err != nil {
+		return nil, err
+	}
+	if got := s.Cost(in); got != w.Cost {
+		return nil, fmt.Errorf("problem: schedule cost %d does not match recorded %d", got, w.Cost)
+	}
+	return s, nil
+}

@@ -1,0 +1,113 @@
+package problem
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestInstanceJSONRoundtrip(t *testing.T) {
+	for _, kind := range []Kind{CDD, UCDDCP} {
+		in := PaperExample(kind)
+		var buf bytes.Buffer
+		if err := WriteInstanceJSON(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadInstanceJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Name != in.Name || back.Kind != in.Kind || back.D != in.D || back.N() != in.N() {
+			t.Fatalf("%v: header mismatch: %+v", kind, back)
+		}
+		for i := range in.Jobs {
+			if in.Jobs[i] != back.Jobs[i] {
+				t.Fatalf("%v: job %d mismatch: %+v vs %+v", kind, i, in.Jobs[i], back.Jobs[i])
+			}
+		}
+	}
+}
+
+func TestInstanceJSONOmitsControllableFieldsForCDD(t *testing.T) {
+	in := PaperExample(CDD)
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "gamma") || strings.Contains(string(data), `"m"`) {
+		t.Errorf("CDD wire form leaks controllable fields: %s", data)
+	}
+}
+
+func TestInstanceJSONValidation(t *testing.T) {
+	cases := []string{
+		`{"name":"x","kind":"WAT","dueDate":5,"jobs":[{"p":1,"alpha":1,"beta":1}]}`,
+		`{"name":"x","kind":"CDD","dueDate":-1,"jobs":[{"p":1,"alpha":1,"beta":1}]}`,
+		`{"name":"x","kind":"CDD","dueDate":5,"jobs":[]}`,
+		`{"name":"x","kind":"CDD","dueDate":5,"jobs":[{"p":0,"alpha":1,"beta":1}]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := ReadInstanceJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestInstanceJSONDefaultsMForCDD(t *testing.T) {
+	src := `{"name":"x","kind":"CDD","dueDate":5,"jobs":[{"p":3,"alpha":1,"beta":1}]}`
+	in, err := ReadInstanceJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Jobs[0].M != 3 {
+		t.Errorf("M defaulted to %d, want P=3", in.Jobs[0].M)
+	}
+}
+
+func TestScheduleJSONRoundtrip(t *testing.T) {
+	in := PaperExample(UCDDCP)
+	s := &Schedule{Seq: IdentitySequence(5), Start: 11, X: []int64{0, 0, 0, 1, 1}}
+	data, err := MarshalScheduleJSON(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"cost": 77`) {
+		t.Errorf("wire form missing exact cost:\n%s", data)
+	}
+	back, err := UnmarshalScheduleJSON(in, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cost(in) != 77 {
+		t.Errorf("roundtrip cost = %d", back.Cost(in))
+	}
+}
+
+func TestScheduleJSONRejectsTamperedCost(t *testing.T) {
+	in := PaperExample(CDD)
+	s := &Schedule{Seq: IdentitySequence(5), Start: 5}
+	data, err := MarshalScheduleJSON(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"cost": 81`, `"cost": 80`, 1)
+	if tampered == string(data) {
+		t.Fatal("test setup: cost field not found")
+	}
+	if _, err := UnmarshalScheduleJSON(in, []byte(tampered)); err == nil {
+		t.Error("tampered cost accepted")
+	}
+}
+
+func TestScheduleJSONRejectsInfeasible(t *testing.T) {
+	in := PaperExample(CDD)
+	bad := &Schedule{Seq: []int{0, 0, 1, 2, 3}, Start: 0}
+	if _, err := MarshalScheduleJSON(in, bad); err == nil {
+		t.Error("non-permutation schedule serialized")
+	}
+	if _, err := UnmarshalScheduleJSON(in, []byte(`{"sequence":[0,0,1,2,3],"start":0,"cost":1}`)); err == nil {
+		t.Error("non-permutation schedule parsed")
+	}
+}

@@ -1,0 +1,197 @@
+// Package problem defines the data model for the two scheduling problems
+// studied in Awasthi et al., "GPGPU-based Parallel Algorithms for Scheduling
+// Against Due Date" (IPDPSW 2016): the Common Due-Date problem (CDD) and the
+// Unrestricted Common Due-Date problem with Controllable Processing Times
+// (UCDDCP).
+//
+// Both problems schedule n jobs on a single machine against a common due
+// date d. Each job i has a processing time P_i, an earliness penalty α_i per
+// unit time and a tardiness penalty β_i per unit time. In the controllable
+// variant a job may additionally be compressed from P_i down to a minimum
+// processing time M_i at a compression penalty γ_i per unit of reduction.
+//
+// The package holds only the instance/schedule model and exact objective
+// evaluation; the O(n) per-sequence optimizers live in internal/cdd and
+// internal/ucddcp.
+package problem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Job is a single job of a CDD or UCDDCP instance. All quantities are
+// integral, as in the OR-library benchmark data.
+type Job struct {
+	// P is the (uncompressed) processing time, P >= 1.
+	P int
+	// M is the minimum processing time after compression, 1 <= M <= P.
+	// For plain CDD instances M == P (no compression possible).
+	M int
+	// Alpha is the earliness penalty per unit time, Alpha >= 0.
+	Alpha int
+	// Beta is the tardiness penalty per unit time, Beta >= 0.
+	Beta int
+	// Gamma is the compression penalty per unit of processing-time
+	// reduction, Gamma >= 0. Unused when M == P.
+	Gamma int
+}
+
+// MaxCompression returns the largest admissible reduction of the job's
+// processing time, P - M.
+func (j Job) MaxCompression() int { return j.P - j.M }
+
+// Kind distinguishes the two problems of the paper.
+type Kind int
+
+const (
+	// CDD is the Common Due-Date problem: minimize Σ α_i·E_i + β_i·T_i.
+	CDD Kind = iota
+	// UCDDCP is the Unrestricted Common Due-Date problem with Controllable
+	// Processing Times: minimize Σ α_i·E_i + β_i·T_i + γ_i·X_i subject to
+	// d ≥ Σ P_i.
+	UCDDCP
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CDD:
+		return "CDD"
+	case UCDDCP:
+		return "UCDDCP"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Instance is one problem instance: a job set and a common due date.
+type Instance struct {
+	// Name identifies the instance (e.g. "cdd_n50_k3_h0.6").
+	Name string
+	// Kind selects the objective (CDD or UCDDCP).
+	Kind Kind
+	// Jobs are the jobs to schedule; len(Jobs) == n.
+	Jobs []Job
+	// D is the common due date.
+	D int64
+}
+
+// N returns the number of jobs.
+func (in *Instance) N() int { return len(in.Jobs) }
+
+// SumP returns the sum of all uncompressed processing times.
+func (in *Instance) SumP() int64 {
+	var s int64
+	for _, j := range in.Jobs {
+		s += int64(j.P)
+	}
+	return s
+}
+
+// SumM returns the sum of all minimum processing times.
+func (in *Instance) SumM() int64 {
+	var s int64
+	for _, j := range in.Jobs {
+		s += int64(j.M)
+	}
+	return s
+}
+
+// Restrictive reports whether the due date is restrictive, i.e. smaller
+// than the sum of the processing times. The OR-library CDD benchmark uses
+// restrictive due dates d = ⌊h·ΣP⌋ with h < 1; UCDDCP requires d ≥ ΣP.
+func (in *Instance) Restrictive() bool { return in.D < in.SumP() }
+
+// Validate checks structural invariants of the instance. It returns a
+// descriptive error for the first violated invariant, or nil.
+func (in *Instance) Validate() error {
+	if len(in.Jobs) == 0 {
+		return errors.New("problem: instance has no jobs")
+	}
+	if in.D < 0 {
+		return fmt.Errorf("problem: negative due date %d", in.D)
+	}
+	for i, j := range in.Jobs {
+		switch {
+		case j.P < 1:
+			return fmt.Errorf("problem: job %d has processing time %d < 1", i, j.P)
+		case j.M < 1 || j.M > j.P:
+			return fmt.Errorf("problem: job %d has minimum processing time %d outside [1,%d]", i, j.M, j.P)
+		case j.Alpha < 0:
+			return fmt.Errorf("problem: job %d has negative earliness penalty %d", i, j.Alpha)
+		case j.Beta < 0:
+			return fmt.Errorf("problem: job %d has negative tardiness penalty %d", i, j.Beta)
+		case j.Gamma < 0:
+			return fmt.Errorf("problem: job %d has negative compression penalty %d", i, j.Gamma)
+		}
+	}
+	if in.Kind == UCDDCP && in.Restrictive() {
+		return fmt.Errorf("problem: UCDDCP requires d >= ΣP (unrestricted), got d=%d < ΣP=%d", in.D, in.SumP())
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{Name: in.Name, Kind: in.Kind, D: in.D}
+	out.Jobs = make([]Job, len(in.Jobs))
+	copy(out.Jobs, in.Jobs)
+	return out
+}
+
+// NewCDD builds a CDD instance from parallel parameter slices. The slices
+// must have equal length. Minimum processing times are set to P (no
+// compression) and γ to zero.
+func NewCDD(name string, p, alpha, beta []int, d int64) (*Instance, error) {
+	if len(p) != len(alpha) || len(p) != len(beta) {
+		return nil, fmt.Errorf("problem: mismatched slice lengths p=%d alpha=%d beta=%d", len(p), len(alpha), len(beta))
+	}
+	in := &Instance{Name: name, Kind: CDD, D: d, Jobs: make([]Job, len(p))}
+	for i := range p {
+		in.Jobs[i] = Job{P: p[i], M: p[i], Alpha: alpha[i], Beta: beta[i]}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// NewUCDDCP builds a UCDDCP instance from parallel parameter slices.
+func NewUCDDCP(name string, p, m, alpha, beta, gamma []int, d int64) (*Instance, error) {
+	n := len(p)
+	if len(m) != n || len(alpha) != n || len(beta) != n || len(gamma) != n {
+		return nil, fmt.Errorf("problem: mismatched slice lengths (n=%d)", n)
+	}
+	in := &Instance{Name: name, Kind: UCDDCP, D: d, Jobs: make([]Job, n)}
+	for i := range p {
+		in.Jobs[i] = Job{P: p[i], M: m[i], Alpha: alpha[i], Beta: beta[i], Gamma: gamma[i]}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// PaperExample returns the 5-job instance of Table I of the paper. With the
+// identity sequence and d = 16 the optimal CDD penalty is 81; with d = 22
+// the optimal UCDDCP penalty for the identity sequence is 77.
+func PaperExample(kind Kind) *Instance {
+	p := []int{6, 5, 2, 4, 4}
+	m := []int{5, 5, 2, 3, 3}
+	alpha := []int{7, 9, 6, 9, 3}
+	beta := []int{9, 5, 4, 3, 2}
+	gamma := []int{5, 4, 3, 2, 1}
+	if kind == CDD {
+		in, err := NewCDD("paper-example-cdd", p, alpha, beta, 16)
+		if err != nil {
+			panic(err) // static data; cannot fail
+		}
+		return in
+	}
+	in, err := NewUCDDCP("paper-example-ucddcp", p, m, alpha, beta, gamma, 22)
+	if err != nil {
+		panic(err) // static data; cannot fail
+	}
+	return in
+}

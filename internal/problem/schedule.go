@@ -1,0 +1,206 @@
+package problem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schedule is a fully specified solution of a CDD/UCDDCP instance for some
+// job sequence: the processing order, the start time of the first job, and
+// (for UCDDCP) the per-job compressions. Jobs are processed back to back
+// with no machine idle time, which is optimal for both problems
+// (Cheng–Kahlbacher).
+type Schedule struct {
+	// Seq holds job indices (0-based into Instance.Jobs) in processing
+	// order.
+	Seq []int
+	// Start is the start time of the first job in Seq.
+	Start int64
+	// X holds the compression of each job, indexed by job id (not by
+	// position). nil means "no compression anywhere" and is the normal
+	// state for CDD schedules.
+	X []int64
+}
+
+// Completions returns the completion time of every job in processing order
+// (indexed by position). The result has length len(s.Seq).
+func (s *Schedule) Completions(in *Instance) []int64 {
+	out := make([]int64, len(s.Seq))
+	t := s.Start
+	for pos, job := range s.Seq {
+		p := int64(in.Jobs[job].P)
+		if s.X != nil {
+			p -= s.X[job]
+		}
+		t += p
+		out[pos] = t
+	}
+	return out
+}
+
+// Cost evaluates the exact objective value of the schedule:
+//
+//	Σ α_i·E_i + β_i·T_i + γ_i·X_i
+//
+// with E_i = max(0, d−C_i) and T_i = max(0, C_i−d). For CDD schedules
+// (X == nil) the compression term vanishes.
+func (s *Schedule) Cost(in *Instance) int64 {
+	var cost int64
+	t := s.Start
+	d := in.D
+	for _, job := range s.Seq {
+		j := in.Jobs[job]
+		p := int64(j.P)
+		if s.X != nil {
+			x := s.X[job]
+			p -= x
+			cost += int64(j.Gamma) * x
+		}
+		t += p
+		if t < d {
+			cost += int64(j.Alpha) * (d - t)
+		} else {
+			cost += int64(j.Beta) * (t - d)
+		}
+	}
+	return cost
+}
+
+// Validate checks that the schedule is feasible for the instance: Seq is a
+// permutation of 0..n-1, the start time is non-negative, and every
+// compression lies in [0, P_i−M_i].
+func (s *Schedule) Validate(in *Instance) error {
+	n := in.N()
+	if len(s.Seq) != n {
+		return fmt.Errorf("problem: schedule has %d positions, instance has %d jobs", len(s.Seq), n)
+	}
+	if !IsPermutation(s.Seq) {
+		return fmt.Errorf("problem: schedule sequence is not a permutation of 0..%d", n-1)
+	}
+	if s.Start < 0 {
+		return fmt.Errorf("problem: negative start time %d", s.Start)
+	}
+	if s.X != nil {
+		if len(s.X) != n {
+			return fmt.Errorf("problem: compression vector has length %d, want %d", len(s.X), n)
+		}
+		for i, x := range s.X {
+			if x < 0 || x > int64(in.Jobs[i].MaxCompression()) {
+				return fmt.Errorf("problem: job %d compression %d outside [0,%d]", i, x, in.Jobs[i].MaxCompression())
+			}
+		}
+	}
+	return nil
+}
+
+// DueDatePosition returns the 1-based position r of the job that completes
+// exactly at the due date, or 0 if no job does.
+func (s *Schedule) DueDatePosition(in *Instance) int {
+	for pos, c := range s.Completions(in) {
+		if c == in.D {
+			return pos + 1
+		}
+	}
+	return 0
+}
+
+// Gantt renders a small textual Gantt chart of the schedule, marking the
+// due date. Intended for examples and debugging, not for large n.
+func (s *Schedule) Gantt(in *Instance) string {
+	var b strings.Builder
+	t := s.Start
+	fmt.Fprintf(&b, "t=%d |", s.Start)
+	for _, job := range s.Seq {
+		p := int64(in.Jobs[job].P)
+		if s.X != nil {
+			p -= s.X[job]
+		}
+		t += p
+		fmt.Fprintf(&b, " J%d→%d |", job+1, t)
+	}
+	fmt.Fprintf(&b, "  d=%d", in.D)
+	return b.String()
+}
+
+// IsPermutation reports whether seq is a permutation of 0..len(seq)-1.
+func IsPermutation(seq []int) bool {
+	seen := make([]bool, len(seq))
+	for _, v := range seq {
+		if v < 0 || v >= len(seq) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// IdentitySequence returns the sequence 0,1,…,n-1.
+func IdentitySequence(n int) []int {
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	return seq
+}
+
+// SequenceCost evaluates Σ α·E + β·T (+ γ·X) for an explicit sequence,
+// start time, and optional compression vector without building a Schedule.
+func SequenceCost(in *Instance, seq []int, start int64, x []int64) int64 {
+	s := Schedule{Seq: seq, Start: start, X: x}
+	return s.Cost(in)
+}
+
+// VShapeViolations counts adjacent-pair violations of the V-shape property
+// around the due date: among early jobs, processing times should be
+// non-increasing in P_i/α_i order heuristics; here we use the classic weak
+// check that early jobs appear in non-increasing P/α ratio and tardy jobs
+// in non-decreasing P/β ratio. The count is a diagnostic used by tests and
+// examples; 0 does not imply optimality.
+func VShapeViolations(in *Instance, s *Schedule) int {
+	comps := s.Completions(in)
+	var early, tardy []int
+	for pos, job := range s.Seq {
+		if comps[pos] <= in.D {
+			early = append(early, job)
+		} else {
+			tardy = append(tardy, job)
+		}
+	}
+	violations := 0
+	ratio := func(p, w int) float64 {
+		if w == 0 {
+			return float64(p) * 1e9
+		}
+		return float64(p) / float64(w)
+	}
+	for i := 1; i < len(early); i++ {
+		a, b := in.Jobs[early[i-1]], in.Jobs[early[i]]
+		if ratio(a.P, a.Alpha) < ratio(b.P, b.Alpha)-1e-12 {
+			violations++
+		}
+	}
+	for i := 1; i < len(tardy); i++ {
+		a, b := in.Jobs[tardy[i-1]], in.Jobs[tardy[i]]
+		if ratio(a.P, a.Beta) > ratio(b.P, b.Beta)+1e-12 {
+			violations++
+		}
+	}
+	return violations
+}
+
+// SortedByRatio returns job ids sorted by P/weight ratio, descending when
+// desc is true. It is a helper for constructive V-shaped heuristics.
+func SortedByRatio(in *Instance, weight func(Job) int, desc bool) []int {
+	ids := IdentitySequence(in.N())
+	sort.SliceStable(ids, func(a, b int) bool {
+		ja, jb := in.Jobs[ids[a]], in.Jobs[ids[b]]
+		ra := float64(ja.P) / float64(max(1, weight(ja)))
+		rb := float64(jb.P) / float64(max(1, weight(jb)))
+		if desc {
+			return ra > rb
+		}
+		return ra < rb
+	})
+	return ids
+}

@@ -1,0 +1,95 @@
+package sa
+
+import "math"
+
+// Schedule identifies a cooling schedule. The paper uses Exponential with
+// μ = 0.88; the others are standard alternatives offered by the library
+// (BenchmarkAblationCooling compares factors, TestCoolingSchedules pins
+// the curves).
+type Schedule int
+
+const (
+	// Exponential is T_k = T₀·μᵏ (the paper's schedule).
+	Exponential Schedule = iota
+	// Linear is T_k = T₀·(1 − k/K), reaching zero at the final iteration.
+	Linear
+	// Logarithmic is the classic Boltzmann schedule T_k = T₀/ln(k+e),
+	// which cools very slowly (theoretical convergence guarantees).
+	Logarithmic
+	// Reheating is exponential cooling that resets to T₀·ReheatFactor
+	// every ReheatPeriod iterations — a cheap diversification device for
+	// long runs.
+	Reheating
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case Exponential:
+		return "exponential"
+	case Linear:
+		return "linear"
+	case Logarithmic:
+		return "logarithmic"
+	case Reheating:
+		return "reheating"
+	default:
+		return "schedule?"
+	}
+}
+
+// Cooler computes the temperature for an iteration index. Coolers are
+// stateless: T(k) is a pure function of k, so chains can be replayed and
+// the GPU pipeline can evaluate it host-side or device-side identically.
+type Cooler struct {
+	schedule Schedule
+	t0       float64
+	mu       float64
+	total    int
+	reheatN  int
+	reheatF  float64
+}
+
+// NewCooler builds a cooler. total is the planned iteration count (used
+// by Linear); reheatPeriod/reheatFactor configure Reheating (defaults
+// 100 and 0.5 when zero).
+func NewCooler(schedule Schedule, t0, mu float64, total, reheatPeriod int, reheatFactor float64) *Cooler {
+	if reheatPeriod <= 0 {
+		reheatPeriod = 100
+	}
+	if reheatFactor <= 0 || reheatFactor > 1 {
+		reheatFactor = 0.5
+	}
+	if total <= 0 {
+		total = 1
+	}
+	return &Cooler{
+		schedule: schedule,
+		t0:       t0,
+		mu:       mu,
+		total:    total,
+		reheatN:  reheatPeriod,
+		reheatF:  reheatFactor,
+	}
+}
+
+// At returns the temperature of iteration k (0-based).
+func (c *Cooler) At(k int) float64 {
+	switch c.schedule {
+	case Linear:
+		t := c.t0 * (1 - float64(k)/float64(c.total))
+		if t < 0 {
+			return 0
+		}
+		return t
+	case Logarithmic:
+		return c.t0 / math.Log(float64(k)+math.E)
+	case Reheating:
+		epoch := k / c.reheatN
+		within := k % c.reheatN
+		base := c.t0 * math.Pow(c.reheatF, float64(epoch))
+		return base * math.Pow(c.mu, float64(within))
+	default: // Exponential
+		return c.t0 * math.Pow(c.mu, float64(k))
+	}
+}

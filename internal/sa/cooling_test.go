@@ -1,0 +1,139 @@
+package sa
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/problem"
+	"repro/internal/xrand"
+)
+
+func TestCoolerExponential(t *testing.T) {
+	c := NewCooler(Exponential, 100, 0.5, 1000, 0, 0)
+	for k, want := range []float64{100, 50, 25, 12.5} {
+		if got := c.At(k); math.Abs(got-want) > 1e-9 {
+			t.Errorf("At(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestCoolerLinear(t *testing.T) {
+	c := NewCooler(Linear, 100, 0, 10, 0, 0)
+	if got := c.At(0); got != 100 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := c.At(5); got != 50 {
+		t.Errorf("At(5) = %v, want 50", got)
+	}
+	if got := c.At(10); got != 0 {
+		t.Errorf("At(10) = %v, want 0", got)
+	}
+	if got := c.At(20); got != 0 {
+		t.Errorf("At(20) = %v, want clamped 0", got)
+	}
+}
+
+func TestCoolerLogarithmic(t *testing.T) {
+	c := NewCooler(Logarithmic, 100, 0, 1000, 0, 0)
+	if got := c.At(0); math.Abs(got-100) > 1e-9 {
+		t.Errorf("At(0) = %v, want 100 (ln e = 1)", got)
+	}
+	// Must decrease, slowly.
+	if !(c.At(10) < c.At(0)) || !(c.At(100) < c.At(10)) {
+		t.Error("logarithmic schedule not decreasing")
+	}
+	if c.At(1000) < 10 {
+		t.Errorf("logarithmic cooled too fast: At(1000) = %v", c.At(1000))
+	}
+}
+
+func TestCoolerReheating(t *testing.T) {
+	c := NewCooler(Reheating, 100, 0.5, 1000, 10, 0.5)
+	// Within the first epoch: plain exponential.
+	if got := c.At(3); math.Abs(got-100*0.125) > 1e-9 {
+		t.Errorf("At(3) = %v, want 12.5", got)
+	}
+	// Start of the second epoch: reheated to T0·0.5.
+	if got := c.At(10); math.Abs(got-50) > 1e-9 {
+		t.Errorf("At(10) = %v, want reheated 50", got)
+	}
+	if !(c.At(10) > c.At(9)) {
+		t.Error("no reheat spike at the epoch boundary")
+	}
+}
+
+func TestCoolerDefaults(t *testing.T) {
+	c := NewCooler(Reheating, 10, 0.9, 0, 0, 0)
+	if c.reheatN != 100 || c.reheatF != 0.5 || c.total != 1 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestScheduleStrings(t *testing.T) {
+	for s, want := range map[Schedule]string{
+		Exponential: "exponential",
+		Linear:      "linear",
+		Logarithmic: "logarithmic",
+		Reheating:   "reheating",
+		Schedule(9): "schedule?",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+// TestChainWithAlternativeSchedules runs a chain under each schedule and
+// checks the temperature trajectory matches the cooler exactly.
+func TestChainWithAlternativeSchedules(t *testing.T) {
+	in := problem.PaperExample(problem.CDD)
+	for _, sched := range []Schedule{Linear, Logarithmic, Reheating} {
+		t.Run(sched.String(), func(t *testing.T) {
+			eval := core.NewEvaluator(in)
+			cfg := DefaultConfig()
+			cfg.T0 = 50
+			cfg.Iterations = 40
+			cfg.Schedule = sched
+			cfg.ReheatPeriod = 10
+			cfg.TempSamples = 10
+			chain := NewChain(cfg, eval, xrand.New(1))
+			cooler := NewCooler(sched, 50, cfg.Cooling, cfg.Iterations, cfg.ReheatPeriod, cfg.ReheatFactor)
+			for k := 1; k <= 40; k++ {
+				chain.Step()
+				if got, want := chain.Temperature(), cooler.At(k); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("step %d: T = %v, cooler says %v", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestNeighborOperators runs a chain under each neighbourhood and checks
+// validity plus improvement over random.
+func TestNeighborOperators(t *testing.T) {
+	in := problem.PaperExample(problem.CDD)
+	for _, op := range []NeighborOp{NeighborShuffle, NeighborSwap, NeighborInsert, NeighborReverse, NeighborMixed} {
+		eval := core.NewEvaluator(in)
+		cfg := DefaultConfig()
+		cfg.Iterations = 300
+		cfg.TempSamples = 100
+		cfg.Neighborhood = op
+		// A 4-chain mini-ensemble: single chains can legitimately stall in
+		// a local optimum of the narrower move operators (e.g. swap).
+		best := int64(1) << 62
+		for c := uint64(0); c < 4; c++ {
+			chain := NewChain(cfg, eval, xrand.NewStream(uint64(op)+5, c))
+			if b := chain.Run(); b < best {
+				best = b
+			}
+			seq, _ := chain.Best()
+			if !problem.IsPermutation(seq) {
+				t.Errorf("op %d: best is not a permutation", op)
+			}
+		}
+		if best > 81 {
+			t.Errorf("op %d: 4-chain best %d did not reach the n=5 optimum 81", op, best)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package simplex is a small dense linear-programming solver: a two-phase
+// primal simplex with Bland's anti-cycling rule. The paper's two-layered
+// approach (Section III) observes that for a fixed job sequence the
+// remaining problem is a linear program — "polynomially solvable", but
+// "LP solvers are quite slow when run iteratively on some general
+// heuristic algorithm" — which motivates the specialized O(n) algorithms.
+// This package makes that comparison concrete: internal/lpref builds the
+// per-sequence LP and solves it here, tests pin the result to the O(n)
+// algorithms, and a benchmark quantifies the slowdown the paper avoids.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Problem is an LP in computational standard form:
+//
+//	minimize    cᵀx
+//	subject to  Ax = b,  x ≥ 0
+//
+// with b ≥ 0 required (negate rows as needed before constructing the
+// problem; the builders in internal/lpref do this). A is dense,
+// row-major: A[i] is constraint row i.
+type Problem struct {
+	A [][]float64
+	B []float64
+	C []float64
+}
+
+// Validate checks dimensions and the b ≥ 0 convention.
+func (p *Problem) Validate() error {
+	m := len(p.A)
+	if m == 0 {
+		return errors.New("simplex: no constraints")
+	}
+	n := len(p.C)
+	if n == 0 {
+		return errors.New("simplex: no variables")
+	}
+	if len(p.B) != m {
+		return fmt.Errorf("simplex: %d rows but %d right-hand sides", m, len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("simplex: row %d has %d columns, want %d", i, len(row), n)
+		}
+		if p.B[i] < 0 {
+			return fmt.Errorf("simplex: negative right-hand side b[%d] = %g (negate the row)", i, p.B[i])
+		}
+	}
+	return nil
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	// Objective is cᵀx at the optimum (meaningful only when Optimal).
+	Objective float64
+	// X is the primal solution (length = number of structural variables).
+	X []float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+const eps = 1e-9
+
+// Solve runs the two-phase primal simplex on the problem.
+func Solve(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	m, n := len(p.A), len(p.C)
+
+	// Build the phase-1 tableau with one artificial variable per row.
+	// Columns: structural 0..n-1, artificial n..n+m-1, then RHS.
+	width := n + m + 1
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, width)
+		copy(t[i], p.A[i])
+		t[i][n+i] = 1
+		t[i][width-1] = p.B[i]
+		basis[i] = n + i
+	}
+
+	// Phase 1 objective: minimize the sum of artificials. Its reduced-cost
+	// row is the negative column sums over all rows (artificials basic).
+	obj := make([]float64, width)
+	for i := 0; i < m; i++ {
+		for j := 0; j < width; j++ {
+			obj[j] -= t[i][j]
+		}
+	}
+	for j := n; j < n+m; j++ {
+		obj[j] = 0
+	}
+	iters, status := pivotLoop(t, basis, obj, n+m)
+	total := iters
+	if status == Unbounded {
+		// Phase 1 cannot be unbounded (objective bounded below by 0);
+		// numerical trouble — report infeasible conservatively.
+		return Solution{Status: Infeasible, Iterations: total}, nil
+	}
+	if -obj[width-1] > 1e-6 { // phase-1 optimum > 0
+		return Solution{Status: Infeasible, Iterations: total}, nil
+	}
+	// Drive any artificial still in the basis out (degenerate rows).
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(t[i][j]) > eps {
+				pivot(t, basis, i, j)
+				total++
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Whole row is zero over structural variables: redundant
+			// constraint; leave the artificial at zero level.
+			continue
+		}
+	}
+
+	// Phase 2: the real objective, with reduced costs computed against
+	// the current basis.
+	obj = make([]float64, width)
+	copy(obj, p.C)
+	for j := n; j < n+m; j++ {
+		obj[j] = math.Inf(1) // forbid artificials from re-entering
+	}
+	// Price out basic columns.
+	for i := 0; i < m; i++ {
+		bj := basis[i]
+		cost := 0.0
+		if bj < n {
+			cost = p.C[bj]
+		}
+		if cost == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			if !math.IsInf(obj[j], 1) {
+				obj[j] -= cost * t[i][j]
+			}
+		}
+	}
+	iters, status = pivotLoop(t, basis, obj, n+m)
+	total += iters
+	if status == Unbounded {
+		return Solution{Status: Unbounded, Iterations: total}, nil
+	}
+
+	x := make([]float64, n)
+	for i, bj := range basis {
+		if bj < n {
+			x[bj] = t[i][width-1]
+		}
+	}
+	objective := 0.0
+	for j := 0; j < n; j++ {
+		objective += p.C[j] * x[j]
+	}
+	return Solution{Status: Optimal, Objective: objective, X: x, Iterations: total}, nil
+}
+
+// pivotLoop runs simplex pivots until optimality or unboundedness. obj is
+// the reduced-cost row (with obj[width-1] holding the negated objective
+// value); cols is the number of eligible entering columns. Entering and
+// leaving variables follow Bland's rule, which guarantees termination.
+func pivotLoop(t [][]float64, basis []int, obj []float64, cols int) (int, Status) {
+	m := len(t)
+	width := len(t[0])
+	iters := 0
+	for {
+		// Bland: first column with negative reduced cost.
+		enter := -1
+		for j := 0; j < cols; j++ {
+			if !math.IsInf(obj[j], 1) && obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return iters, Optimal
+		}
+		// Ratio test; Bland tie-break on the smallest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t[i][enter]
+			if a > eps {
+				ratio := t[i][width-1] / a
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return iters, Unbounded
+		}
+		pivot(t, basis, leave, enter)
+		// Update the reduced-cost row.
+		factor := obj[enter]
+		if factor != 0 {
+			for j := 0; j < width; j++ {
+				if !math.IsInf(obj[j], 1) {
+					obj[j] -= factor * t[leave][j]
+				}
+			}
+		}
+		iters++
+		if iters > 50000 {
+			return iters, Unbounded // safety valve; should be unreachable with Bland's rule
+		}
+	}
+}
+
+// pivot performs a Gauss–Jordan pivot on (row, col) and records the basis
+// change.
+func pivot(t [][]float64, basis []int, row, col int) {
+	m := len(t)
+	width := len(t[0])
+	pv := t[row][col]
+	for j := 0; j < width; j++ {
+		t[row][j] /= pv
+	}
+	t[row][col] = 1 // exact
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+		t[i][col] = 0 // exact
+	}
+	basis[row] = col
+}

@@ -1,0 +1,146 @@
+package simplex
+
+import (
+	"math"
+	"testing"
+)
+
+// solveOK solves and requires an optimal status.
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+// TestTextbook solves min −3x−5y s.t. x≤4, 2y≤12, 3x+2y≤18 (the classic
+// Dantzig example): optimum −36 at (2,6).
+func TestTextbook(t *testing.T) {
+	p := &Problem{
+		// Variables: x, y, s1, s2, s3.
+		A: [][]float64{
+			{1, 0, 1, 0, 0},
+			{0, 2, 0, 1, 0},
+			{3, 2, 0, 0, 1},
+		},
+		B: []float64{4, 12, 18},
+		C: []float64{-3, -5, 0, 0, 0},
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, -36) {
+		t.Errorf("objective = %v, want -36", sol.Objective)
+	}
+	if !approx(sol.X[0], 2) || !approx(sol.X[1], 6) {
+		t.Errorf("x = %v, want (2,6,...)", sol.X)
+	}
+}
+
+// TestEqualityOnly exercises phase 1: min x+y s.t. x+y=10, x−y=4 →
+// unique point (7,3), objective 10.
+func TestEqualityOnly(t *testing.T) {
+	p := &Problem{
+		A: [][]float64{
+			{1, 1},
+			{1, -1},
+		},
+		B: []float64{10, 4},
+		C: []float64{1, 1},
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 10) || !approx(sol.X[0], 7) || !approx(sol.X[1], 3) {
+		t.Errorf("got %v obj %v", sol.X, sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x = 5 and x = 3 simultaneously.
+	p := &Problem{
+		A: [][]float64{{1}, {1}},
+		B: []float64{5, 3},
+		C: []float64{1},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min −x s.t. x − y = 1: x can grow with y.
+	p := &Problem{
+		A: [][]float64{{1, -1}},
+		B: []float64{1},
+		C: []float64{-1, 0},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A degenerate vertex (redundant constraint through the optimum);
+	// Bland's rule must terminate.
+	p := &Problem{
+		A: [][]float64{
+			{1, 1, 1, 0, 0},
+			{1, 1, 0, 1, 0},
+			{1, 0, 0, 0, 1},
+		},
+		B: []float64{2, 2, 1},
+		C: []float64{-1, -1, 0, 0, 0},
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, -2) {
+		t.Errorf("objective = %v, want -2", sol.Objective)
+	}
+}
+
+func TestRedundantRow(t *testing.T) {
+	// Second row is twice the first: an artificial stays basic at zero.
+	p := &Problem{
+		A: [][]float64{
+			{1, 1},
+			{2, 2},
+		},
+		B: []float64{4, 8},
+		C: []float64{1, 2},
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 4) { // all weight on x0
+		t.Errorf("objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Problem{
+		{},
+		{A: [][]float64{{1}}, B: []float64{1, 2}, C: []float64{1}},
+		{A: [][]float64{{1, 2}}, B: []float64{1}, C: []float64{1}},
+		{A: [][]float64{{1}}, B: []float64{-1}, C: []float64{1}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings broken")
+	}
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("constant stddev = %v", got)
+	}
+	got := StdDev([]float64{1, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("stddev of {1,3} = %v, want 1", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-element stddev should be 0")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if Min(xs) != 1 || Max(xs) != 5 || Median(xs) != 3 {
+		t.Errorf("min/max/median = %v/%v/%v", Min(xs), Max(xs), Median(xs))
+	}
+	even := []float64{4, 1, 3, 2}
+	if Median(even) != 2.5 {
+		t.Errorf("even median = %v, want 2.5", Median(even))
+	}
+	// Median must not mutate its input.
+	if xs[0] != 5 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Min":    func() { Min(nil) },
+		"Max":    func() { Max(nil) },
+		"Median": func() { Median(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Med != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+	if str := s.String(); !strings.Contains(str, "n=3") {
+		t.Errorf("String() = %q", str)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10, 2); got != 5 {
+		t.Errorf("Speedup(10,2) = %v", got)
+	}
+	if !math.IsInf(Speedup(10, 0), 1) {
+		t.Error("zero denominator should be +Inf")
+	}
+}
+
+// TestQuickBounds property-checks min ≤ med ≤ mean±... ≤ max orderings.
+func TestQuickBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}
+	property := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%50)
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Med && s.Med <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

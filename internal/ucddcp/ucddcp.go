@@ -1,0 +1,238 @@
+// Package ucddcp implements the O(n) optimizer for a fixed job sequence of
+// the Unrestricted Common Due-Date problem with Controllable Processing
+// Times, after Awasthi, Lässig and Kramer, "Un-restricted common due-date
+// problem with controllable processing times: Linear algorithm for a given
+// job sequence" (ICEIS 2015), as used as the inner layer of the two-layered
+// GPU approach in Awasthi et al. (IPDPSW 2016).
+//
+// The algorithm runs in two phases:
+//
+//  1. CDD phase — time the uncompressed sequence optimally with the linear
+//     CDD algorithm. By Property 1 of the paper, the position r of the job
+//     completing at the due date does not change when compression is
+//     introduced.
+//  2. Compression phase — by Property 2, if compressing a job improves the
+//     solution at all, compressing it to its minimum processing time is
+//     optimal ("all or nothing"). A tardy job j (position > r) is
+//     compressed when the tardiness penalties of the still-tardy jobs from
+//     j onwards exceed γ_j; compressing it pulls the whole suffix towards
+//     the due date. An early (or on-time) job j is compressed when the
+//     earliness penalties of all preceding jobs exceed γ_j; compressing it
+//     pushes the prefix right, towards the due date, while job j's own
+//     completion stays fixed.
+//
+// With the due-date job anchored at position r, a tardy job can never be
+// pulled across the due date by compression: the completion of the job at
+// position q > r is d + Σ_{k=r+1..q}(P_k−X_k) ≥ d + (q−r)·min M ≥ d+1, so
+// the all-or-nothing rule is exact and the benefit sums are plain suffix
+// sums (confirmed against the exhaustive reference solver in tests). The
+// tardy side nevertheless uses a two-pointer sweep over the still-tardy
+// suffix so that the degenerate r = 0 case (restrictive due date or
+// all-zero α, outside the paper's UCDDCP domain) is also handled
+// gracefully; there the start-time anchor replaces the due-date anchor and
+// consumed tardiness must be tracked. The returned cost is always the
+// exact objective value of the schedule actually constructed.
+package ucddcp
+
+import (
+	"repro/internal/cdd"
+	"repro/internal/problem"
+)
+
+// Result describes the optimized timing and compression of a fixed
+// sequence.
+type Result struct {
+	// Cost is the total penalty Σ α·E + β·T + γ·X of the returned
+	// schedule, evaluated exactly.
+	Cost int64
+	// Start is the start time of the first job.
+	Start int64
+	// DueJob is the 1-based position of the job completing at the due date
+	// after the CDD phase (Property 1: unchanged by compression), or 0 in
+	// the degenerate no-due-job case.
+	DueJob int
+	// X is the compression per job, indexed by job id. Results returned by
+	// Evaluator.Optimize alias the evaluator's scratch buffer and are
+	// valid until the next call; OptimizeSequence returns a private copy.
+	X []int64
+}
+
+// OptimizeSequence optimizes the timing and compressions of the fixed
+// sequence seq. The returned Result owns its X slice.
+func OptimizeSequence(in *problem.Instance, seq []int) Result {
+	e := NewEvaluator(in)
+	res := e.Optimize(seq)
+	x := make([]int64, len(res.X))
+	copy(x, res.X)
+	res.X = x
+	return res
+}
+
+// OptimizeSequenceNoCompression returns the optimal cost of the sequence
+// with all compressions forced to zero — the plain CDD timing of the same
+// sequence. It is the natural upper bound for Optimize's cost.
+func OptimizeSequenceNoCompression(in *problem.Instance, seq []int) int64 {
+	return cdd.OptimizeSequence(in, seq).Cost
+}
+
+// Evaluator evaluates sequences of one UCDDCP instance repeatedly without
+// allocation. Not safe for concurrent use; create one per goroutine (or
+// per simulated GPU thread).
+type Evaluator struct {
+	in    *problem.Instance
+	cdd   *cdd.Evaluator
+	comp  []int64 // completion times by position
+	x     []int64 // compression by job id
+	shAcc []int64 // cumulative tardy-side compression applied up to each position
+}
+
+// NewEvaluator returns an evaluator for the given instance.
+func NewEvaluator(in *problem.Instance) *Evaluator {
+	return &Evaluator{
+		in:    in,
+		cdd:   cdd.NewEvaluator(in),
+		comp:  make([]int64, in.N()),
+		x:     make([]int64, in.N()),
+		shAcc: make([]int64, in.N()),
+	}
+}
+
+// Instance returns the instance the evaluator was built for.
+func (e *Evaluator) Instance() *problem.Instance { return e.in }
+
+// Cost returns only the optimized penalty of the sequence; it is the
+// fitness function used by the metaheuristics.
+func (e *Evaluator) Cost(seq []int) int64 { return e.Optimize(seq).Cost }
+
+// Optimize runs the two-phase linear algorithm on the sequence. The
+// Result's X slice aliases evaluator scratch and is valid until the next
+// call.
+func (e *Evaluator) Optimize(seq []int) Result {
+	jobs := e.in.Jobs
+	d := e.in.D
+	n := len(seq)
+
+	// Phase 1: optimal timing of the uncompressed sequence.
+	base := e.cdd.Optimize(seq)
+	comp := e.comp[:n]
+	t := base.Start
+	for pos, job := range seq {
+		t += int64(jobs[job].P)
+		comp[pos] = t
+	}
+	x := e.x[:n]
+	for i := range x {
+		x[i] = 0
+	}
+	r := base.DueJob // 1-based; 0-based index of the due-date job is r-1
+
+	// Phase 2a: tardy side — 0-based positions r..n-1. (When r == 0, no
+	// job completes at d — restrictive due date or all-zero α — and the
+	// whole sequence is treated as the tardy side; compressing any job
+	// then shortens the suffix while the start time is unaffected.)
+	//
+	// Invariants of the ascending sweep at cursor position pos:
+	//   shift        = Σ of compressions decided at positions < pos; every
+	//                  position q ≥ pos currently completes at comp[q]−shift.
+	//   shAcc[q]     = Σ of compressions decided at positions ≤ q (q < pos);
+	//                  position q < pos currently completes at comp[q]−shAcc[q].
+	//   tp           = smallest position whose current completion exceeds d
+	//                  (the still-tardy set is exactly {q : q ≥ tp} because
+	//                  current completions are strictly increasing: each
+	//                  step adds P−x ≥ M ≥ 1).
+	//   sbPos, sbTp  = Σ β over positions ≥ pos resp. ≥ tp.
+	shAcc := e.shAcc[:n]
+	var shift int64
+	tp := r
+	var sbTp int64
+	for q := tp; q < n; q++ {
+		sbTp += int64(jobs[seq[q]].Beta)
+	}
+	for tp < n && comp[tp] <= d { // only reachable when r == 0
+		sbTp -= int64(jobs[seq[tp]].Beta)
+		tp++
+	}
+	sbPos := sbTp
+	if r < tp {
+		// sbPos must start as the suffix sum from position r.
+		sbPos = sbTp
+		for q := tp - 1; q >= r; q-- {
+			sbPos += int64(jobs[seq[q]].Beta)
+		}
+	}
+	for pos := r; pos < n; pos++ {
+		// Advance tp past positions whose tardiness has been consumed.
+		for tp < n {
+			cur := comp[tp] - shift
+			if tp < pos {
+				cur = comp[tp] - shAcc[tp]
+			}
+			if cur > d {
+				break
+			}
+			sbTp -= int64(jobs[seq[tp]].Beta)
+			tp++
+		}
+		job := seq[pos]
+		u := int64(jobs[job].MaxCompression())
+		if u > 0 {
+			// Compressing position pos shifts positions ≥ pos left; the
+			// benefiting jobs are the still-tardy ones among them, i.e.
+			// positions ≥ max(pos, tp).
+			benefit := sbPos
+			if tp > pos {
+				benefit = sbTp
+			}
+			if benefit > int64(jobs[job].Gamma) {
+				x[job] = u
+				shift += u
+			}
+		}
+		shAcc[pos] = shift
+		sbPos -= int64(jobs[seq[pos]].Beta)
+	}
+	// Apply tardy-side shifts to completion times.
+	if shift > 0 {
+		for pos := r; pos < n; pos++ {
+			comp[pos] -= shAcc[pos]
+		}
+	}
+
+	// Phase 2b: early side — 0-based positions 0..r-1. Compressing the job
+	// at position pos keeps its completion fixed and pushes positions
+	// 0..pos-1 right by its compression, so the benefit is the α-sum of
+	// the preceding positions, independent of other early compressions
+	// (all predecessors remain strictly early: their completions stay
+	// below the compressed job's new start time, which is below d).
+	var alphaPrefix int64
+	for pos := 0; pos < r; pos++ {
+		job := seq[pos]
+		u := int64(jobs[job].MaxCompression())
+		if u > 0 && alphaPrefix > int64(jobs[job].Gamma) {
+			x[job] = u
+		}
+		alphaPrefix += int64(jobs[job].Alpha)
+	}
+	// Apply early-side shifts: position pos moves right by the total
+	// compression of early positions after it.
+	var rightShift int64
+	for pos := r - 1; pos >= 0; pos-- {
+		comp[pos] += rightShift
+		rightShift += x[seq[pos]]
+	}
+
+	// Exact final cost from the resulting schedule.
+	var cost int64
+	for pos, job := range seq {
+		j := jobs[job]
+		c := comp[pos]
+		if c < d {
+			cost += int64(j.Alpha) * (d - c)
+		} else {
+			cost += int64(j.Beta) * (c - d)
+		}
+		cost += int64(j.Gamma) * x[job]
+	}
+	start := comp[0] - (int64(jobs[seq[0]].P) - x[seq[0]])
+	return Result{Cost: cost, Start: start, DueJob: r, X: x}
+}

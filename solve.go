@@ -1,0 +1,235 @@
+package duedate
+
+import (
+	"fmt"
+
+	"repro/internal/cdd"
+	"repro/internal/core"
+	"repro/internal/dpso"
+	"repro/internal/es"
+	"repro/internal/parallel"
+	"repro/internal/problem"
+	"repro/internal/sa"
+	"repro/internal/ta"
+	"repro/internal/ucddcp"
+	"repro/internal/xrand"
+)
+
+// Algorithm selects the sequence-layer metaheuristic.
+type Algorithm int
+
+const (
+	// SA is Simulated Annealing (the paper's best performer).
+	SA Algorithm = iota
+	// DPSO is the Discrete Particle Swarm Optimization of Pan et al.
+	DPSO
+	// TA is Threshold Accepting (CPU baseline family of [18]).
+	TA
+	// ES is a (μ+λ) Evolution Strategy (CPU baseline family of [18]).
+	ES
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case SA:
+		return "SA"
+	case DPSO:
+		return "DPSO"
+	case TA:
+		return "TA"
+	case ES:
+		return "ES"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Engine selects where the ensemble runs.
+type Engine int
+
+const (
+	// EngineGPU runs the four-kernel pipeline on the simulated CUDA
+	// device (the paper's implementation). Supported for SA and DPSO.
+	EngineGPU Engine = iota
+	// EngineCPUParallel runs the same ensemble across host goroutines.
+	EngineCPUParallel
+	// EngineCPUSerial runs the ensemble on one goroutine — the CPU
+	// baseline of the speedup experiments.
+	EngineCPUSerial
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineGPU:
+		return "gpu"
+	case EngineCPUParallel:
+		return "cpu-parallel"
+	case EngineCPUSerial:
+		return "cpu-serial"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Options configures Solve. The zero value reproduces the paper's best
+// configuration: GPU-simulated asynchronous SA, 4 blocks × 192 threads,
+// 1000 iterations, cooling 0.88, Pert 4, T₀ from 5000 samples.
+type Options struct {
+	// Algorithm selects the metaheuristic (default SA).
+	Algorithm Algorithm
+	// Engine selects the execution backend (default EngineGPU). TA and
+	// ES only support the CPU engines.
+	Engine Engine
+	// Iterations is the per-chain iteration budget (default 1000).
+	Iterations int
+	// Grid and Block set the GPU geometry (default 4 × 192); for CPU
+	// engines Grid·Block is the ensemble size.
+	Grid, Block int
+	// Seed derives all RNG streams (default 1).
+	Seed uint64
+	// Cooling overrides SA's exponential factor μ (default 0.88).
+	Cooling float64
+	// Pert overrides the perturbation size (default 4).
+	Pert int
+	// TempSamples overrides the T₀ estimation sample count (default
+	// 5000).
+	TempSamples int
+	// Persistent selects the persistent-kernel GPU engine for SA: one
+	// launch runs the whole annealing loop instead of four kernels per
+	// iteration (identical results, lower launch overhead).
+	Persistent bool
+}
+
+func (o Options) normalized() Options {
+	if o.Grid <= 0 {
+		o.Grid = 4
+	}
+	if o.Block <= 0 {
+		o.Block = 192
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Solve optimizes the instance with the selected algorithm and engine and
+// returns the best solution found. The reported cost is always the exact
+// objective of the returned sequence.
+func Solve(in *Instance, opts Options) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.normalized()
+	chains := opts.Grid * opts.Block
+
+	saCfg := sa.Config{
+		Iterations:  opts.Iterations,
+		Cooling:     opts.Cooling,
+		Pert:        opts.Pert,
+		TempSamples: opts.TempSamples,
+	}
+	psoCfg := dpso.Config{Iterations: opts.Iterations}
+
+	switch opts.Algorithm {
+	case SA:
+		switch opts.Engine {
+		case EngineGPU:
+			if opts.Persistent {
+				return (&parallel.PersistentGPUSA{Inst: in, SA: saCfg, Grid: opts.Grid, Block: opts.Block, Seed: opts.Seed}).Solve(), nil
+			}
+			return (&parallel.GPUSA{Inst: in, SA: saCfg, Grid: opts.Grid, Block: opts.Block, Seed: opts.Seed}).Solve(), nil
+		default:
+			return (&parallel.AsyncSA{
+				Inst: in, SA: saCfg,
+				Ens:      parallel.Ensemble{Chains: chains, Seed: opts.Seed},
+				Parallel: opts.Engine == EngineCPUParallel,
+			}).Solve(), nil
+		}
+	case DPSO:
+		switch opts.Engine {
+		case EngineGPU:
+			return (&parallel.GPUDPSO{Inst: in, PSO: psoCfg, Grid: opts.Grid, Block: opts.Block, Seed: opts.Seed}).Solve(), nil
+		default:
+			return (&parallel.ParallelDPSO{
+				Inst: in, PSO: psoCfg,
+				Ens:      parallel.Ensemble{Chains: chains, Seed: opts.Seed},
+				Parallel: opts.Engine == EngineCPUParallel,
+			}).Solve(), nil
+		}
+	case TA:
+		if opts.Engine == EngineGPU {
+			return Result{}, fmt.Errorf("duedate: TA supports only the CPU engines")
+		}
+		return runBaselineEnsemble(in, chains, opts, func(eval core.Evaluator, rng *xrand.XORWOW) baselineChain {
+			return ta.NewChain(ta.Config{Iterations: opts.Iterations, TempSamples: opts.TempSamples}, eval, rng)
+		}), nil
+	case ES:
+		if opts.Engine == EngineGPU {
+			return Result{}, fmt.Errorf("duedate: ES supports only the CPU engines")
+		}
+		return runBaselineEnsemble(in, chains, opts, func(eval core.Evaluator, rng *xrand.XORWOW) baselineChain {
+			cfg := es.DefaultConfig()
+			if opts.Iterations > 0 {
+				cfg.Generations = opts.Iterations
+			}
+			return es.New(cfg, eval, rng)
+		}), nil
+	default:
+		return Result{}, fmt.Errorf("duedate: unknown algorithm %v", opts.Algorithm)
+	}
+}
+
+// baselineChain is the common surface of the TA and ES baselines.
+type baselineChain interface {
+	Run() int64
+	Best() ([]int, int64)
+	Evaluations() int64
+}
+
+// runBaselineEnsemble executes `chains` baseline chains serially and
+// reduces to the best.
+func runBaselineEnsemble(in *Instance, chains int, opts Options, mk func(core.Evaluator, *xrand.XORWOW) baselineChain) Result {
+	res := Result{BestCost: 1 << 62}
+	for c := 0; c < chains; c++ {
+		eval := core.NewEvaluator(in)
+		chain := mk(eval, xrand.NewStream(opts.Seed, uint64(c)))
+		chain.Run()
+		seq, cost := chain.Best()
+		res.Evaluations += chain.Evaluations()
+		if cost < res.BestCost {
+			res.BestCost = cost
+			res.BestSeq = append([]int(nil), seq...)
+		}
+	}
+	res.Iterations = opts.Iterations
+	return res
+}
+
+// OptimizeSequence runs only the second layer: the exact O(n) linear
+// algorithm that optimally times (and, for UCDDCP, compresses) the given
+// fixed job sequence. It returns the resulting schedule and its exact
+// cost.
+func OptimizeSequence(in *Instance, seq []int) (Schedule, int64, error) {
+	if err := in.Validate(); err != nil {
+		return Schedule{}, 0, err
+	}
+	if len(seq) != in.N() || !problem.IsPermutation(seq) {
+		return Schedule{}, 0, fmt.Errorf("duedate: seq must be a permutation of 0..%d", in.N()-1)
+	}
+	if in.Kind == problem.UCDDCP {
+		r := ucddcp.OptimizeSequence(in, seq)
+		return Schedule{Seq: append([]int(nil), seq...), Start: r.Start, X: r.X}, r.Cost, nil
+	}
+	r := cdd.OptimizeSequence(in, seq)
+	return Schedule{Seq: append([]int(nil), seq...), Start: r.Start}, r.Cost, nil
+}
+
+// Cost evaluates the optimal penalty of a sequence without materializing
+// the schedule — the fitness function of the paper's metaheuristics.
+func Cost(in *Instance, seq []int) (int64, error) {
+	_, c, err := OptimizeSequence(in, seq)
+	return c, err
+}
