@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments examples clean
+.PHONY: all build vet test race cover bench bench-hotpath experiments examples clean
 
 all: build vet test
 
@@ -24,6 +24,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Time the metaheuristic hot path (full fused evaluators and the
+# incremental delta path) and record the numbers as JSON.
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'BenchmarkEvaluator(CDD|CDDDelta|UCDDCP)' -benchmem -benchtime 1s . \
+		| $(GO) run ./cmd/benchjson -out BENCH_evaluator.json
 
 # Regenerate the paper's tables and figures (scaled preset, ~minutes).
 experiments:

@@ -21,6 +21,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/problem"
 	"repro/internal/sa"
+	"repro/internal/xrand"
 )
 
 const (
@@ -247,6 +248,48 @@ func BenchmarkEvaluatorCDD(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				eval.Cost(seq)
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluatorCDDDelta times the incremental propose path on the
+// paper's Pert = 4 perturbation: each iteration applies a 4-cycle to the
+// cached sequence, prices it with Propose in O(Δ), and undoes the move —
+// the steady-state cost of one rejected SA step under the delta protocol.
+func BenchmarkEvaluatorCDDDelta(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			in := benchInstance(b, problem.CDD, size)
+			de := core.NewDeltaEvaluator(in)
+			rng := xrand.New(7)
+			seq := problem.IdentitySequence(size)
+			de.Reset(seq)
+			cand := append([]int(nil), seq...)
+			// Pre-draw the move positions so the loop times the propose
+			// path, not the random generator.
+			const moves = 512
+			pos := make([][4]int, moves)
+			for m := range pos {
+				for j := range pos[m] {
+					pos[m][j] = rng.Intn(size)
+				}
+			}
+			var save [4]int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pm := &pos[i%moves]
+				for j, q := range pm {
+					save[j] = cand[q]
+				}
+				for j, q := range pm {
+					cand[q] = save[(j+1)%len(pm)]
+				}
+				de.Propose(cand, pm[:])
+				for j, q := range pm {
+					cand[q] = save[j]
+				}
 			}
 		})
 	}

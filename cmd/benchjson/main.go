@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so benchmark numbers can be committed, diffed and consumed by
+// tooling without re-parsing the bench format.
+//
+//	go test -run '^$' -bench 'BenchmarkEvaluator' -benchmem . | benchjson -out BENCH_evaluator.json
+//
+// Each benchmark line becomes one record with its iteration count,
+// ns/op, and any additional reported metrics (B/op, allocs/op, custom
+// b.ReportMetric units). Context lines (goos/goarch/pkg/cpu) are captured
+// into the header. When both a full-evaluation benchmark and its Delta
+// counterpart appear (BenchmarkEvaluatorCDD vs BenchmarkEvaluatorCDDDelta
+// at the same size), the speedup ratio is computed into the summary.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Context    map[string]string  `json:"context,omitempty"`
+	Benchmarks []Bench            `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Doc{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		default:
+			if k, v, ok := strings.Cut(line, ":"); ok {
+				doc.Context[strings.TrimSpace(k)] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	doc.Speedups = speedups(doc.Benchmarks)
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkX/n100-8   123456   987 ns/op   0 B/op   0 allocs/op   1.5 x-label
+func parseBench(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the -GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		if fields[i+1] == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			b.Metrics[fields[i+1]] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}
+
+// speedups derives "<base>/<size>: full ns / delta ns" ratios for every
+// benchmark pair named <base>Delta/<size> and <base>/<size>.
+func speedups(benches []Bench) map[string]float64 {
+	byName := map[string]float64{}
+	for _, b := range benches {
+		byName[b.Name] = b.NsPerOp
+	}
+	out := map[string]float64{}
+	for _, b := range benches {
+		base, size, ok := strings.Cut(b.Name, "Delta/")
+		if !ok {
+			continue
+		}
+		if full, exists := byName[base+"/"+size]; exists && b.NsPerOp > 0 {
+			out[strings.TrimPrefix(base, "Benchmark")+"/"+size] = full / b.NsPerOp
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

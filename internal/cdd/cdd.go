@@ -39,28 +39,51 @@ func OptimizeSequence(in *problem.Instance, seq []int) Result {
 
 // Evaluator evaluates sequences of one instance repeatedly without
 // allocation. It is the hot inner loop of every metaheuristic in this
-// repository; a single call costs O(n).
+// repository; a single call costs O(n) — one fused pass that carries the
+// weighted penalty aggregates alongside the completion times, so the final
+// cost is O(1) from sums (see OptimizeArrays).
 //
 // An Evaluator is not safe for concurrent use; create one per goroutine
 // (or per simulated GPU thread).
 type Evaluator struct {
 	in *problem.Instance
-	// comp is scratch space for completion times by position (1-based
-	// indexing with comp[0] == 0 unused slot semantics kept implicit).
+	// p, alpha, beta are the job parameters widened to int64 once at
+	// construction, indexed by job id, so the hot loop avoids per-call
+	// struct-field loads and conversions.
+	p, alpha, beta []int64
+	// comp is scratch space for completion times by position.
 	comp []int64
 }
 
 // NewEvaluator returns an evaluator for the given instance.
 func NewEvaluator(in *problem.Instance) *Evaluator {
-	return &Evaluator{in: in, comp: make([]int64, in.N())}
+	p, alpha, beta := ParamArrays(in)
+	return &Evaluator{in: in, p: p, alpha: alpha, beta: beta, comp: make([]int64, in.N())}
+}
+
+// ParamArrays widens the instance's job parameters into the job-indexed
+// int64 arrays the array-based evaluation cores consume (the layout the
+// GPU pipeline keeps in device memory).
+func ParamArrays(in *problem.Instance) (p, alpha, beta []int64) {
+	n := in.N()
+	p = make([]int64, n)
+	alpha = make([]int64, n)
+	beta = make([]int64, n)
+	for i, j := range in.Jobs {
+		p[i], alpha[i], beta[i] = int64(j.P), int64(j.Alpha), int64(j.Beta)
+	}
+	return p, alpha, beta
 }
 
 // Instance returns the instance the evaluator was built for.
 func (e *Evaluator) Instance() *problem.Instance { return e.in }
 
 // Cost returns only the optimal penalty of the sequence. It is the
-// fitness function used by the metaheuristics.
-func (e *Evaluator) Cost(seq []int) int64 { return e.Optimize(seq).Cost }
+// fitness function used by the metaheuristics; the cost-only core skips
+// the completion-time stores that Optimize's callers need.
+func (e *Evaluator) Cost(seq []int) int64 {
+	return CostArrays(seq, e.p, e.alpha, e.beta, e.in.D)
+}
 
 // Optimize computes the optimal timing of the sequence.
 //
@@ -76,74 +99,11 @@ func (e *Evaluator) Cost(seq []int) int64 { return e.Optimize(seq).Cost }
 //     Σ_{i≥r} β_i − Σ_{i<r} α_i (job r turns tardy the moment it passes d).
 //     Stop at the first non-negative derivative; convexity makes this the
 //     global optimum.
+//
+// The implementation is the fused single-pass form (OptimizeArrays): the
+// weighted aggregates Σα, Σβ, Σα·C, Σβ·C travel with the breakpoint walk,
+// so the final cost is O(1) from sums instead of a second sweep.
 func (e *Evaluator) Optimize(seq []int) Result {
-	jobs := e.in.Jobs
-	d := e.in.D
-	n := len(seq)
-	comp := e.comp[:n]
-
-	// Base completion times with start 0, boundary τ, and penalty sums.
-	var t int64
-	tau := 0 // number of jobs with C_i <= d
-	var alphaPrefix int64
-	var betaSuffix int64
-	for pos, job := range seq {
-		t += int64(jobs[job].P)
-		comp[pos] = t
-		if t <= d {
-			tau = pos + 1
-			alphaPrefix += int64(jobs[job].Alpha)
-		} else {
-			betaSuffix += int64(jobs[job].Beta)
-		}
-	}
-
-	// No job can complete by d even when starting at zero: any right shift
-	// only increases tardiness, so s = 0 is optimal.
-	if tau == 0 {
-		return Result{Cost: e.costAt(seq, comp, 0), Start: 0, DueJob: 0}
-	}
-
-	// If job τ completes strictly before d, the derivative of the initial
-	// segment is betaSuffix − alphaPrefix (alphaPrefix here includes job τ,
-	// which is strictly early). A non-negative derivative means s = 0 is
-	// optimal with no job at the due date.
-	r := tau
-	if comp[tau-1] < d {
-		if betaSuffix >= alphaPrefix {
-			return Result{Cost: e.costAt(seq, comp, 0), Start: 0, DueJob: 0}
-		}
-		// Shift right so that job τ completes exactly at d, then fall into
-		// the breakpoint loop below.
-	}
-	// Breakpoint state: job r completes exactly at d after a shift of
-	// d − comp[r-1]. Maintain alphaPrefix = Σ_{i<r} α and betaSuffix =
-	// Σ_{i≥r} β. Entering the loop, job r = τ sits at d: its α moves out
-	// of the prefix and its β into the suffix.
-	alphaPrefix -= int64(jobs[seq[r-1]].Alpha)
-	betaSuffix += int64(jobs[seq[r-1]].Beta)
-	for r > 1 && alphaPrefix > betaSuffix {
-		r--
-		alphaPrefix -= int64(jobs[seq[r-1]].Alpha)
-		betaSuffix += int64(jobs[seq[r-1]].Beta)
-	}
-	shift := d - comp[r-1]
-	return Result{Cost: e.costAt(seq, comp, shift), Start: shift, DueJob: r}
-}
-
-// costAt evaluates the exact penalty of the sequence when the whole
-// schedule (with base completions comp) is shifted right by shift.
-func (e *Evaluator) costAt(seq []int, comp []int64, shift int64) int64 {
-	jobs := e.in.Jobs
-	d := e.in.D
-	var cost int64
-	for pos, job := range seq {
-		c := comp[pos] + shift
-		if c < d {
-			cost += int64(jobs[job].Alpha) * (d - c)
-		} else {
-			cost += int64(jobs[job].Beta) * (c - d)
-		}
-	}
-	return cost
+	cost, start, dueJob, _ := OptimizeArrays(seq, e.p, e.alpha, e.beta, e.in.D, e.comp[:len(seq)])
+	return Result{Cost: cost, Start: start, DueJob: dueJob}
 }

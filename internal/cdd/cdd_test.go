@@ -109,6 +109,31 @@ func TestAgainstReference(t *testing.T) {
 	}
 }
 
+// TestCostArraysMatchesOptimize pins the cost-only fast path of
+// Evaluator.Cost to the full Optimize pass, bit for bit, over random
+// instances, random sequences and degenerate due dates.
+func TestCostArraysMatchesOptimize(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(50)
+		in := randomInstance(rng, n)
+		var sum int64
+		for _, j := range in.Jobs {
+			sum += int64(j.P)
+		}
+		for _, d := range []int64{in.D, 0, 1, sum, sum + 3} {
+			in.D = d
+			e := NewEvaluator(in)
+			seq := randomSequence(rng, n)
+			want := e.Optimize(seq).Cost
+			if got := e.Cost(seq); got != want {
+				t.Fatalf("trial %d (n=%d, d=%d): Cost %d != Optimize %d\njobs=%+v seq=%v",
+					trial, n, d, got, want, in.Jobs, seq)
+			}
+		}
+	}
+}
+
 // TestQuickProperty runs testing/quick over instance encodings: the linear
 // algorithm must never beat the exhaustive oracle (it solves the same
 // problem) nor lose to it.

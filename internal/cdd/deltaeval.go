@@ -1,0 +1,40 @@
+package cdd
+
+import "repro/internal/problem"
+
+// DeltaEvaluator is the host-side incremental evaluator for the CDD
+// problem. It satisfies both the plain fitness interface (Cost, a
+// stateless fused full pass that never touches the cache) and the
+// propose/commit protocol of Delta, which the metaheuristic drivers use on
+// their hot path. Not safe for concurrent use.
+type DeltaEvaluator struct {
+	in *problem.Instance
+	dl *Delta[int]
+}
+
+// NewDeltaEvaluator returns an incremental evaluator for the instance.
+func NewDeltaEvaluator(in *problem.Instance) *DeltaEvaluator {
+	p, alpha, beta := ParamArrays(in)
+	return &DeltaEvaluator{in: in, dl: NewDelta[int](p, alpha, beta, in.D)}
+}
+
+// Instance returns the instance the evaluator was built for.
+func (e *DeltaEvaluator) Instance() *problem.Instance { return e.in }
+
+// Cost evaluates seq from scratch with the cost-only fused pass. It is
+// independent of the propose/commit cache (a pending proposal survives it).
+func (e *DeltaEvaluator) Cost(seq []int) int64 {
+	return CostArrays(seq, e.dl.p, e.dl.alpha, e.dl.beta, e.dl.d)
+}
+
+// Reset caches seq as the committed base sequence and returns its cost.
+func (e *DeltaEvaluator) Reset(seq []int) int64 { return e.dl.Reset(seq) }
+
+// Propose evaluates a candidate differing from the base at (a subset of)
+// positions, in O(k + log n · log k), without mutating the cache.
+func (e *DeltaEvaluator) Propose(cand []int, positions []int) int64 {
+	return e.dl.Propose(cand, positions)
+}
+
+// Commit adopts the pending candidate as the new base sequence.
+func (e *DeltaEvaluator) Commit() { e.dl.Commit() }

@@ -15,14 +15,25 @@ func ReferenceOptimize(in *problem.Instance, seq []int) Result {
 		t += int64(in.Jobs[job].P)
 		comp[pos] = t
 	}
-	e := Evaluator{in: in}
-	best := Result{Cost: e.costAt(seq, comp, 0), Start: 0}
+	costAt := func(shift int64) int64 {
+		var cost int64
+		for pos, job := range seq {
+			c := comp[pos] + shift
+			if c < in.D {
+				cost += int64(in.Jobs[job].Alpha) * (in.D - c)
+			} else {
+				cost += int64(in.Jobs[job].Beta) * (c - in.D)
+			}
+		}
+		return cost
+	}
+	best := Result{Cost: costAt(0), Start: 0}
 	limit := in.D
 	if limit < 0 {
 		limit = 0
 	}
 	for s := int64(1); s <= limit; s++ {
-		if c := e.costAt(seq, comp, s); c < best.Cost {
+		if c := costAt(s); c < best.Cost {
 			best = Result{Cost: c, Start: s}
 		}
 	}

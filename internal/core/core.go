@@ -39,6 +39,41 @@ func NewEvaluator(in *problem.Instance) Evaluator {
 	}
 }
 
+// DeltaEvaluator extends Evaluator with the incremental propose/commit
+// protocol of the hot path. A metaheuristic caches its current sequence
+// with Reset, prices each neighbour with Propose — passing the positions
+// its move operator touched, in O(k + log n·log k) for CDD instead of the
+// O(n) full pass — and calls Commit exactly when a proposal is accepted.
+// Rejected proposals need no bookkeeping; a new Propose simply replaces
+// the pending one. Propose costs are bit-identical to Cost on the same
+// candidate, so trajectories (and results) are unchanged — only faster.
+//
+// Cost remains a stateless full evaluation and never disturbs the cache.
+// Implementations are not safe for concurrent use.
+type DeltaEvaluator interface {
+	Evaluator
+	// Reset caches seq as the committed base sequence and returns its cost.
+	Reset(seq []int) int64
+	// Propose evaluates a candidate that equals the base sequence
+	// everywhere except (a subset of) the given positions, without
+	// mutating the cache. Order, duplicates and untouched entries in
+	// positions are all tolerated.
+	Propose(cand []int, positions []int) int64
+	// Commit adopts the pending candidate as the new base sequence.
+	Commit()
+}
+
+// NewDeltaEvaluator returns the appropriate incremental evaluator for the
+// instance's problem kind.
+func NewDeltaEvaluator(in *problem.Instance) DeltaEvaluator {
+	switch in.Kind {
+	case problem.UCDDCP:
+		return ucddcp.NewDeltaEvaluator(in)
+	default:
+		return cdd.NewDeltaEvaluator(in)
+	}
+}
+
 // Result is the outcome of one solver run.
 type Result struct {
 	// BestSeq is the best job sequence found (owned by the result).

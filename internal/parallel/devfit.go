@@ -1,203 +1,37 @@
 package parallel
 
-// Device-side fitness functions: ports of the O(n) linear algorithms of
-// internal/cdd and internal/ucddcp that operate directly on the primitive
-// arrays living in simulated GPU memory (job-indexed parameter arrays,
-// int32 sequence rows), exactly as the paper's fitness kernel does. The
-// penalty arrays are the ones the kernel stages into shared memory; the
-// processing times come from global memory ("not cached because there are
-// only a few reads from it inside the fitness function").
+import (
+	"repro/internal/cdd"
+	"repro/internal/ucddcp"
+)
+
+// Device-side fitness functions: the O(n) linear algorithms evaluated on
+// the primitive arrays living in simulated GPU memory (job-indexed
+// parameter arrays, int32 sequence rows), exactly as the paper's fitness
+// kernel does. The penalty arrays are the ones the kernel stages into
+// shared memory; the processing times come from global memory ("not cached
+// because there are only a few reads from it inside the fitness
+// function").
 //
-// TestDeviceFitnessParity asserts bit-identical costs against the host
-// evaluators for both problems, so the two implementations cannot drift.
+// Both functions are thin instantiations of the generic fused cores in
+// internal/cdd and internal/ucddcp — the same code the host evaluators
+// run — so device and host results are bit-identical by construction.
+// TestDeviceFitnessParity still asserts it.
 
 // fitnessCDDArrays returns the optimal CDD penalty of the sequence. comp
 // is caller-provided scratch of length ≥ len(seq) (the thread's local
 // memory). It also returns the number of abstract operations executed,
 // which the kernel converts into cycle charges.
 func fitnessCDDArrays(seq []int32, p, alpha, beta []int64, d int64, comp []int64) (cost int64, ops int) {
-	n := len(seq)
-	var t int64
-	tau := 0
-	var alphaPrefix, betaSuffix int64
-	for pos, job := range seq {
-		t += p[job]
-		comp[pos] = t
-		if t <= d {
-			tau = pos + 1
-			alphaPrefix += alpha[job]
-		} else {
-			betaSuffix += beta[job]
-		}
-	}
-	ops = 6 * n
-	if tau == 0 {
-		c, o := costAtArrays(seq, alpha, beta, comp, d, 0)
-		return c, ops + o
-	}
-	r := tau
-	if comp[tau-1] < d && betaSuffix >= alphaPrefix {
-		c, o := costAtArrays(seq, alpha, beta, comp, d, 0)
-		return c, ops + o
-	}
-	alphaPrefix -= alpha[seq[r-1]]
-	betaSuffix += beta[seq[r-1]]
-	for r > 1 && alphaPrefix > betaSuffix {
-		r--
-		alphaPrefix -= alpha[seq[r-1]]
-		betaSuffix += beta[seq[r-1]]
-		ops += 4
-	}
-	shift := d - comp[r-1]
-	c, o := costAtArrays(seq, alpha, beta, comp, d, shift)
-	return c, ops + o
-}
-
-func costAtArrays(seq []int32, alpha, beta, comp []int64, d, shift int64) (int64, int) {
-	var cost int64
-	for pos, job := range seq {
-		c := comp[pos] + shift
-		if c < d {
-			cost += alpha[job] * (d - c)
-		} else {
-			cost += beta[job] * (c - d)
-		}
-	}
-	return cost, 4 * len(seq)
+	cost, _, _, ops = cdd.OptimizeArrays(seq, p, alpha, beta, d, comp)
+	return cost, ops
 }
 
 // fitnessUCDDCPArrays returns the optimal UCDDCP penalty of the sequence:
 // the CDD phase over the uncompressed processing times followed by the
-// all-or-nothing compression phase of Section IV-B. comp and shAcc are
-// caller-provided scratch of length ≥ len(seq).
-func fitnessUCDDCPArrays(seq []int32, p, m, alpha, beta, gamma []int64, d int64, comp, shAcc []int64) (cost int64, ops int) {
-	n := len(seq)
-
-	// Phase 1: CDD timing of the uncompressed sequence (inline, so the
-	// due-date position r is available).
-	var t int64
-	tau := 0
-	var alphaPrefix, betaSuffix int64
-	for pos, job := range seq {
-		t += p[job]
-		comp[pos] = t
-		if t <= d {
-			tau = pos + 1
-			alphaPrefix += alpha[job]
-		} else {
-			betaSuffix += beta[job]
-		}
-	}
-	ops = 6 * n
-	r := 0
-	var shiftAll int64
-	if tau > 0 && !(comp[tau-1] < d && betaSuffix >= alphaPrefix) {
-		r = tau
-		alphaPrefix -= alpha[seq[r-1]]
-		betaSuffix += beta[seq[r-1]]
-		for r > 1 && alphaPrefix > betaSuffix {
-			r--
-			alphaPrefix -= alpha[seq[r-1]]
-			betaSuffix += beta[seq[r-1]]
-			ops += 4
-		}
-		shiftAll = d - comp[r-1]
-	}
-	if shiftAll != 0 {
-		for pos := range comp[:n] {
-			comp[pos] += shiftAll
-		}
-		ops += n
-	}
-
-	// Phase 2a: tardy side with the two-pointer sweep over still-tardy
-	// suffixes. x values are accumulated into shAcc (prefix sums of the
-	// applied compression); individual x_j are folded into the cost as
-	// they are decided.
-	var shift int64
-	tp := r
-	var sbTp int64
-	for q := tp; q < n; q++ {
-		sbTp += beta[seq[q]]
-	}
-	for tp < n && comp[tp] <= d {
-		sbTp -= beta[seq[tp]]
-		tp++
-	}
-	sbPos := sbTp
-	for q := tp - 1; q >= r; q-- {
-		sbPos += beta[seq[q]]
-	}
-	var gammaCost int64
-	for pos := r; pos < n; pos++ {
-		for tp < n {
-			cur := comp[tp] - shift
-			if tp < pos {
-				cur = comp[tp] - shAcc[tp]
-			}
-			if cur > d {
-				break
-			}
-			sbTp -= beta[seq[tp]]
-			tp++
-		}
-		job := seq[pos]
-		u := p[job] - m[job]
-		if u > 0 {
-			benefit := sbPos
-			if tp > pos {
-				benefit = sbTp
-			}
-			if benefit > gamma[job] {
-				shift += u
-				gammaCost += gamma[job] * u
-			}
-		}
-		shAcc[pos] = shift
-		sbPos -= beta[seq[pos]]
-		ops += 8
-	}
-	if shift > 0 {
-		for pos := r; pos < n; pos++ {
-			comp[pos] -= shAcc[pos]
-		}
-		ops += n - r
-	}
-
-	// Phase 2b: early side; benefit is the α-prefix, compression pushes
-	// predecessors right.
-	var aPrefix int64
-	var rightShift int64
-	// First pass decides; second pass applies the suffix-of-early shifts.
-	// Reuse shAcc[0:r] to record each early position's compression.
-	for pos := 0; pos < r; pos++ {
-		job := seq[pos]
-		u := p[job] - m[job]
-		x := int64(0)
-		if u > 0 && aPrefix > gamma[job] {
-			x = u
-			gammaCost += gamma[job] * u
-		}
-		shAcc[pos] = x
-		aPrefix += alpha[job]
-		ops += 5
-	}
-	for pos := r - 1; pos >= 0; pos-- {
-		comp[pos] += rightShift
-		rightShift += shAcc[pos]
-		ops += 2
-	}
-
-	// Exact final cost.
-	cost = gammaCost
-	for pos, job := range seq {
-		c := comp[pos]
-		if c < d {
-			cost += alpha[job] * (d - c)
-		} else {
-			cost += beta[job] * (c - d)
-		}
-	}
-	ops += 4 * n
+// all-or-nothing compression phase of Section IV-B. comp and scratch are
+// caller-provided length-n scratch.
+func fitnessUCDDCPArrays(seq []int32, p, m, alpha, beta, gamma []int64, d int64, comp, scratch []int64) (cost int64, ops int) {
+	cost, _, _, ops = ucddcp.OptimizeArrays(seq, p, m, alpha, beta, gamma, d, comp, scratch, nil)
 	return cost, ops
 }

@@ -1,0 +1,78 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/problem"
+	"repro/internal/sa"
+)
+
+// goldenSA is the configuration the golden values below were captured
+// under (with the full O(n) evaluators, before the incremental delta
+// path existed).
+func goldenSA() sa.Config {
+	cfg := sa.DefaultConfig()
+	cfg.Iterations = 80
+	cfg.TempSamples = 60
+	return cfg
+}
+
+// TestGoldenFixedSeedResults pins every solver's fixed-seed output to the
+// values produced by the full-evaluation code path. The incremental
+// propose/commit evaluators must price each candidate bit-identically and
+// consume no randomness of their own, so trajectories — and therefore
+// these best costs and evaluation counts — must never drift.
+func TestGoldenFixedSeedResults(t *testing.T) {
+	type golden struct {
+		name  string
+		inst  *problem.Instance
+		run   func(in *problem.Instance) (best, evals int64)
+		best  int64
+		evals int64 // 0 means unchecked
+	}
+	async := func(in *problem.Instance) (int64, int64) {
+		r := (&AsyncSA{Inst: in, SA: goldenSA(), Ens: Ensemble{Chains: 10, Seed: 3}, Parallel: true}).Solve()
+		return r.BestCost, r.Evaluations
+	}
+	gpu := func(in *problem.Instance) (int64, int64) {
+		r := (&GPUSA{Inst: in, SA: goldenSA(), Grid: 2, Block: 8, Seed: 6}).Solve()
+		return r.BestCost, 0
+	}
+	persistent := func(in *problem.Instance) (int64, int64) {
+		r := (&PersistentGPUSA{Inst: in, SA: goldenSA(), Grid: 2, Block: 8, Seed: 6}).Solve()
+		return r.BestCost, 0
+	}
+	sync := func(in *problem.Instance) (int64, int64) {
+		r := (&SyncSA{Inst: in, SA: goldenSA(), Ens: Ensemble{Chains: 8, Seed: 5}, MarkovLen: 5, Levels: 12, Parallel: true}).Solve()
+		return r.BestCost, 0
+	}
+
+	cdd15, cdd40 := benchInstanceCDD(15), benchInstanceCDD(40)
+	uc15, uc40 := benchInstanceUCDDCP(15), benchInstanceUCDDCP(40)
+	cases := []golden{
+		{"AsyncSA/CDD/n15", cdd15, async, 2260, 1410},
+		{"AsyncSA/UCDDCP/n15", uc15, async, 2218, 1410},
+		{"AsyncSA/CDD/n40", cdd40, async, 20981, 1410},
+		{"AsyncSA/UCDDCP/n40", uc40, async, 12062, 0},
+		{"GPUSA/CDD/n15", cdd15, gpu, 2321, 0},
+		{"GPUSA/UCDDCP/n15", uc15, gpu, 2389, 0},
+		{"GPUSA/CDD/n40", cdd40, gpu, 20539, 0},
+		{"GPUSA/UCDDCP/n40", uc40, gpu, 11354, 0},
+		{"PersistentGPUSA/CDD/n15", cdd15, persistent, 2321, 0},
+		{"PersistentGPUSA/CDD/n40", cdd40, persistent, 20539, 0},
+		{"SyncSA/CDD/n15", cdd15, sync, 2222, 0},
+		{"SyncSA/CDD/n40", cdd40, sync, 16817, 0},
+	}
+	for _, g := range cases {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			best, evals := g.run(g.inst)
+			if best != g.best {
+				t.Errorf("best cost drifted from full-evaluation golden: got %d, want %d", best, g.best)
+			}
+			if g.evals != 0 && evals != g.evals {
+				t.Errorf("evaluation count drifted: got %d, want %d", evals, g.evals)
+			}
+		})
+	}
+}

@@ -2,8 +2,10 @@ package parallel
 
 import (
 	"math"
+	"math/bits"
 	"time"
 
+	"repro/internal/cdd"
 	"repro/internal/core"
 	"repro/internal/cudasim"
 	"repro/internal/problem"
@@ -110,6 +112,11 @@ type pipeline struct {
 	aux      [][]int64 // second scratch row (UCDDCP)
 	pLocal   [][]int64 // texture-mode staging of processing times
 	texCache []cudasim.TexCache
+
+	// deltas, when non-nil, hold per-thread incremental evaluators: the
+	// fitness step prices each candidate by Propose over the perturbed
+	// positions and the accept step advances the cache by Commit.
+	deltas []*cdd.Delta[int32]
 }
 
 func newPipeline(dev *cudasim.Device, inst *problem.Instance, grid, block int, coop bool, seed uint64) *pipeline {
@@ -165,6 +172,34 @@ func (pl *pipeline) setPAccess(mode PAccess) {
 	for t := 0; t < pl.threads; t++ {
 		pl.pLocal[t] = make([]int64, pl.n)
 	}
+}
+
+// enableDelta builds the per-thread incremental CDD evaluators. Only the
+// CDD kernels adopt the delta path, and only in the default coalesced
+// access mode — the scattered/texture ablations exist to time the full
+// pass's processing-time read pattern, so they keep it.
+func (pl *pipeline) enableDelta() {
+	pl.deltas = make([]*cdd.Delta[int32], pl.threads)
+	for t := range pl.deltas {
+		pl.deltas[t] = cdd.NewDelta[int32](pl.pBuf.Raw(), pl.alphaBuf.Raw(), pl.betaBuf.Raw(), pl.inst.D)
+	}
+}
+
+// chargeDeltaReset charges the full fused pass plus the prefix/Fenwick
+// build that Delta.Reset performs on a thread's row.
+func chargeDeltaReset(c *cudasim.Ctx, n int) {
+	c.ChargeGlobal(3*n, true) // sequence row + α/β full-pass reads
+	c.ChargeArith(12 * n)
+}
+
+// chargeDeltaPropose charges the incremental candidate evaluation: O(k)
+// aggregate corrections over the touched positions plus two binary
+// searches with Fenwick prefix reads. With so few reads the delta path
+// skips shared-memory staging and reads the touched entries straight
+// from global memory (scattered).
+func chargeDeltaPropose(c *cudasim.Ctx, k, lg int) {
+	c.ChargeGlobal(3*k+4*lg, false)
+	c.ChargeArith(12*k + 10*lg)
 }
 
 // loadProcessingTimes returns the processing-time array the fitness
@@ -293,6 +328,36 @@ func (pl *pipeline) fitnessKernel(target *cudasim.Buffer[int32], out *cudasim.Bu
 	})
 }
 
+// resetKernel caches every thread's row of target in its incremental
+// evaluator (a full fused pass plus the aggregate build) and writes the
+// row's cost into out. It is the delta path's initialization fitness.
+func (pl *pipeline) resetKernel(target *cudasim.Buffer[int32], out *cudasim.Buffer[int64]) error {
+	return pl.dev.Launch(pl.launchCfg("fitness"), func(c *cudasim.Ctx) {
+		tid := c.GlobalThreadID()
+		n := pl.n
+		row := target.Raw()[tid*n : (tid+1)*n]
+		chargeDeltaReset(c, n)
+		out.Store(c, tid, pl.deltas[tid].Reset(row))
+	})
+}
+
+// deltaFitnessKernel prices every thread's candidate row incrementally:
+// Propose over the thread's perturbed positions costs O(k + log n) per
+// thread instead of the O(n) full pass, with bit-identical costs.
+func (pl *pipeline) deltaFitnessKernel(target *cudasim.Buffer[int32], positions [][]int, out *cudasim.Buffer[int64]) error {
+	cfg := pl.launchCfg("fitness")
+	cfg.SharedBytesPerBlock = 0
+	lg := bits.Len(uint(pl.n))
+	return pl.dev.Launch(cfg, func(c *cudasim.Ctx) {
+		tid := c.GlobalThreadID()
+		n := pl.n
+		row := target.Raw()[tid*n : (tid+1)*n]
+		pos := positions[tid]
+		chargeDeltaPropose(c, len(pos), lg)
+		out.Store(c, tid, pl.deltas[tid].Propose(row, pos))
+	})
+}
+
 // reduceKernel folds a per-thread cost buffer into the packed
 // (cost<<tidBits | tid) atomic minimum.
 func (pl *pipeline) reduceKernel(costs, packed *cudasim.Buffer[int64]) error {
@@ -329,6 +394,9 @@ func (g *GPUSA) Solve() core.Result {
 
 	pl := newPipeline(dev, g.Inst, grid, block, g.Cooperative, g.Seed)
 	pl.setPAccess(g.PTimeAccess)
+	if g.Inst.Kind != problem.UCDDCP && g.PTimeAccess == PAccessCoalesced {
+		pl.enableDelta()
+	}
 	N := pl.threads
 
 	// Normalize the SA parameters exactly as sa.Chain would.
@@ -377,8 +445,14 @@ func (g *GPUSA) Solve() core.Result {
 	bestSeqBuf := cudasim.NewBuffer[int32](dev, N*n)
 	packedBuf := cudasim.NewBufferFrom(dev, []int64{math.MaxInt64})
 
-	// Initial fitness of the random sequences; initialize bests.
-	if err := pl.fitnessKernel(seqBuf, costBuf); err != nil {
+	// Initial fitness of the random sequences; initialize bests. The delta
+	// path caches each row during this pass so later iterations can price
+	// candidates incrementally.
+	if pl.deltas != nil {
+		if err := pl.resetKernel(seqBuf, costBuf); err != nil {
+			panic(err)
+		}
+	} else if err := pl.fitnessKernel(seqBuf, costBuf); err != nil {
 		panic(err)
 	}
 	evalCount += int64(N)
@@ -423,8 +497,13 @@ func (g *GPUSA) Solve() core.Result {
 			c.ChargeArith(6 * len(pos))
 		})
 
-		// Kernel 2: fitness of the candidates.
-		if err := pl.fitnessKernel(candBuf, candCostBuf); err != nil {
+		// Kernel 2: fitness of the candidates — incremental when the delta
+		// path is on (O(touched) per thread), the full O(n) pass otherwise.
+		if pl.deltas != nil {
+			if err := pl.deltaFitnessKernel(candBuf, positions, candCostBuf); err != nil {
+				panic(err)
+			}
+		} else if err := pl.fitnessKernel(candBuf, candCostBuf); err != nil {
 			panic(err)
 		}
 		evalCount += int64(N)
@@ -442,6 +521,10 @@ func (g *GPUSA) Solve() core.Result {
 			}
 			c.ChargeArith(12)
 			if accept {
+				if pl.deltas != nil {
+					pl.deltas[tid].Commit()
+					c.ChargeArith(10 * len(positions[tid]) * bits.Len(uint(n)))
+				}
 				copy(seqBuf.Raw()[tid*n:(tid+1)*n], candBuf.Raw()[tid*n:(tid+1)*n])
 				costBuf.Store(c, tid, cand)
 				c.ChargeGlobal(2*n, true)

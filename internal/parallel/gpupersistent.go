@@ -2,8 +2,10 @@ package parallel
 
 import (
 	"math"
+	"math/bits"
 	"time"
 
+	"repro/internal/cdd"
 	"repro/internal/core"
 	"repro/internal/cudasim"
 	"repro/internal/problem"
@@ -66,6 +68,11 @@ func (g *PersistentGPUSA) Solve() core.Result {
 	simStart := dev.SimTime()
 
 	pl := newPipeline(dev, g.Inst, grid, block, false, g.Seed)
+	if g.Inst.Kind != problem.UCDDCP {
+		// Same delta adoption as the four-kernel pipeline's default mode,
+		// so both engines price candidates identically.
+		pl.enableDelta()
+	}
 	N := pl.threads
 
 	full := sa.DefaultConfig()
@@ -135,7 +142,19 @@ func (g *PersistentGPUSA) Solve() core.Result {
 			return cost
 		}
 
-		curCost := evalRow(cur)
+		var dl *cdd.Delta[int32]
+		if pl.deltas != nil {
+			dl = pl.deltas[tid]
+		}
+		lg := bits.Len(uint(n))
+
+		var curCost int64
+		if dl != nil {
+			chargeDeltaReset(c, n)
+			curCost = dl.Reset(cur)
+		} else {
+			curCost = evalRow(cur)
+		}
 		bestCost := curCost
 		copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], cur)
 		c.ChargeGlobal(2*n, true)
@@ -158,8 +177,15 @@ func (g *PersistentGPUSA) Solve() core.Result {
 			c.ChargeGlobal(2*len(pos), false)
 			c.ChargeArith(6 * len(pos))
 
-			// Fitness.
-			candCost := evalRow(cnd)
+			// Fitness: incremental over the perturbed positions when the
+			// delta path is on, full O(n) pass otherwise.
+			var candCost int64
+			if dl != nil {
+				chargeDeltaPropose(c, len(pos), lg)
+				candCost = dl.Propose(cnd, pos)
+			} else {
+				candCost = evalRow(cnd)
+			}
 
 			// Acceptance (as the accept kernel).
 			accept := candCost <= curCost
@@ -168,6 +194,10 @@ func (g *PersistentGPUSA) Solve() core.Result {
 			}
 			c.ChargeArith(12)
 			if accept {
+				if dl != nil {
+					dl.Commit()
+					c.ChargeArith(10 * len(pos) * lg)
+				}
 				copy(cur, cnd)
 				curCost = candCost
 				c.ChargeGlobal(2*n, true)

@@ -11,6 +11,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -43,32 +44,47 @@ func (e Ensemble) normalized() Ensemble {
 
 // runOverWorkers executes fn(chainIndex) for every chain, spreading the
 // calls over at most `workers` goroutines when parallelOK, or serially on
-// the calling goroutine otherwise.
+// the calling goroutine otherwise. Work is dispatched as contiguous index
+// chunks claimed from a shared atomic counter — one rendezvous per chunk
+// rather than one unbuffered channel send per chain, which at 768 chains
+// per level dominated the scheduling cost of the synchronous driver. The
+// chunk size targets several chunks per worker so uneven chain runtimes
+// still balance.
 func runOverWorkers(chains, workers int, parallelOK bool, fn func(i int)) {
-	if !parallelOK || workers <= 1 {
+	if !parallelOK || workers <= 1 || chains <= 1 {
 		for i := 0; i < chains; i++ {
 			fn(i)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
 	if workers > chains {
 		workers = chains
 	}
+	chunk := chains / (4 * workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				fn(i)
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= chains {
+					return
+				}
+				hi := lo + chunk
+				if hi > chains {
+					hi = chains
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
 			}
 		}()
 	}
-	for i := 0; i < chains; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }
 
@@ -111,7 +127,9 @@ func (a *AsyncSA) Solve() core.Result {
 	}
 	outs := make([]chainOut, ens.Chains)
 	runOverWorkers(ens.Chains, ens.Workers, a.Parallel, func(i int) {
-		eval := core.NewEvaluator(a.Inst)
+		// Incremental evaluator: chains price each neighbour in O(touched)
+		// with bit-identical costs, so results match full evaluation.
+		eval := core.NewDeltaEvaluator(a.Inst)
 		chain := sa.NewChain(a.SA, eval, xrand.NewStream(ens.Seed, uint64(i)))
 		chain.Run()
 		seq, cost := chain.Best()
@@ -173,7 +191,7 @@ func (s *SyncSA) Solve() core.Result {
 	chains := make([]*sa.Chain, ens.Chains)
 	evals := make([]core.Evaluator, ens.Chains)
 	runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
-		evals[i] = core.NewEvaluator(s.Inst)
+		evals[i] = core.NewDeltaEvaluator(s.Inst)
 		chains[i] = sa.NewChain(s.SA, evals[i], xrand.NewStream(ens.Seed, uint64(i)))
 	})
 

@@ -34,26 +34,31 @@ func Random(r Rand, n int) []int {
 
 // Swap exchanges two distinct random positions of seq in place. It is the
 // DPSO velocity operator F1. Sequences of length < 2 are left unchanged.
-func Swap(r Rand, seq []int) {
+// It returns the two touched positions so incremental evaluators can price
+// the move in O(1); for length < 2 both are 0 (nothing changed).
+func Swap(r Rand, seq []int) (i, j int) {
 	n := len(seq)
 	if n < 2 {
-		return
+		return 0, 0
 	}
-	i := r.Intn(n)
-	j := r.Intn(n - 1)
+	i = r.Intn(n)
+	j = r.Intn(n - 1)
 	if j >= i {
 		j++
 	}
 	seq[i], seq[j] = seq[j], seq[i]
+	return i, j
 }
 
 // Insert removes the element at a random position and reinserts it at
 // another random position, shifting the elements in between. It is an
-// additional neighborhood move offered to the metaheuristics.
-func Insert(r Rand, seq []int) {
+// additional neighborhood move offered to the metaheuristics. It returns
+// the inclusive window [lo, hi] of positions the move may have changed;
+// for length < 2 both are 0 (nothing changed).
+func Insert(r Rand, seq []int) (lo, hi int) {
 	n := len(seq)
 	if n < 2 {
-		return
+		return 0, 0
 	}
 	from := r.Intn(n)
 	to := r.Intn(n - 1)
@@ -67,25 +72,33 @@ func Insert(r Rand, seq []int) {
 		copy(seq[to+1:from+1], seq[to:from])
 	}
 	seq[to] = v
+	if from < to {
+		return from, to
+	}
+	return to, from
 }
 
 // ReverseSegment reverses a random contiguous segment of seq in place
-// (the classic 2-opt style move).
-func ReverseSegment(r Rand, seq []int) {
+// (the classic 2-opt style move). It returns the inclusive window [lo, hi]
+// of positions the move may have changed; for length < 2 both are 0
+// (nothing changed).
+func ReverseSegment(r Rand, seq []int) (lo, hi int) {
 	n := len(seq)
 	if n < 2 {
-		return
+		return 0, 0
 	}
 	i := r.Intn(n)
 	j := r.Intn(n)
 	if i > j {
 		i, j = j, i
 	}
+	lo, hi = i, j
 	for i < j {
 		seq[i], seq[j] = seq[j], seq[i]
 		i++
 		j--
 	}
+	return lo, hi
 }
 
 // Ops bundles scratch buffers so the compound operators run without
@@ -113,8 +126,10 @@ func NewOps(n int) *Ops {
 // PartialShuffle applies the paper's perturbation: select k distinct
 // random positions of seq and shuffle the jobs occupying them with
 // Fisher–Yates, keeping all other positions fixed. k is clamped to
-// [0, len(seq)].
-func (o *Ops) PartialShuffle(r Rand, seq []int, k int) {
+// [0, len(seq)]. It returns the selected positions (aliasing internal
+// scratch, valid until the next call) so incremental evaluators can price
+// the move in O(k); a clamped k < 2 yields an empty slice.
+func (o *Ops) PartialShuffle(r Rand, seq []int, k int) []int {
 	n := len(seq)
 	if n != o.n {
 		panic("perm: sequence length differs from Ops size")
@@ -123,7 +138,7 @@ func (o *Ops) PartialShuffle(r Rand, seq []int, k int) {
 		k = n
 	}
 	if k < 2 {
-		return
+		return o.idx[:0]
 	}
 	// Partial Fisher–Yates over the persistent index buffer selects k
 	// distinct positions in O(k).
@@ -140,6 +155,7 @@ func (o *Ops) PartialShuffle(r Rand, seq []int, k int) {
 	for i, p := range pos {
 		seq[p] = vals[i]
 	}
+	return pos
 }
 
 // OnePoint performs the one-point order crossover F2 of the DPSO: dst

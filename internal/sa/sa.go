@@ -106,14 +106,15 @@ func (c Config) normalized(n int) Config {
 // Chain is one annealing trajectory. It owns all its scratch state, so
 // distinct chains may run concurrently.
 type Chain struct {
-	cfg  Config
-	eval core.Evaluator
-	rng  *xrand.XORWOW
-	ops  *perm.Ops
+	cfg   Config
+	eval  core.Evaluator
+	delta core.DeltaEvaluator // non-nil when eval supports propose/commit
+	rng   *xrand.XORWOW
 
 	cur     []int
 	cand    []int
 	pos     []int // the Pert positions currently perturbed
+	touched []int // positions the last Neighbour call may have changed
 	curCost int64
 
 	best     []int
@@ -127,21 +128,29 @@ type Chain struct {
 
 // NewChain builds a chain over the evaluator with its own RNG stream. The
 // initial solution is a uniformly random sequence; the initial
-// temperature follows the config.
+// temperature follows the config. When the evaluator implements
+// core.DeltaEvaluator, the chain prices each neighbour incrementally
+// through the propose/commit protocol — the costs (and therefore the
+// trajectory) are bit-identical to full evaluation, only cheaper.
 func NewChain(cfg Config, eval core.Evaluator, rng *xrand.XORWOW) *Chain {
 	n := eval.Instance().N()
 	cfg = cfg.normalized(n)
 	c := &Chain{
-		cfg:  cfg,
-		eval: eval,
-		rng:  rng,
-		ops:  perm.NewOps(n),
-		cur:  perm.Random(rng, n),
-		cand: make([]int, n),
-		pos:  make([]int, 0, cfg.Pert),
-		best: make([]int, n),
+		cfg:     cfg,
+		eval:    eval,
+		rng:     rng,
+		cur:     perm.Random(rng, n),
+		cand:    make([]int, n),
+		pos:     make([]int, 0, cfg.Pert),
+		touched: make([]int, 0, n),
+		best:    make([]int, n),
 	}
-	c.curCost = eval.Cost(c.cur)
+	if de, ok := eval.(core.DeltaEvaluator); ok {
+		c.delta = de
+		c.curCost = de.Reset(c.cur)
+	} else {
+		c.curCost = eval.Cost(c.cur)
+	}
 	c.evals++
 	copy(c.best, c.cur)
 	c.bestCost = c.curCost
@@ -161,6 +170,9 @@ func NewChain(cfg Config, eval core.Evaluator, rng *xrand.XORWOW) *Chain {
 func (c *Chain) SetSolution(seq []int, cost int64) {
 	copy(c.cur, seq)
 	c.curCost = cost
+	if c.delta != nil {
+		c.delta.Reset(c.cur)
+	}
 	if cost < c.bestCost {
 		copy(c.best, seq)
 		c.bestCost = cost
@@ -183,30 +195,44 @@ func (c *Chain) Evaluations() int64 { return c.evals }
 // Neighbour writes a perturbed copy of the current sequence into the
 // chain's candidate buffer and returns it (borrowed). For the default
 // shuffle operator the positions are re-drawn every ReselectPeriod
-// iterations, per Section VI of the paper.
+// iterations, per Section VI of the paper. Each move records the touched
+// positions so an incremental evaluator can price the candidate in
+// O(touched) rather than O(n).
 func (c *Chain) Neighbour() []int {
 	copy(c.cand, c.cur)
 	switch c.cfg.Neighborhood {
 	case NeighborSwap:
-		perm.Swap(c.rng, c.cand)
+		i, j := perm.Swap(c.rng, c.cand)
+		c.touched = append(c.touched[:0], i, j)
 	case NeighborInsert:
-		perm.Insert(c.rng, c.cand)
+		c.touchRange(perm.Insert(c.rng, c.cand))
 	case NeighborReverse:
-		perm.ReverseSegment(c.rng, c.cand)
+		c.touchRange(perm.ReverseSegment(c.rng, c.cand))
 	case NeighborMixed:
 		if c.iter%c.cfg.ReselectPeriod == 0 || len(c.pos) == 0 {
 			c.drawPositions()
 			c.shuffleAtPositions(c.cand)
+			c.touched = append(c.touched[:0], c.pos...)
 		} else {
-			perm.Swap(c.rng, c.cand)
+			i, j := perm.Swap(c.rng, c.cand)
+			c.touched = append(c.touched[:0], i, j)
 		}
 	default:
 		if c.iter%c.cfg.ReselectPeriod == 0 || len(c.pos) == 0 {
 			c.drawPositions()
 		}
 		c.shuffleAtPositions(c.cand)
+		c.touched = append(c.touched[:0], c.pos...)
 	}
 	return c.cand
+}
+
+// touchRange records the inclusive window [lo, hi] as touched positions.
+func (c *Chain) touchRange(lo, hi int) {
+	c.touched = c.touched[:0]
+	for p := lo; p <= hi; p++ {
+		c.touched = append(c.touched, p)
+	}
 }
 
 // drawPositions samples Pert distinct positions uniformly.
@@ -244,12 +270,22 @@ func (c *Chain) shuffleAtPositions(seq []int) {
 }
 
 // Step performs one SA iteration: neighbour, evaluate, metropolis accept,
-// cool. It returns the candidate's cost (whether accepted or not).
+// cool. It returns the candidate's cost (whether accepted or not). With an
+// incremental evaluator the candidate is priced by Propose over the
+// touched positions and the cache advances by Commit only on acceptance.
 func (c *Chain) Step() int64 {
 	cand := c.Neighbour()
-	candCost := c.eval.Cost(cand)
+	var candCost int64
+	if c.delta != nil {
+		candCost = c.delta.Propose(cand, c.touched)
+	} else {
+		candCost = c.eval.Cost(cand)
+	}
 	c.evals++
 	if c.accept(candCost) {
+		if c.delta != nil {
+			c.delta.Commit()
+		}
 		c.cur, c.cand = c.cand, c.cur
 		c.curCost = candCost
 		if candCost < c.bestCost {

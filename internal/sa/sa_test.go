@@ -319,3 +319,42 @@ func TestMetropolisStatistics(t *testing.T) {
 		t.Errorf("at T≈0, %d/%d worsening moves accepted, want 0", accCold, worseCold)
 	}
 }
+
+// TestDeltaChainMatchesPlainChain runs the same seeded chain once over the
+// plain full-pass evaluator and once over the incremental propose/commit
+// evaluator, for every neighbourhood operator and both problem kinds. The
+// delta evaluator returns bit-identical costs, so every metropolis
+// decision — and hence the whole trajectory — must coincide step for step.
+func TestDeltaChainMatchesPlainChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	kinds := []func() *problem.Instance{
+		func() *problem.Instance { return randomCDD(rng, 40) },
+		func() *problem.Instance { return problem.PaperExample(problem.UCDDCP) },
+	}
+	ops := []NeighborOp{NeighborShuffle, NeighborSwap, NeighborInsert, NeighborReverse, NeighborMixed}
+	for ki, mk := range kinds {
+		in := mk()
+		for _, op := range ops {
+			cfg := DefaultConfig()
+			cfg.Iterations = 250
+			cfg.TempSamples = 60
+			cfg.Neighborhood = op
+			plain := NewChain(cfg, core.NewEvaluator(in), xrand.New(99))
+			delta := NewChain(cfg, core.NewDeltaEvaluator(in), xrand.New(99))
+			for it := 0; it < cfg.Iterations; it++ {
+				a, b := plain.Step(), delta.Step()
+				if a != b {
+					t.Fatalf("kind %d op %v iter %d: plain cand cost %d, delta %d", ki, op, it, a, b)
+				}
+			}
+			_, pc := plain.Best()
+			_, dc := delta.Best()
+			if pc != dc {
+				t.Fatalf("kind %d op %v: best plain %d, delta %d", ki, op, pc, dc)
+			}
+			if plain.Evaluations() != delta.Evaluations() {
+				t.Fatalf("kind %d op %v: evaluations plain %d, delta %d", ki, op, plain.Evaluations(), delta.Evaluations())
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package ucddcp
+
+import "repro/internal/cdd"
+
+// This file holds the array-based generic cores of the two-phase UCDDCP
+// linear algorithm, shared verbatim between the host evaluator ([]int
+// sequences) and the simulated GPU fitness kernel ([]int32 rows), so the
+// two cannot drift. The cores are fused: the CDD phase runs inline
+// (carrying only the Σα/Σβ aggregates its breakpoint walk needs), the
+// tardy-side compression applies shifts and accumulates the final penalty
+// inside the decision loop itself, and the early side folds the penalty
+// into its apply sweep — the standalone O(n) final-cost pass of the
+// original implementation is gone.
+
+// OptimizeArrays runs the full two-phase algorithm on primitive parameter
+// arrays (indexed by job id). comp and scratch are caller-provided
+// length-n scratch; on return comp holds the final (shifted, compressed)
+// completion times. x, when non-nil, must be zeroed length-n storage
+// indexed by job id and receives the per-job compressions (the device
+// kernel passes nil). The returned ops is the abstract operation count the
+// simulated device converts into cycle charges.
+func OptimizeArrays[S cdd.Index](seq []S, p, m, alpha, beta, gamma []int64, d int64, comp, scratch, x []int64) (cost, start int64, dueJob, ops int) {
+	n := len(seq)
+
+	// Phase 1: CDD timing of the uncompressed sequence. Only the due-date
+	// position r and the resulting shift are needed downstream, so the walk
+	// carries just the Σα/Σβ aggregates.
+	var t int64
+	tau := 0
+	var a, b int64
+	for pos, job := range seq {
+		t += p[job]
+		comp[pos] = t
+		if t <= d {
+			tau = pos + 1
+			a += alpha[job]
+		} else {
+			b += beta[job]
+		}
+	}
+	ops = 6 * n
+	r := 0
+	var shiftAll int64
+	if tau > 0 && !(comp[tau-1] < d && b >= a) {
+		r = tau
+		a -= alpha[seq[r-1]]
+		b += beta[seq[r-1]]
+		for r > 1 && a > b {
+			r--
+			a -= alpha[seq[r-1]]
+			b += beta[seq[r-1]]
+			ops += 4
+		}
+		shiftAll = d - comp[r-1]
+	}
+	if shiftAll != 0 {
+		for pos := range comp[:n] {
+			comp[pos] += shiftAll
+		}
+		ops += n
+	}
+
+	cost, x0, cops := compressArrays(seq, p, m, alpha, beta, gamma, d, r, comp, scratch, x)
+	ops += cops
+	start = comp[0] - (p[seq[0]] - x0)
+	return cost, start, r, ops
+}
+
+// compressArrays runs the all-or-nothing compression phase (Section IV-B)
+// over comp, which must hold the phase-1 completion times with the optimal
+// CDD shift already applied; r is the 1-based due-date position (0 in the
+// degenerate no-due-job case). It returns the exact total objective value
+// Σ α·E + β·T + γ·X of the schedule it builds — penalties are accumulated
+// inside the apply sweeps — together with the compression of the job at
+// position 0 (which the caller needs for the start time). scratch is
+// length-n; x is as in OptimizeArrays. On return comp holds the final
+// completion times.
+func compressArrays[S cdd.Index](seq []S, p, m, alpha, beta, gamma []int64, d int64, r int, comp, scratch, x []int64) (cost, x0 int64, ops int) {
+	n := len(seq)
+
+	// Tardy side — ascending sweep over positions r..n-1. Invariants at
+	// cursor pos: shift = Σ compressions decided at positions < pos (plus
+	// pos itself once decided); positions q < pos already hold their final
+	// completion in comp[q], positions q ≥ pos currently complete at
+	// comp[q]−shift; tp = smallest position whose current completion
+	// exceeds d (the still-tardy set, completions strictly increasing);
+	// sbPos/sbTp = Σ β over positions ≥ pos resp. ≥ tp. The shift is
+	// applied to comp[pos] immediately after the decision — shAcc[pos] of
+	// the two-pass formulation is exactly the shift at that moment — and
+	// the position's final penalty is folded in right there.
+	var shift int64
+	tp := r
+	var sbTp int64
+	for q := tp; q < n; q++ {
+		sbTp += beta[seq[q]]
+	}
+	for tp < n && comp[tp] <= d { // only reachable when r == 0
+		sbTp -= beta[seq[tp]]
+		tp++
+	}
+	sbPos := sbTp
+	for q := tp - 1; q >= r; q-- {
+		sbPos += beta[seq[q]]
+	}
+	ops = 2 * (n - r)
+	for pos := r; pos < n; pos++ {
+		for tp < n {
+			cur := comp[tp] // tp < pos: already final
+			if tp >= pos {
+				cur = comp[tp] - shift
+			}
+			if cur > d {
+				break
+			}
+			sbTp -= beta[seq[tp]]
+			tp++
+		}
+		job := seq[pos]
+		u := p[job] - m[job]
+		if u > 0 {
+			// Compressing position pos shifts positions ≥ pos left; the
+			// benefiting jobs are the still-tardy ones among them, i.e.
+			// positions ≥ max(pos, tp).
+			benefit := sbPos
+			if tp > pos {
+				benefit = sbTp
+			}
+			if benefit > gamma[job] {
+				shift += u
+				cost += gamma[job] * u
+				if x != nil {
+					x[job] = u
+				}
+				if pos == 0 {
+					x0 = u
+				}
+			}
+		}
+		comp[pos] -= shift
+		c := comp[pos]
+		if c < d {
+			cost += alpha[job] * (d - c)
+		} else {
+			cost += beta[job] * (c - d)
+		}
+		sbPos -= beta[job]
+		ops += 10
+	}
+
+	// Early side — positions 0..r-1. Compressing the job at position pos
+	// keeps its completion fixed and pushes positions 0..pos-1 right, so
+	// the benefit is the α-sum of the preceding positions, independent of
+	// other early compressions. Decisions sweep forward recording each
+	// position's compression in scratch; the apply sweep walks backward
+	// accumulating the right-shift and folding in the final penalties.
+	var aPrefix int64
+	for pos := 0; pos < r; pos++ {
+		job := seq[pos]
+		u := p[job] - m[job]
+		xe := int64(0)
+		if u > 0 && aPrefix > gamma[job] {
+			xe = u
+			cost += gamma[job] * u
+			if x != nil {
+				x[job] = u
+			}
+			if pos == 0 {
+				x0 = u
+			}
+		}
+		scratch[pos] = xe
+		aPrefix += alpha[job]
+		ops += 5
+	}
+	var rightShift int64
+	for pos := r - 1; pos >= 0; pos-- {
+		comp[pos] += rightShift
+		rightShift += scratch[pos]
+		job := seq[pos]
+		c := comp[pos]
+		if c < d {
+			cost += alpha[job] * (d - c)
+		} else {
+			cost += beta[job] * (c - d)
+		}
+		ops += 6
+	}
+	return cost, x0, ops
+}

@@ -79,22 +79,40 @@ func OptimizeSequenceNoCompression(in *problem.Instance, seq []int) int64 {
 // allocation. Not safe for concurrent use; create one per goroutine (or
 // per simulated GPU thread).
 type Evaluator struct {
-	in    *problem.Instance
-	cdd   *cdd.Evaluator
-	comp  []int64 // completion times by position
-	x     []int64 // compression by job id
-	shAcc []int64 // cumulative tardy-side compression applied up to each position
+	in *problem.Instance
+	// Job parameters widened to int64 once, indexed by job id.
+	p, m, alpha, beta, gamma []int64
+	comp                     []int64 // completion times by position
+	x                        []int64 // compression by job id
+	scratch                  []int64 // early-side per-position compressions
 }
 
 // NewEvaluator returns an evaluator for the given instance.
 func NewEvaluator(in *problem.Instance) *Evaluator {
+	p, m, alpha, beta, gamma := ParamArrays(in)
 	return &Evaluator{
-		in:    in,
-		cdd:   cdd.NewEvaluator(in),
-		comp:  make([]int64, in.N()),
-		x:     make([]int64, in.N()),
-		shAcc: make([]int64, in.N()),
+		in: in, p: p, m: m, alpha: alpha, beta: beta, gamma: gamma,
+		comp:    make([]int64, in.N()),
+		x:       make([]int64, in.N()),
+		scratch: make([]int64, in.N()),
 	}
+}
+
+// ParamArrays widens the instance's job parameters into the job-indexed
+// int64 arrays the array-based evaluation cores consume (the layout the
+// GPU pipeline keeps in device memory).
+func ParamArrays(in *problem.Instance) (p, m, alpha, beta, gamma []int64) {
+	n := in.N()
+	p = make([]int64, n)
+	m = make([]int64, n)
+	alpha = make([]int64, n)
+	beta = make([]int64, n)
+	gamma = make([]int64, n)
+	for i, j := range in.Jobs {
+		p[i], m[i] = int64(j.P), int64(j.M)
+		alpha[i], beta[i], gamma[i] = int64(j.Alpha), int64(j.Beta), int64(j.Gamma)
+	}
+	return p, m, alpha, beta, gamma
 }
 
 // Instance returns the instance the evaluator was built for.
@@ -104,135 +122,18 @@ func (e *Evaluator) Instance() *problem.Instance { return e.in }
 // fitness function used by the metaheuristics.
 func (e *Evaluator) Cost(seq []int) int64 { return e.Optimize(seq).Cost }
 
-// Optimize runs the two-phase linear algorithm on the sequence. The
-// Result's X slice aliases evaluator scratch and is valid until the next
-// call.
+// Optimize runs the two-phase linear algorithm on the sequence, delegating
+// to the fused array core shared with the simulated GPU fitness kernel
+// (see OptimizeArrays): the CDD phase runs inline and the compression
+// sweeps fold the final penalty accumulation into their apply loops, so no
+// standalone cost pass remains. The Result's X slice aliases evaluator
+// scratch and is valid until the next call.
 func (e *Evaluator) Optimize(seq []int) Result {
-	jobs := e.in.Jobs
-	d := e.in.D
 	n := len(seq)
-
-	// Phase 1: optimal timing of the uncompressed sequence.
-	base := e.cdd.Optimize(seq)
-	comp := e.comp[:n]
-	t := base.Start
-	for pos, job := range seq {
-		t += int64(jobs[job].P)
-		comp[pos] = t
-	}
 	x := e.x[:n]
 	for i := range x {
 		x[i] = 0
 	}
-	r := base.DueJob // 1-based; 0-based index of the due-date job is r-1
-
-	// Phase 2a: tardy side — 0-based positions r..n-1. (When r == 0, no
-	// job completes at d — restrictive due date or all-zero α — and the
-	// whole sequence is treated as the tardy side; compressing any job
-	// then shortens the suffix while the start time is unaffected.)
-	//
-	// Invariants of the ascending sweep at cursor position pos:
-	//   shift        = Σ of compressions decided at positions < pos; every
-	//                  position q ≥ pos currently completes at comp[q]−shift.
-	//   shAcc[q]     = Σ of compressions decided at positions ≤ q (q < pos);
-	//                  position q < pos currently completes at comp[q]−shAcc[q].
-	//   tp           = smallest position whose current completion exceeds d
-	//                  (the still-tardy set is exactly {q : q ≥ tp} because
-	//                  current completions are strictly increasing: each
-	//                  step adds P−x ≥ M ≥ 1).
-	//   sbPos, sbTp  = Σ β over positions ≥ pos resp. ≥ tp.
-	shAcc := e.shAcc[:n]
-	var shift int64
-	tp := r
-	var sbTp int64
-	for q := tp; q < n; q++ {
-		sbTp += int64(jobs[seq[q]].Beta)
-	}
-	for tp < n && comp[tp] <= d { // only reachable when r == 0
-		sbTp -= int64(jobs[seq[tp]].Beta)
-		tp++
-	}
-	sbPos := sbTp
-	if r < tp {
-		// sbPos must start as the suffix sum from position r.
-		sbPos = sbTp
-		for q := tp - 1; q >= r; q-- {
-			sbPos += int64(jobs[seq[q]].Beta)
-		}
-	}
-	for pos := r; pos < n; pos++ {
-		// Advance tp past positions whose tardiness has been consumed.
-		for tp < n {
-			cur := comp[tp] - shift
-			if tp < pos {
-				cur = comp[tp] - shAcc[tp]
-			}
-			if cur > d {
-				break
-			}
-			sbTp -= int64(jobs[seq[tp]].Beta)
-			tp++
-		}
-		job := seq[pos]
-		u := int64(jobs[job].MaxCompression())
-		if u > 0 {
-			// Compressing position pos shifts positions ≥ pos left; the
-			// benefiting jobs are the still-tardy ones among them, i.e.
-			// positions ≥ max(pos, tp).
-			benefit := sbPos
-			if tp > pos {
-				benefit = sbTp
-			}
-			if benefit > int64(jobs[job].Gamma) {
-				x[job] = u
-				shift += u
-			}
-		}
-		shAcc[pos] = shift
-		sbPos -= int64(jobs[seq[pos]].Beta)
-	}
-	// Apply tardy-side shifts to completion times.
-	if shift > 0 {
-		for pos := r; pos < n; pos++ {
-			comp[pos] -= shAcc[pos]
-		}
-	}
-
-	// Phase 2b: early side — 0-based positions 0..r-1. Compressing the job
-	// at position pos keeps its completion fixed and pushes positions
-	// 0..pos-1 right by its compression, so the benefit is the α-sum of
-	// the preceding positions, independent of other early compressions
-	// (all predecessors remain strictly early: their completions stay
-	// below the compressed job's new start time, which is below d).
-	var alphaPrefix int64
-	for pos := 0; pos < r; pos++ {
-		job := seq[pos]
-		u := int64(jobs[job].MaxCompression())
-		if u > 0 && alphaPrefix > int64(jobs[job].Gamma) {
-			x[job] = u
-		}
-		alphaPrefix += int64(jobs[job].Alpha)
-	}
-	// Apply early-side shifts: position pos moves right by the total
-	// compression of early positions after it.
-	var rightShift int64
-	for pos := r - 1; pos >= 0; pos-- {
-		comp[pos] += rightShift
-		rightShift += x[seq[pos]]
-	}
-
-	// Exact final cost from the resulting schedule.
-	var cost int64
-	for pos, job := range seq {
-		j := jobs[job]
-		c := comp[pos]
-		if c < d {
-			cost += int64(j.Alpha) * (d - c)
-		} else {
-			cost += int64(j.Beta) * (c - d)
-		}
-		cost += int64(j.Gamma) * x[job]
-	}
-	start := comp[0] - (int64(jobs[seq[0]].P) - x[seq[0]])
+	cost, start, r, _ := OptimizeArrays(seq, e.p, e.m, e.alpha, e.beta, e.gamma, e.in.D, e.comp[:n], e.scratch[:n], x)
 	return Result{Cost: cost, Start: start, DueJob: r, X: x}
 }
