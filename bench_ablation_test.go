@@ -42,7 +42,7 @@ func BenchmarkAblationPTimeAccess(b *testing.B) {
 					Inst: in, SA: sa.Config{Iterations: benchItersLow, TempSamples: benchTemp},
 					Grid: benchGrid, Block: benchBlock, Seed: 1,
 					PTimeAccess: mode.mode,
-				}).Solve()
+				}).MustSolve()
 				sim = res.SimSeconds
 				cost = res.BestCost
 			}
@@ -65,7 +65,7 @@ func BenchmarkAblationReduceEvery(b *testing.B) {
 					Inst: in, SA: sa.Config{Iterations: benchItersLow, TempSamples: benchTemp},
 					Grid: benchGrid, Block: benchBlock, Seed: 1,
 					ReduceEvery: every,
-				}).Solve()
+				}).MustSolve()
 				sim = res.SimSeconds
 			}
 			b.ReportMetric(sim*1e3, "sim-ms")
@@ -87,7 +87,7 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 				res := (&parallel.GPUSA{
 					Inst: in, SA: sa.Config{Iterations: 40, TempSamples: benchTemp},
 					Grid: shape.grid, Block: shape.block, Seed: 1,
-				}).Solve()
+				}).MustSolve()
 				sim = res.SimSeconds
 			}
 			b.ReportMetric(sim*1e3, "sim-ms")
@@ -115,7 +115,7 @@ func BenchmarkAblationDPSOCommunication(b *testing.B) {
 					Inst: in, PSO: dpso.Config{Iterations: benchItersLow},
 					Grid: benchGrid, Block: benchBlock, Seed: uint64(i) + 1,
 					ShareSwarmBest: mode.share,
-				}).Solve()
+				}).MustSolve()
 				dev = core.PercentDeviation(res.BestCost, ref)
 			}
 			b.ReportMetric(dev, "%Δ")
@@ -144,7 +144,7 @@ func BenchmarkAblationWarmStart(b *testing.B) {
 					Inst: in, SA: sa.Config{Iterations: benchItersLow, TempSamples: benchTemp},
 					Grid: benchGrid, Block: benchBlock, Seed: uint64(i) + 1,
 					InitialSeq: mode.init,
-				}).Solve()
+				}).MustSolve()
 				dev = core.PercentDeviation(res.BestCost, ref)
 			}
 			b.ReportMetric(dev, "%Δ")
@@ -165,7 +165,7 @@ func BenchmarkAblationCooling(b *testing.B) {
 				res := (&parallel.GPUSA{
 					Inst: in, SA: sa.Config{Iterations: benchItersLow, Cooling: mu, TempSamples: benchTemp},
 					Grid: benchGrid, Block: benchBlock, Seed: uint64(i) + 1,
-				}).Solve()
+				}).MustSolve()
 				dev = core.PercentDeviation(res.BestCost, ref)
 			}
 			b.ReportMetric(dev, "%Δ")
@@ -185,7 +185,7 @@ func BenchmarkAblationPert(b *testing.B) {
 				res := (&parallel.GPUSA{
 					Inst: in, SA: sa.Config{Iterations: benchItersLow, Pert: pert, TempSamples: benchTemp},
 					Grid: benchGrid, Block: benchBlock, Seed: uint64(i) + 1,
-				}).Solve()
+				}).MustSolve()
 				dev = core.PercentDeviation(res.BestCost, ref)
 			}
 			b.ReportMetric(dev, "%Δ")
@@ -211,7 +211,7 @@ func BenchmarkAblationCooperativeHostCost(b *testing.B) {
 					Inst: in, SA: sa.Config{Iterations: 20, TempSamples: 50},
 					Grid: 2, Block: 32, Seed: 1,
 					Cooperative: mode.coop,
-				}).Solve()
+				}).MustSolve()
 			}
 		})
 	}
@@ -260,14 +260,14 @@ func BenchmarkAblationPersistentKernel(b *testing.B) {
 	b.Run("four_kernels", func(b *testing.B) {
 		var sim float64
 		for i := 0; i < b.N; i++ {
-			sim = (&parallel.GPUSA{Inst: in, SA: saCfg, Grid: benchGrid, Block: benchBlock, Seed: 1}).Solve().SimSeconds
+			sim = (&parallel.GPUSA{Inst: in, SA: saCfg, Grid: benchGrid, Block: benchBlock, Seed: 1}).MustSolve().SimSeconds
 		}
 		b.ReportMetric(sim*1e3, "sim-ms")
 	})
 	b.Run("persistent", func(b *testing.B) {
 		var sim float64
 		for i := 0; i < b.N; i++ {
-			sim = (&parallel.PersistentGPUSA{Inst: in, SA: saCfg, Grid: benchGrid, Block: benchBlock, Seed: 1}).Solve().SimSeconds
+			sim = (&parallel.PersistentGPUSA{Inst: in, SA: saCfg, Grid: benchGrid, Block: benchBlock, Seed: 1}).MustSolve().SimSeconds
 		}
 		b.ReportMetric(sim*1e3, "sim-ms")
 	})

@@ -9,6 +9,7 @@
 package duedate_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -65,7 +66,7 @@ func referenceCost(b *testing.B, in *problem.Instance) int64 {
 		Inst: in,
 		SA:   sa.Config{Iterations: benchItersHigh, TempSamples: benchTemp},
 		Ens:  parallel.Ensemble{Chains: 4, Seed: 99},
-	}).Solve()
+	}).MustSolve()
 	refCache.Store(in.Name, ref.BestCost)
 	return ref.BestCost
 }
@@ -85,12 +86,12 @@ func benchQuality(b *testing.B, kind problem.Kind, useDPSO bool, iters int) {
 					res = (&parallel.GPUDPSO{
 						Inst: in, PSO: dpso.Config{Iterations: iters},
 						Grid: benchGrid, Block: benchBlock, Seed: uint64(i) + 1,
-					}).Solve()
+					}).MustSolve()
 				} else {
 					res = (&parallel.GPUSA{
 						Inst: in, SA: sa.Config{Iterations: iters, TempSamples: benchTemp},
 						Grid: benchGrid, Block: benchBlock, Seed: uint64(i) + 1,
-					}).Solve()
+					}).MustSolve()
 				}
 				last = core.PercentDeviation(res.BestCost, ref)
 			}
@@ -152,11 +153,11 @@ func benchSpeedup(b *testing.B, kind problem.Kind) {
 				serial := (&parallel.AsyncSA{
 					Inst: in, SA: saCfg,
 					Ens: parallel.Ensemble{Chains: benchGrid * benchBlock, Seed: uint64(i) + 1},
-				}).Solve()
+				}).MustSolve()
 				gpu := (&parallel.GPUSA{
 					Inst: in, SA: saCfg,
 					Grid: benchGrid, Block: benchBlock, Seed: uint64(i) + 1,
-				}).Solve()
+				}).MustSolve()
 				wallSpeedup = serial.Elapsed.Seconds() / gpu.Elapsed.Seconds()
 				simSpeedup = serial.Elapsed.Seconds() / gpu.SimSeconds
 			}
@@ -189,12 +190,12 @@ func benchRuntime(b *testing.B, kind problem.Kind, useDPSO bool) {
 					res = (&parallel.GPUDPSO{
 						Inst: in, PSO: dpso.Config{Iterations: benchItersLow},
 						Grid: benchGrid, Block: benchBlock, Seed: 1,
-					}).Solve()
+					}).MustSolve()
 				} else {
 					res = (&parallel.GPUSA{
 						Inst: in, SA: sa.Config{Iterations: benchItersLow, TempSamples: benchTemp},
 						Grid: benchGrid, Block: benchBlock, Seed: 1,
-					}).Solve()
+					}).MustSolve()
 				}
 				sim = res.SimSeconds
 			}
@@ -217,7 +218,7 @@ func BenchmarkFigure11_Surface(b *testing.B) {
 			b.Run(fmt.Sprintf("threads%d_gens%d", threads, gens), func(b *testing.B) {
 				var sim float64
 				for i := 0; i < b.N; i++ {
-					points, err := harness.Figure11(harness.Fig11Config{
+					points, err := harness.Figure11(context.Background(), harness.Fig11Config{
 						Size: 30, Block: 32,
 						Threads:     []int{threads},
 						Generations: []int{gens},

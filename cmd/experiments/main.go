@@ -14,13 +14,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/harness"
 	"repro/internal/problem"
@@ -29,6 +32,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	// Ctrl-C cancels the sweep cooperatively: the running solver stops at
+	// its next chain/level boundary and the harness returns the context
+	// error instead of dumping partial tables.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var (
 		exp     = flag.String("exp", "all", "experiment: table2, table3, fig12, fig13, fig14 (CDD); table4, table5, fig15, fig16, fig17 (UCDDCP); fig11; strategy; all")
 		preset  = flag.String("preset", "scaled", "preset: quick, scaled, full")
@@ -65,7 +73,7 @@ func main() {
 	}
 
 	if needCDD {
-		sw, err := harness.RunSweep(p, problem.CDD, progress)
+		sw, err := harness.RunSweep(ctx, p, problem.CDD, progress)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,7 +86,7 @@ func main() {
 		})
 	}
 	if needUCDDCP {
-		sw, err := harness.RunSweep(p, problem.UCDDCP, progress)
+		sw, err := harness.RunSweep(ctx, p, problem.UCDDCP, progress)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -97,7 +105,7 @@ func main() {
 			cfg.Threads = []int{16, 48, 96}
 			cfg.Generations = []int{50, 100, 200}
 		}
-		points, err := harness.Figure11(cfg, progress)
+		points, err := harness.Figure11(ctx, cfg, progress)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -109,7 +117,7 @@ func main() {
 		writeCSV(*out, "fig11_surface.csv", harness.Fig11CSV(points))
 	}
 	if needStrategy {
-		rows, err := harness.CompareStrategies(p, progress)
+		rows, err := harness.CompareStrategies(ctx, p, progress)
 		if err != nil {
 			log.Fatal(err)
 		}

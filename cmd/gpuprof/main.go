@@ -8,11 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"repro/internal/core"
 	"repro/internal/cudasim"
 	"repro/internal/dpso"
 	"repro/internal/orlib"
@@ -63,26 +67,33 @@ func main() {
 		dev.EnableTrace()
 	}
 
+	// Ctrl-C stops the pipeline at its next kernel-round boundary; the
+	// profile of the kernels launched so far still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	saCfg := sa.Config{Iterations: *iters, TempSamples: 500}
-	var (
-		best int64
-		sim  float64
-	)
+	var solver core.Solver
 	switch *algo {
 	case "sa":
-		res := (&parallel.GPUSA{Inst: inst, SA: saCfg, Grid: *grid, Block: *block,
-			Seed: *seed, Dev: dev, Cooperative: *cooperative}).Solve()
-		best, sim = res.BestCost, res.SimSeconds
+		solver = &parallel.GPUSA{Inst: inst, SA: saCfg, Grid: *grid, Block: *block,
+			Seed: *seed, Dev: dev, Cooperative: *cooperative}
 	case "persistent":
-		res := (&parallel.PersistentGPUSA{Inst: inst, SA: saCfg, Grid: *grid, Block: *block,
-			Seed: *seed, Dev: dev}).Solve()
-		best, sim = res.BestCost, res.SimSeconds
+		solver = &parallel.PersistentGPUSA{Inst: inst, SA: saCfg, Grid: *grid, Block: *block,
+			Seed: *seed, Dev: dev}
 	case "dpso":
-		res := (&parallel.GPUDPSO{Inst: inst, PSO: dpso.Config{Iterations: *iters},
-			Grid: *grid, Block: *block, Seed: *seed, Dev: dev, Cooperative: *cooperative}).Solve()
-		best, sim = res.BestCost, res.SimSeconds
+		solver = &parallel.GPUDPSO{Inst: inst, PSO: dpso.Config{Iterations: *iters},
+			Grid: *grid, Block: *block, Seed: *seed, Dev: dev, Cooperative: *cooperative}
 	default:
 		log.Fatalf("unknown algorithm %q (sa, dpso, persistent)", *algo)
+	}
+	res, err := solver.Solve(ctx, inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, sim := res.BestCost, res.SimSeconds
+	if res.Interrupted {
+		fmt.Fprintln(os.Stderr, "interrupted — profiling the kernels launched so far")
 	}
 
 	fmt.Printf("instance  %s   best=%d   device=%.4fs (simulated)\n", inst.Name, best, sim)

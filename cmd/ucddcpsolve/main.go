@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	duedate "repro"
 	"repro/internal/orlib"
@@ -33,6 +37,8 @@ func main() {
 		grid    = flag.Int("grid", 4, "GPU grid size (blocks)")
 		block   = flag.Int("block", 192, "GPU block size (threads per block)")
 		rngSeed = flag.Uint64("solver-seed", 1, "solver RNG seed")
+		workers = flag.Int("workers", 0, "host goroutines for -engine cpu (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget; on expiry the best-so-far is printed")
 		showX   = flag.Bool("compressions", true, "print the per-job compressions of the best schedule")
 	)
 	flag.Parse()
@@ -46,6 +52,10 @@ func main() {
 		Grid:       *grid,
 		Block:      *block,
 		Seed:       *rngSeed,
+		Workers:    *workers,
+	}
+	if *timeout > 0 {
+		opts.Deadline = time.Now().Add(*timeout)
 	}
 	switch *algo {
 	case "sa":
@@ -70,13 +80,21 @@ func main() {
 		log.Fatalf("unknown engine %q (gpu, cpu, serial)", *engine)
 	}
 
-	res, err := duedate.Solve(in, opts)
+	// Ctrl-C cancels cooperatively: the engine stops at its next
+	// chain/level boundary and the best-so-far is printed below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := duedate.SolveContext(ctx, in, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	sched := res.Schedule(in)
 	fmt.Printf("instance    %s (n=%d, d=%d, ΣP=%d)\n", in.Name, in.N(), in.D, in.SumP())
 	fmt.Printf("algorithm   %s on %s\n", opts.Algorithm, opts.Engine)
+	if res.Interrupted {
+		fmt.Println("note        interrupted — best solution found so far:")
+	}
 	fmt.Printf("best cost   %d\n", res.BestCost)
 	fmt.Printf("start       %d\n", sched.Start)
 	fmt.Printf("wall time   %s\n", res.Elapsed)

@@ -15,8 +15,8 @@
 // Quick start:
 //
 //	in, _ := duedate.NewCDDInstance("mine", p, alpha, beta, d)
-//	res, _ := duedate.Solve(in, duedate.Options{})          // GPU-SA defaults
-//	sched := res.Schedule(in)                               // timed schedule
+//	res, _ := duedate.SolveContext(ctx, in, duedate.Options{})  // GPU-SA defaults
+//	sched := res.Schedule(in)                                   // timed schedule
 //
 // The experiment harness reproducing the paper's Tables II–V and Figures
 // 11–17 lives in cmd/experiments; OR-library-style benchmark instances
@@ -50,6 +50,13 @@ type Schedule = problem.Schedule
 
 // Result is a solver outcome: best sequence, exact cost, and timing.
 type Result = core.Result
+
+// Snapshot is one best-so-far progress report from a running solve.
+type Snapshot = core.Snapshot
+
+// ProgressFunc receives best-so-far snapshots during a solve (emitted on
+// every ensemble-best improvement plus once before returning).
+type ProgressFunc = core.ProgressFunc
 
 // NewCDDInstance builds a validated CDD instance from parallel slices of
 // processing times and earliness/tardiness penalties.

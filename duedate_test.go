@@ -1,8 +1,10 @@
 package duedate_test
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	duedate "repro"
 )
@@ -167,5 +169,154 @@ func TestSolvePersistentEngine(t *testing.T) {
 	}
 	if pers.SimSeconds >= normal.SimSeconds {
 		t.Errorf("persistent engine not faster: %g vs %g", pers.SimSeconds, normal.SimSeconds)
+	}
+}
+
+func TestOptionsRejectNegativeGeometry(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	cases := []duedate.Options{
+		{Grid: -1, Block: 8},
+		{Grid: 1, Block: -8},
+		{Engine: duedate.EngineCPUParallel, Workers: -2},
+	}
+	for _, o := range cases {
+		if _, err := duedate.Solve(in, o); err == nil {
+			t.Errorf("options %+v accepted, want rejection", o)
+		}
+	}
+}
+
+func TestSeedZeroSentinelEqualsSeedOne(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	base := duedate.Options{Iterations: 60, Grid: 1, Block: 8, TempSamples: 50}
+	zero := base
+	zero.Seed = 0
+	one := base
+	one.Seed = 1
+	a, err := duedate.Solve(in, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := duedate.Solve(in, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestCost != b.BestCost || a.Evaluations != b.Evaluations {
+		t.Errorf("seed 0 (%d/%d) differs from seed 1 (%d/%d)",
+			a.BestCost, a.Evaluations, b.BestCost, b.Evaluations)
+	}
+}
+
+func TestWorkersOptionKeepsDeterminism(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	base := duedate.Options{
+		Algorithm: duedate.SA, Engine: duedate.EngineCPUParallel,
+		Iterations: 60, Grid: 1, Block: 16, TempSamples: 50, Seed: 4,
+	}
+	limited := base
+	limited.Workers = 1
+	a, err := duedate.Solve(in, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := duedate.Solve(in, limited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestCost != b.BestCost || a.Evaluations != b.Evaluations {
+		t.Errorf("Workers changed the result: %d/%d vs %d/%d",
+			a.BestCost, a.Evaluations, b.BestCost, b.Evaluations)
+	}
+}
+
+func TestSolveContextCancellation(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := duedate.SolveContext(ctx, in, duedate.Options{
+		Algorithm: duedate.SA, Engine: duedate.EngineCPUParallel,
+		Iterations: 1 << 20, Grid: 4, Block: 16, TempSamples: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled SolveContext did not report Interrupted")
+	}
+	got, err := duedate.Cost(in, res.BestSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.BestCost {
+		t.Errorf("interrupted best reported %d, evaluates to %d", res.BestCost, got)
+	}
+}
+
+func TestDeadlineOptionInterrupts(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	res, err := duedate.Solve(in, duedate.Options{
+		Algorithm: duedate.SA, Engine: duedate.EngineCPUSerial,
+		Iterations: 1 << 20, Grid: 2, Block: 16, TempSamples: 50,
+		Deadline: time.Now().Add(-time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("expired Deadline did not report Interrupted")
+	}
+	got, err := duedate.Cost(in, res.BestSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.BestCost {
+		t.Errorf("interrupted best reported %d, evaluates to %d", res.BestCost, got)
+	}
+}
+
+func TestProgressThroughFacade(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	var snaps []duedate.Snapshot
+	res, err := duedate.Solve(in, duedate.Options{
+		Algorithm: duedate.SA, Engine: duedate.EngineCPUSerial,
+		Iterations: 60, Grid: 1, Block: 8, TempSamples: 50,
+		Progress: func(s duedate.Snapshot) { snaps = append(snaps, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots received")
+	}
+	last := snaps[len(snaps)-1]
+	if last.BestCost != res.BestCost {
+		t.Errorf("final snapshot cost %d, result %d", last.BestCost, res.BestCost)
+	}
+	if last.Evaluations != res.Evaluations {
+		t.Errorf("final snapshot evaluations %d, result %d", last.Evaluations, res.Evaluations)
+	}
+}
+
+func TestBaselinesHonorParallelEngine(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	for _, algo := range []duedate.Algorithm{duedate.TA, duedate.ES} {
+		serial, err := duedate.Solve(in, duedate.Options{
+			Algorithm: algo, Engine: duedate.EngineCPUSerial,
+			Iterations: 50, Grid: 1, Block: 8, TempSamples: 50, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := duedate.Solve(in, duedate.Options{
+			Algorithm: algo, Engine: duedate.EngineCPUParallel,
+			Iterations: 50, Grid: 1, Block: 8, TempSamples: 50, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.BestCost != par.BestCost || serial.Evaluations != par.Evaluations {
+			t.Errorf("%v: serial %d/%d != parallel %d/%d (chain i must own stream i on both engines)",
+				algo, serial.BestCost, serial.Evaluations, par.BestCost, par.Evaluations)
+		}
 	}
 }

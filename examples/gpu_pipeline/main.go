@@ -76,7 +76,7 @@ func main() {
 		Grid: 2, Block: 96,
 		Seed: 1,
 		Dev:  dev,
-	}).Solve()
+	}).MustSolve()
 	fmt.Printf("pipeline run on %s: best=%d, %d evaluations, %.4f s simulated, %v wall\n\n",
 		in.Name, res.BestCost, res.Evaluations, res.SimSeconds, res.Elapsed)
 

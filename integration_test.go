@@ -8,6 +8,7 @@ package duedate_test
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -121,9 +122,9 @@ func TestGPUAndCPUEnsemblesStatisticallyComparable(t *testing.T) {
 	cfg := sa.Config{Iterations: 150, TempSamples: 200}
 	var gpu, cpu []float64
 	for seed := uint64(1); seed <= 8; seed++ {
-		g := (&parallel.GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 8, Seed: seed}).Solve()
+		g := (&parallel.GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 8, Seed: seed}).MustSolve()
 		c := (&parallel.AsyncSA{Inst: in, SA: cfg,
-			Ens: parallel.Ensemble{Chains: 16, Seed: seed}, Parallel: true}).Solve()
+			Ens: parallel.Ensemble{Chains: 16, Seed: seed}, Parallel: true}).MustSolve()
 		gpu = append(gpu, float64(g.BestCost))
 		cpu = append(cpu, float64(c.BestCost))
 	}
@@ -224,7 +225,7 @@ func TestUCDDCPNeverWorseThanCDD(t *testing.T) {
 // TestSweepArchiveRegressionFlow exercises the archive → reload →
 // compare path the harness offers for tracking quality across versions.
 func TestSweepArchiveRegressionFlow(t *testing.T) {
-	sw, err := harness.RunSweep(harness.Quick(), problem.CDD, nil)
+	sw, err := harness.RunSweep(context.Background(), harness.Quick(), problem.CDD, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -89,6 +90,12 @@ type Result struct {
 	// SimSeconds is the simulated GPU time for device-backed engines
 	// (zero for CPU engines).
 	SimSeconds float64
+	// Interrupted reports that the run was cut short by context
+	// cancellation or an expired deadline. BestSeq/BestCost still hold
+	// the best solution found before the interruption (engines guarantee
+	// a valid permutation even when cancelled before the first chain
+	// completes).
+	Interrupted bool
 }
 
 // Schedule materializes the result's sequence into a fully timed schedule
@@ -102,12 +109,56 @@ func (r *Result) Schedule(in *problem.Instance) problem.Schedule {
 	return problem.Schedule{Seq: r.BestSeq, Start: opt.Start}
 }
 
-// Solver is a runnable optimizer configuration bound to an instance.
+// Budget bounds a solver run beyond the algorithm's own configuration.
+// The zero value imposes no bound.
+type Budget struct {
+	// Iterations, when positive, overrides the algorithm config's
+	// per-chain iteration count.
+	Iterations int
+	// Deadline, when nonzero, is the wall-clock cutoff: the engine stops
+	// at its next chain/level/iteration boundary past the deadline and
+	// returns the best-so-far with Result.Interrupted set.
+	Deadline time.Time
+}
+
+// Apply derives a context honoring the budget's deadline. The returned
+// cancel func must always be called (it is a no-op when no deadline is
+// set).
+func (b Budget) Apply(ctx context.Context) (context.Context, context.CancelFunc) {
+	if b.Deadline.IsZero() {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, b.Deadline)
+}
+
+// Snapshot is one progress report from a running solver: the best
+// solution found so far with its accounting. The sequence is a copy
+// owned by the receiver.
+type Snapshot struct {
+	BestSeq     []int
+	BestCost    int64
+	Evaluations int64
+	Elapsed     time.Duration
+}
+
+// ProgressFunc receives periodic best-so-far snapshots during a solve.
+// Engines emit one whenever the ensemble best improves (serialized — the
+// callback never runs concurrently with itself) and a final snapshot
+// before returning. Callbacks must be fast; they run on the solve path.
+type ProgressFunc func(Snapshot)
+
+// Solver is a runnable optimizer configuration: the engine-layer
+// contract every driver (CPU serial/parallel ensembles, the four-kernel
+// GPU pipeline, the persistent kernel, the TA/ES baselines) implements.
 type Solver interface {
 	// Name identifies the solver in experiment tables ("SA_1000", …).
 	Name() string
-	// Solve runs the optimization once and returns its result.
-	Solve() Result
+	// Solve runs the optimization once on inst and returns its result.
+	// Cancellation is cooperative: engines check ctx at chain, level or
+	// kernel-iteration boundaries and return the best-so-far with
+	// Result.Interrupted set instead of an error. A fixed seed yields
+	// bit-identical results whenever ctx never expires.
+	Solve(ctx context.Context, inst *problem.Instance) (Result, error)
 }
 
 // InitialTemperature estimates T₀ as the standard deviation of the
@@ -148,16 +199,22 @@ func RandomSolution(eval Evaluator, rng *xrand.XORWOW) ([]int, int64) {
 	return seq, eval.Cost(seq)
 }
 
-// BestOf runs every solver and returns the index and result of the best
-// (lowest-cost) one; it is the reduce step over heterogeneous engines.
-func BestOf(solvers ...Solver) (int, Result, error) {
+// BestOf runs every solver on the instance and returns the index and
+// result of the best (lowest-cost) one; it is the reduce step over
+// heterogeneous engines. A cancelled context stops the remaining solvers
+// at their own chain/level boundaries; results collected so far still
+// reduce.
+func BestOf(ctx context.Context, inst *problem.Instance, solvers ...Solver) (int, Result, error) {
 	if len(solvers) == 0 {
 		return 0, Result{}, fmt.Errorf("core: BestOf with no solvers")
 	}
 	bestIdx := -1
 	var best Result
 	for i, s := range solvers {
-		r := s.Solve()
+		r, err := s.Solve(ctx, inst)
+		if err != nil {
+			return 0, Result{}, fmt.Errorf("core: %s: %w", s.Name(), err)
+		}
 		if bestIdx < 0 || r.BestCost < best.BestCost {
 			bestIdx, best = i, r
 		}

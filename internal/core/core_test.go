@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -87,19 +88,19 @@ type fixedSolver struct {
 }
 
 func (f fixedSolver) Name() string { return f.name }
-func (f fixedSolver) Solve() Result {
-	return Result{BestCost: f.cost, BestSeq: []int{0}}
+func (f fixedSolver) Solve(ctx context.Context, in *problem.Instance) (Result, error) {
+	return Result{BestCost: f.cost, BestSeq: []int{0}}, nil
 }
 
 func TestBestOf(t *testing.T) {
-	idx, best, err := BestOf(fixedSolver{"a", 30}, fixedSolver{"b", 10}, fixedSolver{"c", 20})
+	idx, best, err := BestOf(context.Background(), nil, fixedSolver{"a", 30}, fixedSolver{"b", 10}, fixedSolver{"c", 20})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if idx != 1 || best.BestCost != 10 {
 		t.Errorf("BestOf picked %d (%d), want 1 (10)", idx, best.BestCost)
 	}
-	if _, _, err := BestOf(); err == nil {
+	if _, _, err := BestOf(context.Background(), nil); err == nil {
 		t.Error("BestOf() with no solvers should error")
 	}
 }

@@ -175,7 +175,7 @@ func TestSAReachesExactOptimum(t *testing.T) {
 			Inst: in, SA: cfg,
 			Ens:      parallel.Ensemble{Chains: 16, Seed: uint64(trial)},
 			Parallel: true,
-		}).Solve()
+		}).MustSolve()
 		if res.BestCost < opt.Cost {
 			t.Fatalf("trial %d: SA %d beats the exact optimum %d — a solver bug", trial, res.BestCost, opt.Cost)
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -58,7 +59,7 @@ func (c Fig11Config) normalized() Fig11Config {
 // instance over thread counts and generation counts, reproducing the
 // surface of Figure 11: runtime grows with both axes, and thread counts
 // beyond the device's simultaneous capacity serialize block waves.
-func Figure11(cfg Fig11Config, progress io.Writer) ([]Fig11Point, error) {
+func Figure11(ctx context.Context, cfg Fig11Config, progress io.Writer) ([]Fig11Point, error) {
 	cfg = cfg.normalized()
 	instances, err := orlib.BenchmarkUCDDCP(cfg.Size, 1, cfg.Seed)
 	if err != nil {
@@ -74,12 +75,18 @@ func Figure11(cfg Fig11Config, progress io.Writer) ([]Fig11Point, error) {
 			grid = 1
 		}
 		for _, gens := range cfg.Generations {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			saCfg := sa.Config{Iterations: gens, TempSamples: cfg.TempSamples}
 			start := time.Now()
-			res := (&parallel.GPUSA{
+			res, err := (&parallel.GPUSA{
 				Inst: inst, SA: saCfg,
 				Grid: grid, Block: block, Seed: cfg.Seed,
-			}).Solve()
+			}).Solve(ctx, inst)
+			if err != nil {
+				return nil, err
+			}
 			p := Fig11Point{
 				Threads:     grid * block,
 				Generations: gens,

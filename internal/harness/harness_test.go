@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 // structural tests below.
 func quickSweep(t *testing.T, kind problem.Kind) *Sweep {
 	t.Helper()
-	sw, err := RunSweep(Quick(), kind, nil)
+	sw, err := RunSweep(context.Background(), Quick(), kind, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestFigure11SmallSurface(t *testing.T) {
 		Generations: []int{20, 80},
 		TempSamples: 50,
 	}
-	points, err := Figure11(cfg, nil)
+	points, err := Figure11(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestPresets(t *testing.T) {
 }
 
 func TestCompareStrategies(t *testing.T) {
-	rows, err := CompareStrategies(Quick(), nil)
+	rows, err := CompareStrategies(context.Background(), Quick(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

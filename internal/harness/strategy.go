@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -27,23 +28,32 @@ type StrategyRow struct {
 // total iteration budgets: the async chains run ItersLow iterations
 // independently; the sync ensemble spends the same budget as Levels
 // rounds of MarkovLen = 10 steps with broadcast between rounds.
-func CompareStrategies(p Preset, progress io.Writer) ([]StrategyRow, error) {
+func CompareStrategies(ctx context.Context, p Preset, progress io.Writer) ([]StrategyRow, error) {
 	var rows []StrategyRow
 	saCfg := sa.Config{Iterations: p.ItersLow, TempSamples: p.TempSamples}
 	markov := 10
 	for _, size := range p.Sizes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		instances, err := benchmarkInstances(p, problem.CDD, size)
 		if err != nil {
 			return nil, err
 		}
 		inst := instances[len(instances)-1]
 		ens := parallel.Ensemble{Chains: p.Ensemble(), Seed: p.Seed ^ uint64(size)}
-		async := (&parallel.AsyncSA{Inst: inst, SA: saCfg, Ens: ens, Parallel: true}).Solve()
-		sync := (&parallel.SyncSA{
+		async, err := (&parallel.AsyncSA{Inst: inst, SA: saCfg, Ens: ens, Parallel: true}).Solve(ctx, inst)
+		if err != nil {
+			return nil, err
+		}
+		sync, err := (&parallel.SyncSA{
 			Inst: inst, SA: saCfg, Ens: ens,
 			MarkovLen: markov, Levels: p.ItersLow / markov,
 			Parallel: true,
-		}).Solve()
+		}).Solve(ctx, inst)
+		if err != nil {
+			return nil, err
+		}
 		row := StrategyRow{
 			Size:      size,
 			AsyncCost: async.BestCost,

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -74,8 +75,9 @@ type Sweep struct {
 }
 
 // RunSweep executes the benchmark sweep for one problem kind. Progress
-// lines go to progress when non-nil.
-func RunSweep(p Preset, kind problem.Kind, progress io.Writer) (*Sweep, error) {
+// lines go to progress when non-nil. A cancelled context stops the sweep
+// before the next instance and returns the context's error.
+func RunSweep(ctx context.Context, p Preset, kind problem.Kind, progress io.Writer) (*Sweep, error) {
 	start := time.Now()
 	sw := &Sweep{Preset: p, Kind: kind}
 	for _, size := range p.Sizes {
@@ -85,8 +87,14 @@ func RunSweep(p Preset, kind problem.Kind, progress io.Writer) (*Sweep, error) {
 		}
 		var results []InstanceResult
 		for idx, inst := range instances {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			seed := p.Seed ^ uint64(size)<<32 ^ uint64(idx)<<8 ^ uint64(kind)
-			res := runInstance(p, inst, seed)
+			res, err := runInstance(ctx, p, inst, seed)
+			if err != nil {
+				return nil, err
+			}
 			results = append(results, res)
 			if progress != nil {
 				fmt.Fprintf(progress, "%s n=%d %s: ref=%d", kind, size, inst.Name, res.RefCost)
@@ -113,7 +121,7 @@ func benchmarkInstances(p Preset, kind problem.Kind, size int) ([]*problem.Insta
 
 // runInstance executes the references and the four parallel algorithms on
 // one instance.
-func runInstance(p Preset, inst *problem.Instance, seed uint64) InstanceResult {
+func runInstance(ctx context.Context, p Preset, inst *problem.Instance, seed uint64) (InstanceResult, error) {
 	res := InstanceResult{
 		Name: inst.Name,
 		Size: inst.N(),
@@ -128,25 +136,35 @@ func runInstance(p Preset, inst *problem.Instance, seed uint64) InstanceResult {
 		TempSamples: p.TempSamples,
 	}
 	refStart := time.Now()
-	ref := (&parallel.AsyncSA{
+	ref, err := (&parallel.AsyncSA{
 		Label: "CPU-SA-ref", Inst: inst, SA: saRef,
 		Ens:      parallel.Ensemble{Chains: p.RefChains, Seed: seed ^ 0xAE5},
 		Parallel: false,
-	}).Solve()
+	}).Solve(ctx, inst)
+	if err != nil {
+		return res, err
+	}
 	res.RefWall7 = time.Since(refStart).Seconds()
 	res.RefCost = ref.BestCost
 	res.RefEvals7 = ref.Evaluations
 
 	// CPU reference [18]: the Feldmann–Biskup metaheuristic family,
-	// represented by serial Threshold Accepting with the same budget.
+	// represented by serial Threshold Accepting with the same budget,
+	// driven through the shared ensemble runtime.
 	taStart := time.Now()
 	taCfg := ta.Config{Iterations: p.ItersHigh, TempSamples: p.TempSamples}
-	for c := 0; c < p.RefChains; c++ {
-		eval := core.NewEvaluator(inst)
-		chain := ta.NewChain(taCfg, eval, xrand.NewStream(seed^0x18, uint64(c)))
-		chain.Run()
-		res.RefEvals18 += chain.Evaluations()
+	refTA, err := (&parallel.ChainEnsemble{
+		Label: "CPU-TA-ref", Inst: inst,
+		Ens:        parallel.Ensemble{Chains: p.RefChains, Seed: seed ^ 0x18},
+		Iterations: p.ItersHigh,
+		NewChain: func(inst *problem.Instance, c int, rng *xrand.XORWOW) parallel.Chain {
+			return ta.NewChain(taCfg, core.NewEvaluator(inst), rng)
+		},
+	}).Solve(ctx, inst)
+	if err != nil {
+		return res, err
 	}
+	res.RefEvals18 = refTA.Evaluations
 	res.RefWall18 = time.Since(taStart).Seconds()
 
 	saLow := sa.Config{Iterations: p.ItersLow, TempSamples: p.TempSamples}
@@ -161,7 +179,10 @@ func runInstance(p Preset, inst *problem.Instance, seed uint64) InstanceResult {
 		"DPSO_high": &parallel.GPUDPSO{Inst: inst, PSO: psHigh, Grid: p.Grid, Block: p.Block, Seed: seed + 3},
 	}
 	for _, algo := range AlgoNames {
-		r := solvers[algo].Solve()
+		r, err := solvers[algo].Solve(ctx, inst)
+		if err != nil {
+			return res, fmt.Errorf("harness: %s on %s: %w", algo, inst.Name, err)
+		}
 		res.Runs[algo] = InstanceRun{
 			Cost:   r.BestCost,
 			Wall:   r.Elapsed.Seconds(),
@@ -170,7 +191,7 @@ func runInstance(p Preset, inst *problem.Instance, seed uint64) InstanceResult {
 			PctDev: core.PercentDeviation(r.BestCost, res.RefCost),
 		}
 	}
-	return res
+	return res, nil
 }
 
 // aggregateSize folds the per-instance results of one size into a row.

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -18,7 +19,8 @@ import (
 // identical swarm is executed on one goroutine as the CPU-time baseline.
 type ParallelDPSO struct {
 	Label string
-	Inst  *problem.Instance
+	// Inst is the default instance, used when Solve receives nil.
+	Inst *problem.Instance
 	// PSO holds the particle parameters; its Swarm field is ignored (the
 	// ensemble size is the swarm size).
 	PSO dpso.Config
@@ -28,6 +30,11 @@ type ParallelDPSO struct {
 	// ShareSwarmBest broadcasts the true swarm best each generation
 	// instead of the paper's communication-free scheme.
 	ShareSwarmBest bool
+	// Budget bounds the run (generation override and/or deadline; the
+	// deadline applies at generation granularity).
+	Budget core.Budget
+	// Progress receives a snapshot whenever the swarm best improves.
+	Progress core.ProgressFunc
 }
 
 // Name implements core.Solver.
@@ -41,26 +48,42 @@ func (d *ParallelDPSO) Name() string {
 // Solve runs the configured generations. Results are deterministic for a
 // fixed seed regardless of Parallel: particle i always consumes RNG
 // stream i and gbest ties resolve to the lowest particle index.
-func (d *ParallelDPSO) Solve() core.Result {
+// Cancellation is checked at generation granularity: a done context skips
+// the remaining generations and returns the swarm best so far (valid from
+// generation zero, since initialization evaluates every particle).
+func (d *ParallelDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.Result, error) {
+	if inst == nil {
+		inst = d.Inst
+	}
 	ens := d.Ens.normalized()
 	cfg := d.PSO.Normalized()
+	if d.Budget.Iterations > 0 {
+		cfg.Iterations = d.Budget.Iterations
+	}
+	ctx, cancel := d.Budget.Apply(ctx)
+	defer cancel()
 	start := time.Now()
-	n := d.Inst.N()
+	n := inst.N()
 
 	particles := make([]*dpso.Particle, ens.Chains)
 	evals := make([]core.Evaluator, ens.Chains)
 	runOverWorkers(ens.Chains, ens.Workers, d.Parallel, func(i int) {
-		evals[i] = core.NewEvaluator(d.Inst)
+		evals[i] = core.NewEvaluator(inst)
 		particles[i] = dpso.NewParticle(cfg, evals[i], xrand.NewStream(ens.Seed, uint64(i)))
 	})
 
+	red := newReducer(ens.Chains)
+	m := newMeter(d.Progress, start, red)
 	gbest := make([]int, n)
 	gbestCost := int64(1) << 62
 	reduce := func() {
-		for _, p := range particles {
+		for i, p := range particles {
 			if seq, cost := p.Best(); cost < gbestCost {
 				gbestCost = cost
 				copy(gbest, seq)
+				if red.record(i, seq, cost, 0) {
+					m.improved()
+				}
 			}
 		}
 	}
@@ -73,7 +96,13 @@ func (d *ParallelDPSO) Solve() core.Result {
 	// implementation. In the default asynchronous mode each particle's
 	// swarm best is its own personal best.
 	gbestSnapshot := make([]int, n)
+	generations := 0
+	interrupted := false
 	for g := 0; g < iters; g++ {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		copy(gbestSnapshot, gbest)
 		runOverWorkers(ens.Chains, ens.Workers, d.Parallel, func(i int) {
 			ref := gbestSnapshot
@@ -83,14 +112,21 @@ func (d *ParallelDPSO) Solve() core.Result {
 			particles[i].Update(ref, evals[i])
 		})
 		reduce()
+		generations++
 	}
 
 	res := core.Result{
 		BestSeq:     gbest,
 		BestCost:    gbestCost,
 		Iterations:  iters,
-		Evaluations: int64(ens.Chains) * int64(iters+1),
+		Evaluations: int64(ens.Chains) * int64(generations+1),
 		Elapsed:     time.Since(start),
+		Interrupted: interrupted,
 	}
-	return res
+	m.final(res)
+	return res, nil
 }
+
+// MustSolve is the context-free convenience form of Solve: background
+// context, the bound instance, panic on error.
+func (d *ParallelDPSO) MustSolve() core.Result { return mustSolve(d, d.Inst) }

@@ -1,0 +1,267 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/problem"
+	"repro/internal/xrand"
+)
+
+// Chain is one independent trajectory of the asynchronous ensemble
+// scheme: the common surface of sa.Chain, ta.Chain, es.Strategy and a
+// solo DPSO particle. A chain owns all its scratch state, so distinct
+// chains may run concurrently.
+type Chain interface {
+	// Run executes the chain's full iteration budget and returns its
+	// best cost.
+	Run() int64
+	// Best returns the best sequence seen (borrowed) and its cost.
+	Best() ([]int, int64)
+	// Evaluations returns the number of fitness evaluations performed.
+	Evaluations() int64
+}
+
+// RunSpec parameterizes one execution of the shared ensemble runtime.
+type RunSpec struct {
+	// Parallel selects the multi-goroutine dispatcher; false runs the
+	// identical ensemble serially on the calling goroutine.
+	Parallel bool
+	// Iterations is reported as Result.Iterations (the per-chain budget;
+	// the chains themselves own the actual loop).
+	Iterations int
+	// Progress, when non-nil, receives a snapshot whenever the ensemble
+	// best improves and once more before Run returns.
+	Progress core.ProgressFunc
+	// NewChain builds chain i over its dedicated RNG stream. It is
+	// called on the worker goroutine that runs the chain, so per-chain
+	// state (evaluators, scratch) needs no synchronization.
+	NewChain func(i int, rng *xrand.XORWOW) Chain
+}
+
+// Run is the shared ensemble runtime behind every CPU driver: it
+// dispatches one chain per ensemble member over the worker pool, derives
+// the per-chain RNG streams, folds the results through the lock-free
+// best reduction and accounts evaluations. Results are deterministic for
+// a fixed seed regardless of Parallel, because chain i always consumes
+// RNG stream i and ties reduce to the lowest chain index.
+//
+// Cancellation is cooperative at chain granularity: once ctx is done, no
+// new chain starts (chains already running finish) and the result
+// carries Interrupted with the best over all completed chains. If ctx
+// expires before any chain completes, the identity sequence is evaluated
+// once so the result still holds a valid permutation with its exact
+// cost.
+func (e Ensemble) Run(ctx context.Context, inst *problem.Instance, spec RunSpec) (core.Result, error) {
+	if inst == nil {
+		return core.Result{}, fmt.Errorf("parallel: ensemble run without an instance")
+	}
+	ens := e.normalized()
+	if ens.Chains >= 1<<tidBits {
+		return core.Result{}, fmt.Errorf("parallel: %d chains exceed the %d-chain reduction limit", ens.Chains, 1<<tidBits)
+	}
+	start := time.Now()
+	red := newReducer(ens.Chains)
+	m := newMeter(spec.Progress, start, red)
+	var skipped atomic.Bool
+	runOverWorkers(ens.Chains, ens.Workers, spec.Parallel, func(i int) {
+		if ctx.Err() != nil {
+			skipped.Store(true)
+			return
+		}
+		chain := spec.NewChain(i, xrand.NewStream(ens.Seed, uint64(i)))
+		chain.Run()
+		seq, cost := chain.Best()
+		if red.record(i, seq, cost, chain.Evaluations()) {
+			m.improved()
+		}
+	})
+	res := red.result(inst)
+	res.Iterations = spec.Iterations
+	res.Interrupted = skipped.Load()
+	res.Elapsed = time.Since(start)
+	m.final(res)
+	return res, nil
+}
+
+// reducer is the engines' lock-free best reduction: the same packed
+// (cost<<tidBits | chain) atomic minimum the GPU reduce kernel computes,
+// applied host-side, plus the per-chain best rows and the evaluation
+// account. Chain i writes seqs[i] exactly once before publishing its
+// packed value, so a reader that observes the packed minimum may read
+// the winning row without further synchronization.
+type reducer struct {
+	packed atomic.Int64
+	evals  atomic.Int64
+	seqs   [][]int
+}
+
+func newReducer(chains int) *reducer {
+	r := &reducer{seqs: make([][]int, chains)}
+	r.packed.Store(math.MaxInt64)
+	return r
+}
+
+// record folds chain i's best into the reduction and returns whether it
+// improved the ensemble best. The sequence is copied.
+func (r *reducer) record(chain int, seq []int, cost int64, evals int64) bool {
+	r.evals.Add(evals)
+	r.seqs[chain] = append(r.seqs[chain][:0], seq...)
+	packed := cost<<tidBits | int64(chain)
+	for {
+		cur := r.packed.Load()
+		if packed >= cur {
+			return false
+		}
+		if r.packed.CompareAndSwap(cur, packed) {
+			return true
+		}
+	}
+}
+
+// best returns the current winner, or ok=false when nothing has been
+// recorded yet.
+func (r *reducer) best() (seq []int, cost int64, ok bool) {
+	p := r.packed.Load()
+	if p == math.MaxInt64 {
+		return nil, 0, false
+	}
+	return r.seqs[p&(1<<tidBits-1)], p >> tidBits, true
+}
+
+// result assembles the reduced outcome. When no chain completed (a
+// context that expired before the first chain boundary), it evaluates
+// the identity sequence once so callers always receive a valid
+// permutation with its exact cost.
+func (r *reducer) result(inst *problem.Instance) core.Result {
+	seq, cost, ok := r.best()
+	if !ok {
+		seq = problem.IdentitySequence(inst.N())
+		cost = core.NewEvaluator(inst).Cost(seq)
+		r.evals.Add(1)
+	}
+	return core.Result{
+		BestSeq:     append([]int(nil), seq...),
+		BestCost:    cost,
+		Evaluations: r.evals.Load(),
+	}
+}
+
+// meter serializes progress callbacks. A nil meter (no Progress
+// configured) is inert, so the hot path pays only a nil check.
+type meter struct {
+	mu    sync.Mutex
+	fn    core.ProgressFunc
+	start time.Time
+	red   *reducer
+}
+
+func newMeter(fn core.ProgressFunc, start time.Time, red *reducer) *meter {
+	if fn == nil {
+		return nil
+	}
+	return &meter{fn: fn, start: start, red: red}
+}
+
+// improved emits a snapshot of the current ensemble best.
+func (m *meter) improved() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seq, cost, ok := m.red.best()
+	if !ok {
+		return
+	}
+	m.fn(core.Snapshot{
+		BestSeq:     append([]int(nil), seq...),
+		BestCost:    cost,
+		Evaluations: m.red.evals.Load(),
+		Elapsed:     time.Since(m.start),
+	})
+}
+
+// final emits the closing snapshot from the assembled result.
+func (m *meter) final(res core.Result) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fn(core.Snapshot{
+		BestSeq:     append([]int(nil), res.BestSeq...),
+		BestCost:    res.BestCost,
+		Evaluations: res.Evaluations,
+		Elapsed:     res.Elapsed,
+	})
+}
+
+// ChainEnsemble is the generic asynchronous driver over the shared
+// runtime: any chain factory, one chain per ensemble member, best-of
+// reduction. The TA and ES baseline families register into the facade
+// through it, and new chain-shaped metaheuristics need only a factory —
+// no driver code.
+type ChainEnsemble struct {
+	// Label names the solver in result tables.
+	Label string
+	// Inst is the default instance, used when Solve receives nil.
+	Inst *problem.Instance
+	// Ens is the ensemble geometry.
+	Ens Ensemble
+	// Parallel selects the multi-goroutine dispatcher.
+	Parallel bool
+	// Iterations is the per-chain budget reported in results (the
+	// factory's chain config owns the actual loop; Budget.Iterations
+	// does not reach inside the factory).
+	Iterations int
+	// Budget bounds the run (deadline only; see Iterations).
+	Budget core.Budget
+	// Progress receives best-so-far snapshots.
+	Progress core.ProgressFunc
+	// NewChain builds chain i for the instance over its RNG stream.
+	NewChain func(inst *problem.Instance, chain int, rng *xrand.XORWOW) Chain
+}
+
+// Name implements core.Solver.
+func (c *ChainEnsemble) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return "ChainEnsemble"
+}
+
+// Solve implements core.Solver.
+func (c *ChainEnsemble) Solve(ctx context.Context, inst *problem.Instance) (core.Result, error) {
+	if inst == nil {
+		inst = c.Inst
+	}
+	ctx, cancel := c.Budget.Apply(ctx)
+	defer cancel()
+	return c.Ens.Run(ctx, inst, RunSpec{
+		Parallel:   c.Parallel,
+		Iterations: c.Iterations,
+		Progress:   c.Progress,
+		NewChain: func(i int, rng *xrand.XORWOW) Chain {
+			return c.NewChain(inst, i, rng)
+		},
+	})
+}
+
+// MustSolve is the context-free convenience form of Solve: background
+// context, the bound instance, panic on error.
+func (c *ChainEnsemble) MustSolve() core.Result { return mustSolve(c, c.Inst) }
+
+// mustSolve backs the drivers' MustSolve convenience methods.
+func mustSolve(s core.Solver, inst *problem.Instance) core.Result {
+	res, err := s.Solve(context.Background(), inst)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/problem"
 	"repro/internal/sa"
 )
@@ -26,25 +28,40 @@ func TestGoldenFixedSeedResults(t *testing.T) {
 	type golden struct {
 		name  string
 		inst  *problem.Instance
-		run   func(in *problem.Instance) (best, evals int64)
+		run   func(t *testing.T, in *problem.Instance) (best, evals int64)
 		best  int64
 		evals int64 // 0 means unchecked
 	}
-	async := func(in *problem.Instance) (int64, int64) {
-		r := (&AsyncSA{Inst: in, SA: goldenSA(), Ens: Ensemble{Chains: 10, Seed: 3}, Parallel: true}).Solve()
+	// Every runner goes through the explicit context-aware Solve path (a
+	// background context that never expires must be invisible: same
+	// trajectories, same results as before the engine-layer refactor).
+	ctx := context.Background()
+	mustRun := func(t *testing.T, r core.Result, err error) core.Result {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("Solve failed: %v", err)
+		}
+		if r.Interrupted {
+			t.Fatal("uncancelled run reported Interrupted")
+		}
+		return r
+	}
+	async := func(t *testing.T, in *problem.Instance) (int64, int64) {
+		r, err := (&AsyncSA{SA: goldenSA(), Ens: Ensemble{Chains: 10, Seed: 3}, Parallel: true}).Solve(ctx, in)
+		r = mustRun(t, r, err)
 		return r.BestCost, r.Evaluations
 	}
-	gpu := func(in *problem.Instance) (int64, int64) {
-		r := (&GPUSA{Inst: in, SA: goldenSA(), Grid: 2, Block: 8, Seed: 6}).Solve()
-		return r.BestCost, 0
+	gpu := func(t *testing.T, in *problem.Instance) (int64, int64) {
+		r, err := (&GPUSA{SA: goldenSA(), Grid: 2, Block: 8, Seed: 6}).Solve(ctx, in)
+		return mustRun(t, r, err).BestCost, 0
 	}
-	persistent := func(in *problem.Instance) (int64, int64) {
-		r := (&PersistentGPUSA{Inst: in, SA: goldenSA(), Grid: 2, Block: 8, Seed: 6}).Solve()
-		return r.BestCost, 0
+	persistent := func(t *testing.T, in *problem.Instance) (int64, int64) {
+		r, err := (&PersistentGPUSA{SA: goldenSA(), Grid: 2, Block: 8, Seed: 6}).Solve(ctx, in)
+		return mustRun(t, r, err).BestCost, 0
 	}
-	sync := func(in *problem.Instance) (int64, int64) {
-		r := (&SyncSA{Inst: in, SA: goldenSA(), Ens: Ensemble{Chains: 8, Seed: 5}, MarkovLen: 5, Levels: 12, Parallel: true}).Solve()
-		return r.BestCost, 0
+	sync := func(t *testing.T, in *problem.Instance) (int64, int64) {
+		r, err := (&SyncSA{SA: goldenSA(), Ens: Ensemble{Chains: 8, Seed: 5}, MarkovLen: 5, Levels: 12, Parallel: true}).Solve(ctx, in)
+		return mustRun(t, r, err).BestCost, 0
 	}
 
 	cdd15, cdd40 := benchInstanceCDD(15), benchInstanceCDD(40)
@@ -66,7 +83,7 @@ func TestGoldenFixedSeedResults(t *testing.T) {
 	for _, g := range cases {
 		g := g
 		t.Run(g.name, func(t *testing.T) {
-			best, evals := g.run(g.inst)
+			best, evals := g.run(t, g.inst)
 			if best != g.best {
 				t.Errorf("best cost drifted from full-evaluation golden: got %d, want %d", best, g.best)
 			}

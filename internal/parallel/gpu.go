@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"math"
 	"math/bits"
 	"time"
@@ -60,6 +61,14 @@ type GPUSA struct {
 	// configuration for all chains" option of Ferreiro et al., used by
 	// the warm-start ablation with the constructive heuristic.
 	InitialSeq []int
+	// Budget bounds the run (iteration override and/or deadline; the
+	// deadline applies at host-iteration granularity, i.e. once per
+	// four-kernel round).
+	Budget core.Budget
+	// Progress receives a snapshot after every reduction kernel. Each
+	// snapshot costs a device→host copy of the winning sequence, so leave
+	// it nil for timing runs.
+	Progress core.ProgressFunc
 }
 
 // Name implements core.Solver.
@@ -371,7 +380,15 @@ func (pl *pipeline) reduceKernel(costs, packed *cudasim.Buffer[int64]) error {
 }
 
 // Solve runs the full pipeline and returns the reduced best solution.
-func (g *GPUSA) Solve() core.Result {
+// Cancellation is checked once per host iteration (one four-kernel
+// round): a done context skips the remaining rounds, runs a final
+// reduction over the per-thread bests and returns the winner with
+// Interrupted set — valid from round zero, because the initialization
+// fitness pass seeds every thread's best.
+func (g *GPUSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result, error) {
+	if inst == nil {
+		inst = g.Inst
+	}
 	grid, block := g.Grid, g.Block
 	if grid <= 0 {
 		grid = 4
@@ -388,13 +405,18 @@ func (g *GPUSA) Solve() core.Result {
 		reduceEvery = 1
 	}
 	cfg := g.SA
-	n := g.Inst.N()
+	if g.Budget.Iterations > 0 {
+		cfg.Iterations = g.Budget.Iterations
+	}
+	ctx, cancel := g.Budget.Apply(ctx)
+	defer cancel()
+	n := inst.N()
 	start := time.Now()
 	simStart := dev.SimTime()
 
-	pl := newPipeline(dev, g.Inst, grid, block, g.Cooperative, g.Seed)
+	pl := newPipeline(dev, inst, grid, block, g.Cooperative, g.Seed)
 	pl.setPAccess(g.PTimeAccess)
-	if g.Inst.Kind != problem.UCDDCP && g.PTimeAccess == PAccessCoalesced {
+	if inst.Kind != problem.UCDDCP && g.PTimeAccess == PAccessCoalesced {
 		pl.enableDelta()
 	}
 	N := pl.threads
@@ -425,7 +447,7 @@ func (g *GPUSA) Solve() core.Result {
 	// a pre-processing step; one stream beyond the thread streams).
 	temp := cfg.T0
 	if temp <= 0 {
-		eval := core.NewEvaluator(g.Inst)
+		eval := core.NewEvaluator(inst)
 		temp = core.InitialTemperature(eval, xrand.NewStream(g.Seed, uint64(N)+1), cfg.TempSamples)
 		evalCount += int64(cfg.TempSamples)
 	}
@@ -450,19 +472,21 @@ func (g *GPUSA) Solve() core.Result {
 	// candidates incrementally.
 	if pl.deltas != nil {
 		if err := pl.resetKernel(seqBuf, costBuf); err != nil {
-			panic(err)
+			return core.Result{}, err
 		}
 	} else if err := pl.fitnessKernel(seqBuf, costBuf); err != nil {
-		panic(err)
+		return core.Result{}, err
 	}
 	evalCount += int64(N)
-	dev.MustLaunch(pl.launchCfg("init"), func(c *cudasim.Ctx) {
+	if err := dev.Launch(pl.launchCfg("init"), func(c *cudasim.Ctx) {
 		tid := c.GlobalThreadID()
 		v := costBuf.Load(c, tid)
 		bestCostBuf.Store(c, tid, v)
 		copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], seqBuf.Raw()[tid*n:(tid+1)*n])
 		c.ChargeGlobal(2*n, true)
-	})
+	}); err != nil {
+		return core.Result{}, err
+	}
 
 	// Per-thread perturbation position state (the paper re-draws the
 	// Pert positions every 10 iterations).
@@ -471,12 +495,17 @@ func (g *GPUSA) Solve() core.Result {
 		positions[t] = make([]int, 0, cfg.Pert)
 	}
 
+	interrupted := false
 	for it := 0; it < cfg.Iterations; it++ {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		dev.SetConstantFloat("T", temp)
 		iter := it
 
 		// Kernel 1: perturbation (Fisher–Yates on a Pert-subset).
-		dev.MustLaunch(pl.launchCfg("perturb"), func(c *cudasim.Ctx) {
+		if err := dev.Launch(pl.launchCfg("perturb"), func(c *cudasim.Ctx) {
 			tid := c.GlobalThreadID()
 			rng := pl.rngs[tid]
 			src := seqBuf.Raw()[tid*n : (tid+1)*n]
@@ -495,21 +524,23 @@ func (g *GPUSA) Solve() core.Result {
 			}
 			c.ChargeGlobal(2*len(pos), false) // scattered swaps
 			c.ChargeArith(6 * len(pos))
-		})
+		}); err != nil {
+			return core.Result{}, err
+		}
 
 		// Kernel 2: fitness of the candidates — incremental when the delta
 		// path is on (O(touched) per thread), the full O(n) pass otherwise.
 		if pl.deltas != nil {
 			if err := pl.deltaFitnessKernel(candBuf, positions, candCostBuf); err != nil {
-				panic(err)
+				return core.Result{}, err
 			}
 		} else if err := pl.fitnessKernel(candBuf, candCostBuf); err != nil {
-			panic(err)
+			return core.Result{}, err
 		}
 		evalCount += int64(N)
 
 		// Kernel 3: metropolis acceptance + per-thread best tracking.
-		dev.MustLaunch(pl.launchCfg("accept"), func(c *cudasim.Ctx) {
+		if err := dev.Launch(pl.launchCfg("accept"), func(c *cudasim.Ctx) {
 			tid := c.GlobalThreadID()
 			rng := pl.rngs[tid]
 			cur := costBuf.Load(c, tid)
@@ -534,12 +565,18 @@ func (g *GPUSA) Solve() core.Result {
 					c.ChargeGlobal(2*n, true)
 				}
 			}
-		})
+		}); err != nil {
+			return core.Result{}, err
+		}
 
 		// Kernel 4: reduction (atomic min in L2).
 		if (it+1)%reduceEvery == 0 || it == cfg.Iterations-1 {
 			if err := pl.reduceKernel(bestCostBuf, packedBuf); err != nil {
-				panic(err)
+				return core.Result{}, err
+			}
+			if g.Progress != nil {
+				seq, cost := pl.winner(packedBuf, bestSeqBuf)
+				g.Progress(core.Snapshot{BestSeq: seq, BestCost: cost, Evaluations: evalCount, Elapsed: time.Since(start)})
 			}
 		}
 
@@ -550,18 +587,16 @@ func (g *GPUSA) Solve() core.Result {
 			temp = cfg.TMin
 		}
 	}
+	if interrupted {
+		// Fold the per-thread bests accumulated so far (the atomic min is
+		// idempotent, so re-reducing rounds already folded is harmless).
+		if err := pl.reduceKernel(bestCostBuf, packedBuf); err != nil {
+			return core.Result{}, err
+		}
+	}
 
 	// Copy the winner back to the host (the second transfer of Figure 9).
-	packed := make([]int64, 1)
-	packedBuf.CopyToHost(packed)
-	winner := int(packed[0] & (1<<tidBits - 1))
-	bestCost := packed[0] >> tidBits
-	row := make([]int32, n)
-	bestSeqBuf.CopyRegionToHost(row, winner*n)
-	bestSeq := make([]int, n)
-	for i, v := range row {
-		bestSeq[i] = int(v)
-	}
+	bestSeq, bestCost := pl.winner(packedBuf, bestSeqBuf)
 
 	return core.Result{
 		BestSeq:     bestSeq,
@@ -570,7 +605,29 @@ func (g *GPUSA) Solve() core.Result {
 		Evaluations: evalCount,
 		Elapsed:     time.Since(start),
 		SimSeconds:  dev.SimTime() - simStart,
+		Interrupted: interrupted,
+	}, nil
+}
+
+// MustSolve is the context-free convenience form of Solve: background
+// context, the bound instance, panic on error.
+func (g *GPUSA) MustSolve() core.Result { return mustSolve(g, g.Inst) }
+
+// winner copies the packed reduction word back to the host and decodes
+// the winning thread's best sequence and cost — the shared final step of
+// all three GPU front ends.
+func (pl *pipeline) winner(packedBuf *cudasim.Buffer[int64], bestSeqBuf *cudasim.Buffer[int32]) ([]int, int64) {
+	packed := make([]int64, 1)
+	packedBuf.CopyToHost(packed)
+	w := int(packed[0] & (1<<tidBits - 1))
+	cost := packed[0] >> tidBits
+	row := make([]int32, pl.n)
+	bestSeqBuf.CopyRegionToHost(row, w*pl.n)
+	seq := make([]int, pl.n)
+	for i, v := range row {
+		seq[i] = int(v)
 	}
+	return seq, cost
 }
 
 // drawPositions samples k distinct positions in [0,n) into dst using

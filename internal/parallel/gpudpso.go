@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -54,6 +55,13 @@ type GPUDPSO struct {
 	// PTimeAccess selects the processing-time read mode of the fitness
 	// kernel (see PAccess).
 	PTimeAccess PAccess
+	// Budget bounds the run (generation override and/or deadline; the
+	// deadline applies at host-generation granularity).
+	Budget core.Budget
+	// Progress receives a snapshot after every reduction kernel. Each
+	// snapshot costs a device→host copy of the winning sequence, so leave
+	// it nil for timing runs.
+	Progress core.ProgressFunc
 }
 
 // Name implements core.Solver.
@@ -65,7 +73,14 @@ func (g *GPUDPSO) Name() string {
 }
 
 // Solve runs the full pipeline and returns the reduced best solution.
-func (g *GPUDPSO) Solve() core.Result {
+// Cancellation is checked once per host generation: a done context skips
+// the remaining generations and returns the reduced swarm best so far
+// with Interrupted set (valid from generation zero, because the init
+// kernel folds every particle's initial cost into the reduction).
+func (g *GPUDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.Result, error) {
+	if inst == nil {
+		inst = g.Inst
+	}
 	grid, block := g.Grid, g.Block
 	if grid <= 0 {
 		grid = 4
@@ -78,11 +93,16 @@ func (g *GPUDPSO) Solve() core.Result {
 		dev = cudasim.NewDevice(cudasim.GT560M())
 	}
 	cfg := g.PSO.Normalized()
-	n := g.Inst.N()
+	if g.Budget.Iterations > 0 {
+		cfg.Iterations = g.Budget.Iterations
+	}
+	ctx, cancel := g.Budget.Apply(ctx)
+	defer cancel()
+	n := inst.N()
 	start := time.Now()
 	simStart := dev.SimTime()
 
-	pl := newPipeline(dev, g.Inst, grid, block, g.Cooperative, g.Seed)
+	pl := newPipeline(dev, inst, grid, block, g.Cooperative, g.Seed)
 	pl.setPAccess(g.PTimeAccess)
 	N := pl.threads
 
@@ -111,22 +131,24 @@ func (g *GPUDPSO) Solve() core.Result {
 	var evalCount int64
 	// Initial fitness; personal bests = initial positions.
 	if err := pl.fitnessKernel(posBuf, costBuf); err != nil {
-		panic(err)
+		return core.Result{}, err
 	}
 	evalCount += int64(N)
-	dev.MustLaunch(pl.launchCfg("init"), func(c *cudasim.Ctx) {
+	if err := dev.Launch(pl.launchCfg("init"), func(c *cudasim.Ctx) {
 		tid := c.GlobalThreadID()
 		v := costBuf.Load(c, tid)
 		pbestCostBuf.Store(c, tid, v)
 		copy(pbestBuf.Raw()[tid*n:(tid+1)*n], posBuf.Raw()[tid*n:(tid+1)*n])
 		c.ChargeGlobal(2*n, true)
 		cudasim.AtomicMinInt64(c, packedBuf, 0, v<<tidBits|int64(tid))
-	})
-	broadcast := func() {
+	}); err != nil {
+		return core.Result{}, err
+	}
+	broadcast := func() error {
 		if !g.ShareSwarmBest {
-			return
+			return nil
 		}
-		dev.MustLaunch(pl.launchCfg("broadcast"), func(c *cudasim.Ctx) {
+		return dev.Launch(pl.launchCfg("broadcast"), func(c *cudasim.Ctx) {
 			tid := c.GlobalThreadID()
 			winner := int(cudasim.AtomicLoadInt64(c, packedBuf, 0) & (1<<tidBits - 1))
 			if tid == winner {
@@ -135,13 +157,20 @@ func (g *GPUDPSO) Solve() core.Result {
 			}
 		})
 	}
-	broadcast()
+	if err := broadcast(); err != nil {
+		return core.Result{}, err
+	}
 
+	interrupted := false
 	for it := 0; it < cfg.Iterations; it++ {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		// Kernel 1: position update per Equation (3). Reads the swarm
 		// best published by the previous broadcast (asynchronous: all
 		// particles see the same, possibly one-generation-old gbest).
-		dev.MustLaunch(pl.launchCfg("update"), func(c *cudasim.Ctx) {
+		if err := dev.Launch(pl.launchCfg("update"), func(c *cudasim.Ctx) {
 			tid := c.GlobalThreadID()
 			rng := pl.rngs[tid]
 			pos := posBuf.Raw()[tid*n : (tid+1)*n]
@@ -197,16 +226,18 @@ func (g *GPUDPSO) Solve() core.Result {
 			// shuffle, which is why the paper's Figures 14/16 show DPSO
 			// consistently slower than SA at equal budgets.
 			c.ChargeArith(20 * n)
-		})
+		}); err != nil {
+			return core.Result{}, err
+		}
 
 		// Kernel 2: fitness of the new positions.
 		if err := pl.fitnessKernel(posBuf, costBuf); err != nil {
-			panic(err)
+			return core.Result{}, err
 		}
 		evalCount += int64(N)
 
 		// Kernel 3: personal-best refresh.
-		dev.MustLaunch(pl.launchCfg("pbest"), func(c *cudasim.Ctx) {
+		if err := dev.Launch(pl.launchCfg("pbest"), func(c *cudasim.Ctx) {
 			tid := c.GlobalThreadID()
 			v := costBuf.Load(c, tid)
 			if v < pbestCostBuf.Load(c, tid) {
@@ -214,26 +245,27 @@ func (g *GPUDPSO) Solve() core.Result {
 				copy(pbestBuf.Raw()[tid*n:(tid+1)*n], posBuf.Raw()[tid*n:(tid+1)*n])
 				c.ChargeGlobal(2*n, true)
 			}
-		})
+		}); err != nil {
+			return core.Result{}, err
+		}
 
 		// Kernel 4: reduction, then gbest broadcast.
 		if err := pl.reduceKernel(pbestCostBuf, packedBuf); err != nil {
-			panic(err)
+			return core.Result{}, err
 		}
-		broadcast()
+		if err := broadcast(); err != nil {
+			return core.Result{}, err
+		}
+		if g.Progress != nil {
+			seq, cost := pl.winner(packedBuf, pbestBuf)
+			g.Progress(core.Snapshot{BestSeq: seq, BestCost: cost, Evaluations: evalCount, Elapsed: time.Since(start)})
+		}
 		dev.Synchronize()
 	}
 
-	packed := make([]int64, 1)
-	packedBuf.CopyToHost(packed)
-	winner := int(packed[0] & (1<<tidBits - 1))
-	bestCost := packed[0] >> tidBits
-	row := make([]int32, n)
-	pbestBuf.CopyRegionToHost(row, winner*n)
-	bestSeq := make([]int, n)
-	for i, v := range row {
-		bestSeq[i] = int(v)
-	}
+	// The init kernel already folded every particle's initial cost into
+	// packedBuf, so the reduction is valid even on a zero-generation run.
+	bestSeq, bestCost := pl.winner(packedBuf, pbestBuf)
 	return core.Result{
 		BestSeq:     bestSeq,
 		BestCost:    bestCost,
@@ -241,5 +273,10 @@ func (g *GPUDPSO) Solve() core.Result {
 		Evaluations: evalCount,
 		Elapsed:     time.Since(start),
 		SimSeconds:  dev.SimTime() - simStart,
-	}
+		Interrupted: interrupted,
+	}, nil
 }
+
+// MustSolve is the context-free convenience form of Solve: background
+// context, the bound instance, panic on error.
+func (g *GPUDPSO) MustSolve() core.Result { return mustSolve(g, g.Inst) }

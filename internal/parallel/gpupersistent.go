@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"math"
 	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cdd"
@@ -39,6 +41,13 @@ type PersistentGPUSA struct {
 	Seed uint64
 	// Dev is the device to run on; nil creates a fresh simulated GT 560M.
 	Dev *cudasim.Device
+	// Budget bounds the run (iteration override and/or deadline; each
+	// resident thread checks the deadline once per annealing iteration).
+	Budget core.Budget
+	// Progress receives only the final snapshot: a persistent kernel has
+	// no host control between iterations, which is exactly the
+	// flexibility it trades away (see the type comment).
+	Progress core.ProgressFunc
 }
 
 // Name implements core.Solver.
@@ -50,7 +59,14 @@ func (g *PersistentGPUSA) Name() string {
 }
 
 // Solve runs the persistent kernel and returns the reduced best solution.
-func (g *PersistentGPUSA) Solve() core.Result {
+// Cancellation is cooperative inside the kernel: every resident thread
+// checks the context once per annealing iteration, breaks out of its loop
+// when done, and still publishes its best into the final reduction — so
+// an interrupted run returns a valid reduced best with Interrupted set.
+func (g *PersistentGPUSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result, error) {
+	if inst == nil {
+		inst = g.Inst
+	}
 	grid, block := g.Grid, g.Block
 	if grid <= 0 {
 		grid = 4
@@ -63,12 +79,17 @@ func (g *PersistentGPUSA) Solve() core.Result {
 		dev = cudasim.NewDevice(cudasim.GT560M())
 	}
 	cfg := g.SA
-	n := g.Inst.N()
+	if g.Budget.Iterations > 0 {
+		cfg.Iterations = g.Budget.Iterations
+	}
+	ctx, cancel := g.Budget.Apply(ctx)
+	defer cancel()
+	n := inst.N()
 	start := time.Now()
 	simStart := dev.SimTime()
 
-	pl := newPipeline(dev, g.Inst, grid, block, false, g.Seed)
-	if g.Inst.Kind != problem.UCDDCP {
+	pl := newPipeline(dev, inst, grid, block, false, g.Seed)
+	if inst.Kind != problem.UCDDCP {
 		// Same delta adoption as the four-kernel pipeline's default mode,
 		// so both engines price candidates identically.
 		pl.enableDelta()
@@ -98,7 +119,7 @@ func (g *PersistentGPUSA) Solve() core.Result {
 	var evalCount int64
 	t0 := cfg.T0
 	if t0 <= 0 {
-		eval := core.NewEvaluator(g.Inst)
+		eval := core.NewEvaluator(inst)
 		t0 = core.InitialTemperature(eval, xrand.NewStream(g.Seed, uint64(N)+1), cfg.TempSamples)
 		evalCount += int64(cfg.TempSamples)
 	}
@@ -117,8 +138,14 @@ func (g *PersistentGPUSA) Solve() core.Result {
 		positions[t] = make([]int, 0, cfg.Pert)
 	}
 
+	// interrupted is shared by the resident threads: once any thread sees
+	// the context done, the flag also short-circuits the remaining
+	// threads' checks (the simulated threads are cooperative goroutines,
+	// so an atomic keeps the -race detector satisfied).
+	var interrupted atomic.Bool
+	var itersDone atomic.Int64
 	kernelCfg := pl.launchCfg("persistent")
-	dev.MustLaunch(kernelCfg, func(c *cudasim.Ctx) {
+	err := dev.Launch(kernelCfg, func(c *cudasim.Ctx) {
 		shA, shB := pl.stagePenalties(c)
 		tid := c.GlobalThreadID()
 		rng := pl.rngs[tid]
@@ -160,7 +187,13 @@ func (g *PersistentGPUSA) Solve() core.Result {
 		c.ChargeGlobal(2*n, true)
 
 		temp := t0
+		done := 0
 		for it := 0; it < cfg.Iterations; it++ {
+			if interrupted.Load() || ctx.Err() != nil {
+				interrupted.Store(true)
+				break
+			}
+			done++
 			// Perturbation (as the perturb kernel).
 			copy(cnd, cur)
 			c.ChargeGlobal(2*n, true)
@@ -212,27 +245,36 @@ func (g *PersistentGPUSA) Solve() core.Result {
 				temp = cfg.TMin
 			}
 		}
+		itersDone.Add(int64(done))
 		bestCostBuf.Store(c, tid, bestCost)
 		cudasim.AtomicMinInt64(c, packedBuf, 0, bestCost<<tidBits|int64(tid))
 	})
-	evalCount += int64(N) * int64(cfg.Iterations+1)
-
-	packed := make([]int64, 1)
-	packedBuf.CopyToHost(packed)
-	winner := int(packed[0] & (1<<tidBits - 1))
-	bestCost := packed[0] >> tidBits
-	row := make([]int32, n)
-	bestSeqBuf.CopyRegionToHost(row, winner*n)
-	bestSeq := make([]int, n)
-	for i, v := range row {
-		bestSeq[i] = int(v)
+	if err != nil {
+		return core.Result{}, err
 	}
-	return core.Result{
+	evalCount += int64(N) + itersDone.Load()
+
+	bestSeq, bestCost := pl.winner(packedBuf, bestSeqBuf)
+	res := core.Result{
 		BestSeq:     bestSeq,
 		BestCost:    bestCost,
 		Iterations:  cfg.Iterations,
 		Evaluations: evalCount,
 		Elapsed:     time.Since(start),
 		SimSeconds:  dev.SimTime() - simStart,
+		Interrupted: interrupted.Load(),
 	}
+	if g.Progress != nil {
+		g.Progress(core.Snapshot{
+			BestSeq:     append([]int(nil), res.BestSeq...),
+			BestCost:    res.BestCost,
+			Evaluations: res.Evaluations,
+			Elapsed:     res.Elapsed,
+		})
+	}
+	return res, nil
 }
+
+// MustSolve is the context-free convenience form of Solve: background
+// context, the bound instance, panic on error.
+func (g *PersistentGPUSA) MustSolve() core.Result { return mustSolve(g, g.Inst) }

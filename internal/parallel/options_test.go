@@ -18,7 +18,7 @@ func TestPAccessModesIdenticalResults(t *testing.T) {
 		return (&GPUSA{
 			Inst: in, SA: cfg, Grid: 2, Block: 16, Seed: 9,
 			PTimeAccess: mode,
-		}).Solve()
+		}).MustSolve()
 	}
 	coal := run(PAccessCoalesced)
 	scat := run(PAccessScattered)
@@ -47,7 +47,7 @@ func TestInitialSeqWarmStart(t *testing.T) {
 	res := (&GPUSA{
 		Inst: in, SA: cfg, Grid: 2, Block: 8, Seed: 4,
 		InitialSeq: warm,
-	}).Solve()
+	}).MustSolve()
 	if res.BestCost > warmCost {
 		t.Errorf("warm-started ensemble (%d) lost its initial solution (%d)", res.BestCost, warmCost)
 	}
@@ -65,7 +65,7 @@ func TestDPSOSharedBeatsAsyncHere(t *testing.T) {
 		return (&GPUDPSO{
 			Inst: in, PSO: dpsoCfg(300), Grid: 2, Block: 24, Seed: 3,
 			ShareSwarmBest: share,
-		}).Solve().BestCost
+		}).MustSolve().BestCost
 	}
 	async, shared := mk(false), mk(true)
 	if shared > async {
@@ -83,7 +83,7 @@ func TestReduceEveryDoesNotChangeResult(t *testing.T) {
 		return (&GPUSA{
 			Inst: in, SA: cfg, Grid: 1, Block: 16, Seed: 5,
 			ReduceEvery: every,
-		}).Solve().BestCost
+		}).MustSolve().BestCost
 	}
 	a, b, c := run(1), run(10), run(50)
 	if a != b || a != c {
@@ -99,8 +99,8 @@ func TestPersistentMatchesPipelined(t *testing.T) {
 		in := benchInstanceCDD(n)
 		cfg := smallSA()
 		cfg.Iterations = 80
-		pipe := (&GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 16, Seed: 21}).Solve()
-		pers := (&PersistentGPUSA{Inst: in, SA: cfg, Grid: 2, Block: 16, Seed: 21}).Solve()
+		pipe := (&GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 16, Seed: 21}).MustSolve()
+		pers := (&PersistentGPUSA{Inst: in, SA: cfg, Grid: 2, Block: 16, Seed: 21}).MustSolve()
 		if pipe.BestCost != pers.BestCost {
 			t.Errorf("n=%d: pipelined %d != persistent %d", n, pipe.BestCost, pers.BestCost)
 		}
@@ -117,7 +117,7 @@ func TestPersistentOnUCDDCP(t *testing.T) {
 	in := benchInstanceUCDDCP(15)
 	cfg := smallSA()
 	cfg.Iterations = 60
-	res := (&PersistentGPUSA{Inst: in, SA: cfg, Grid: 2, Block: 8, Seed: 13}).Solve()
+	res := (&PersistentGPUSA{Inst: in, SA: cfg, Grid: 2, Block: 8, Seed: 13}).MustSolve()
 	eval := core.NewEvaluator(in)
 	if got := eval.Cost(res.BestSeq); got != res.BestCost {
 		t.Errorf("reported %d, evaluates to %d", res.BestCost, got)

@@ -9,6 +9,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -95,7 +96,7 @@ func runOverWorkers(chains, workers int, parallelOK bool, fn func(i int)) {
 type AsyncSA struct {
 	// Label names the solver in result tables.
 	Label string
-	// Inst is the instance to optimize.
+	// Inst is the default instance, used when Solve receives nil.
 	Inst *problem.Instance
 	// SA holds the per-chain annealing parameters.
 	SA sa.Config
@@ -104,6 +105,10 @@ type AsyncSA struct {
 	// Parallel selects the multi-goroutine driver; false runs the same
 	// chains serially (the CPU-time baseline).
 	Parallel bool
+	// Budget bounds the run (iteration override and/or deadline).
+	Budget core.Budget
+	// Progress receives best-so-far snapshots.
+	Progress core.ProgressFunc
 }
 
 // Name implements core.Solver.
@@ -114,39 +119,36 @@ func (a *AsyncSA) Name() string {
 	return "AsyncSA"
 }
 
-// Solve runs every chain to completion and reduces to the best solution.
-// Results are deterministic for a fixed seed regardless of Parallel,
-// because chain i always consumes RNG stream i.
-func (a *AsyncSA) Solve() core.Result {
-	ens := a.Ens.normalized()
-	start := time.Now()
-	type chainOut struct {
-		cost  int64
-		seq   []int
-		evals int64
+// Solve runs every chain to completion over the shared ensemble runtime
+// and reduces to the best solution. Results are deterministic for a
+// fixed seed regardless of Parallel, because chain i always consumes RNG
+// stream i.
+func (a *AsyncSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result, error) {
+	if inst == nil {
+		inst = a.Inst
 	}
-	outs := make([]chainOut, ens.Chains)
-	runOverWorkers(ens.Chains, ens.Workers, a.Parallel, func(i int) {
-		// Incremental evaluator: chains price each neighbour in O(touched)
-		// with bit-identical costs, so results match full evaluation.
-		eval := core.NewDeltaEvaluator(a.Inst)
-		chain := sa.NewChain(a.SA, eval, xrand.NewStream(ens.Seed, uint64(i)))
-		chain.Run()
-		seq, cost := chain.Best()
-		outs[i] = chainOut{cost: cost, seq: append([]int(nil), seq...), evals: chain.Evaluations()}
+	cfg := a.SA
+	if a.Budget.Iterations > 0 {
+		cfg.Iterations = a.Budget.Iterations
+	}
+	ctx, cancel := a.Budget.Apply(ctx)
+	defer cancel()
+	return a.Ens.Run(ctx, inst, RunSpec{
+		Parallel:   a.Parallel,
+		Iterations: cfg.Iterations,
+		Progress:   a.Progress,
+		NewChain: func(i int, rng *xrand.XORWOW) Chain {
+			// Incremental evaluator: chains price each neighbour in
+			// O(touched) with bit-identical costs, so results match full
+			// evaluation.
+			return sa.NewChain(cfg, core.NewDeltaEvaluator(inst), rng)
+		},
 	})
-	res := core.Result{BestCost: 1 << 62}
-	for _, o := range outs {
-		res.Evaluations += o.evals
-		if o.cost < res.BestCost {
-			res.BestCost = o.cost
-			res.BestSeq = o.seq
-		}
-	}
-	res.Iterations = a.SA.Iterations
-	res.Elapsed = time.Since(start)
-	return res
 }
+
+// MustSolve is the context-free convenience form of Solve: background
+// context, the bound instance, panic on error.
+func (a *AsyncSA) MustSolve() core.Result { return mustSolve(a, a.Inst) }
 
 // SyncSA is the synchronous parallel Simulated Annealing of Figure 8:
 // all chains anneal at a common temperature level for a Markov chain of
@@ -155,15 +157,21 @@ func (a *AsyncSA) Solve() core.Result {
 // converges prematurely, which TestSynchronousDiversityCollapse verifies.
 type SyncSA struct {
 	Label string
-	Inst  *problem.Instance
-	SA    sa.Config
-	Ens   Ensemble
+	// Inst is the default instance, used when Solve receives nil.
+	Inst *problem.Instance
+	SA   sa.Config
+	Ens  Ensemble
 	// MarkovLen is M, the per-level chain length.
 	MarkovLen int
 	// Levels is the number of temperature levels t.
 	Levels int
 	// Parallel selects the multi-goroutine driver.
 	Parallel bool
+	// Budget bounds the run (level-count override via Iterations is not
+	// supported; the deadline applies at level granularity).
+	Budget core.Budget
+	// Progress receives a snapshot after each level's reduction.
+	Progress core.ProgressFunc
 }
 
 // Name implements core.Solver.
@@ -175,8 +183,12 @@ func (s *SyncSA) Name() string {
 }
 
 // Solve runs Levels rounds of MarkovLen steps with broadcast reduction in
-// between.
-func (s *SyncSA) Solve() core.Result {
+// between. Cancellation is checked at level granularity: a done context
+// skips the remaining levels and reduces over the chains' bests so far.
+func (s *SyncSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result, error) {
+	if inst == nil {
+		inst = s.Inst
+	}
 	ens := s.Ens.normalized()
 	markov := s.MarkovLen
 	if markov <= 0 {
@@ -186,18 +198,27 @@ func (s *SyncSA) Solve() core.Result {
 	if levels <= 0 {
 		levels = 100
 	}
+	ctx, cancel := s.Budget.Apply(ctx)
+	defer cancel()
 	start := time.Now()
 
 	chains := make([]*sa.Chain, ens.Chains)
 	evals := make([]core.Evaluator, ens.Chains)
 	runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
-		evals[i] = core.NewDeltaEvaluator(s.Inst)
+		evals[i] = core.NewDeltaEvaluator(inst)
 		chains[i] = sa.NewChain(s.SA, evals[i], xrand.NewStream(ens.Seed, uint64(i)))
 	})
 
-	bestSeq := make([]int, s.Inst.N())
+	red := newReducer(ens.Chains)
+	m := newMeter(s.Progress, start, red)
+	bestSeq := make([]int, inst.N())
 	bestCost := int64(1) << 62
+	interrupted := false
 	for level := 0; level < levels; level++ {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
 			for m := 0; m < markov; m++ {
 				chains[i].Step()
@@ -215,6 +236,9 @@ func (s *SyncSA) Solve() core.Result {
 		if minCost < bestCost {
 			bestCost = minCost
 			copy(bestSeq, minSeq)
+			if red.record(minIdx, minSeq, minCost, 0) {
+				m.improved()
+			}
 		}
 		// Broadcast as the next level's initial state on all processors.
 		seqCopy := append([]int(nil), minSeq...)
@@ -222,20 +246,28 @@ func (s *SyncSA) Solve() core.Result {
 			chains[i].SetSolution(seqCopy, minCost)
 		})
 	}
-	res := core.Result{BestSeq: bestSeq, BestCost: bestCost, Iterations: levels * markov}
+	// The final global best may be better than the last broadcast — and
+	// on an immediately-expired context it is the only valid reduction
+	// (every chain holds a valid random initial solution).
+	for i, c := range chains {
+		if seq, cost := c.Best(); cost < bestCost {
+			bestCost = cost
+			copy(bestSeq, seq)
+			red.record(i, seq, cost, 0)
+		}
+	}
+	res := core.Result{BestSeq: bestSeq, BestCost: bestCost, Iterations: levels * markov, Interrupted: interrupted}
 	for _, c := range chains {
 		res.Evaluations += c.Evaluations()
 	}
-	// The final global best may be better than the last broadcast.
-	for _, c := range chains {
-		if seq, cost := c.Best(); cost < res.BestCost {
-			res.BestCost = cost
-			copy(res.BestSeq, seq)
-		}
-	}
 	res.Elapsed = time.Since(start)
-	return res
+	m.final(res)
+	return res, nil
 }
+
+// MustSolve is the context-free convenience form of Solve: background
+// context, the bound instance, panic on error.
+func (s *SyncSA) MustSolve() core.Result { return mustSolve(s, s.Inst) }
 
 // Diversity returns the mean pairwise Hamming distance of the chains'
 // current sequences, a collapse diagnostic used by tests and examples.

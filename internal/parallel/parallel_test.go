@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -115,7 +116,7 @@ func TestDeviceFitnessParityUCDDCP(t *testing.T) {
 func TestAsyncSADeterministicAcrossDrivers(t *testing.T) {
 	in := benchInstanceCDD(15)
 	mk := func(par bool) core.Result {
-		return (&AsyncSA{Inst: in, SA: smallSA(), Ens: Ensemble{Chains: 12, Seed: 3}, Parallel: par}).Solve()
+		return (&AsyncSA{Inst: in, SA: smallSA(), Ens: Ensemble{Chains: 12, Seed: 3}, Parallel: par}).MustSolve()
 	}
 	a, b := mk(true), mk(false)
 	if a.BestCost != b.BestCost {
@@ -130,7 +131,7 @@ func TestAsyncSAFindsPaperExampleOptimum(t *testing.T) {
 	in := problem.PaperExample(problem.CDD)
 	cfg := smallSA()
 	cfg.Iterations = 300
-	res := (&AsyncSA{Inst: in, SA: cfg, Ens: Ensemble{Chains: 8, Seed: 1}, Parallel: true}).Solve()
+	res := (&AsyncSA{Inst: in, SA: cfg, Ens: Ensemble{Chains: 8, Seed: 1}, Parallel: true}).MustSolve()
 	eval := core.NewEvaluator(in)
 	if got := eval.Cost(res.BestSeq); got != res.BestCost {
 		t.Fatalf("reported %d but sequence evaluates to %d", res.BestCost, got)
@@ -146,8 +147,8 @@ func TestAsyncSAFindsPaperExampleOptimum(t *testing.T) {
 // at least as good as its own chain 0 (a pure reduction property).
 func TestEnsembleBeatsOneChain(t *testing.T) {
 	in := benchInstanceCDD(25)
-	one := (&AsyncSA{Inst: in, SA: smallSA(), Ens: Ensemble{Chains: 1, Seed: 9}, Parallel: false}).Solve()
-	many := (&AsyncSA{Inst: in, SA: smallSA(), Ens: Ensemble{Chains: 16, Seed: 9}, Parallel: true}).Solve()
+	one := (&AsyncSA{Inst: in, SA: smallSA(), Ens: Ensemble{Chains: 1, Seed: 9}, Parallel: false}).MustSolve()
+	many := (&AsyncSA{Inst: in, SA: smallSA(), Ens: Ensemble{Chains: 16, Seed: 9}, Parallel: true}).MustSolve()
 	if many.BestCost > one.BestCost {
 		t.Errorf("16-chain ensemble (%d) worse than its own first chain (%d)", many.BestCost, one.BestCost)
 	}
@@ -160,7 +161,7 @@ func TestEnsembleBeatsOneChain(t *testing.T) {
 func TestSyncSARunsAndCollapses(t *testing.T) {
 	in := benchInstanceCDD(20)
 	res := (&SyncSA{Inst: in, SA: smallSA(), Ens: Ensemble{Chains: 8, Seed: 5},
-		MarkovLen: 5, Levels: 10, Parallel: true}).Solve()
+		MarkovLen: 5, Levels: 10, Parallel: true}).MustSolve()
 	if !problem.IsPermutation(res.BestSeq) {
 		t.Fatal("SyncSA best is not a permutation")
 	}
@@ -192,7 +193,7 @@ func TestParallelDPSODeterministicAcrossDrivers(t *testing.T) {
 	cfg := dpso.DefaultConfig()
 	cfg.Iterations = 40
 	mk := func(par bool) core.Result {
-		return (&ParallelDPSO{Inst: in, PSO: cfg, Ens: Ensemble{Chains: 10, Seed: 4}, Parallel: par}).Solve()
+		return (&ParallelDPSO{Inst: in, PSO: cfg, Ens: Ensemble{Chains: 10, Seed: 4}, Parallel: par}).MustSolve()
 	}
 	a, b := mk(true), mk(false)
 	if a.BestCost != b.BestCost {
@@ -204,7 +205,7 @@ func TestParallelDPSOValidResult(t *testing.T) {
 	in := benchInstanceUCDDCP(12)
 	cfg := dpso.DefaultConfig()
 	cfg.Iterations = 30
-	res := (&ParallelDPSO{Inst: in, PSO: cfg, Ens: Ensemble{Chains: 8, Seed: 2}, Parallel: true}).Solve()
+	res := (&ParallelDPSO{Inst: in, PSO: cfg, Ens: Ensemble{Chains: 8, Seed: 2}, Parallel: true}).MustSolve()
 	if !problem.IsPermutation(res.BestSeq) {
 		t.Fatal("best is not a permutation")
 	}
@@ -219,7 +220,7 @@ func TestGPUSAOnPaperExample(t *testing.T) {
 	cfg := smallSA()
 	cfg.Iterations = 200
 	g := &GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 16, Seed: 1}
-	res := g.Solve()
+	res := g.MustSolve()
 	if !problem.IsPermutation(res.BestSeq) {
 		t.Fatal("GPU best is not a permutation")
 	}
@@ -244,8 +245,8 @@ func TestGPUSACooperativeMatchesSequential(t *testing.T) {
 	in := benchInstanceCDD(12)
 	cfg := smallSA()
 	cfg.Iterations = 40
-	a := (&GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 8, Seed: 6, Cooperative: false}).Solve()
-	b := (&GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 8, Seed: 6, Cooperative: true}).Solve()
+	a := (&GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 8, Seed: 6, Cooperative: false}).MustSolve()
+	b := (&GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 8, Seed: 6, Cooperative: true}).MustSolve()
 	if a.BestCost != b.BestCost {
 		t.Errorf("sequential %d != cooperative %d", a.BestCost, b.BestCost)
 	}
@@ -255,7 +256,7 @@ func TestGPUSAOnUCDDCP(t *testing.T) {
 	in := benchInstanceUCDDCP(15)
 	cfg := smallSA()
 	cfg.Iterations = 80
-	res := (&GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 16, Seed: 3}).Solve()
+	res := (&GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 16, Seed: 3}).MustSolve()
 	eval := core.NewEvaluator(in)
 	if got := eval.Cost(res.BestSeq); got != res.BestCost {
 		t.Fatalf("reported %d but sequence evaluates to %d", res.BestCost, got)
@@ -266,7 +267,7 @@ func TestGPUDPSOValidAndConsistent(t *testing.T) {
 	in := benchInstanceCDD(12)
 	cfg := dpso.DefaultConfig()
 	cfg.Iterations = 40
-	res := (&GPUDPSO{Inst: in, PSO: cfg, Grid: 2, Block: 8, Seed: 5}).Solve()
+	res := (&GPUDPSO{Inst: in, PSO: cfg, Grid: 2, Block: 8, Seed: 5}).MustSolve()
 	if !problem.IsPermutation(res.BestSeq) {
 		t.Fatal("best is not a permutation")
 	}
@@ -287,7 +288,7 @@ func TestGPUSASimTimeGrowsWithIterations(t *testing.T) {
 	timeFor := func(iters int) float64 {
 		c := cfg
 		c.Iterations = iters
-		res := (&GPUSA{Inst: in, SA: c, Grid: 2, Block: 16, Seed: 8}).Solve()
+		res := (&GPUSA{Inst: in, SA: c, Grid: 2, Block: 16, Seed: 8}).MustSolve()
 		return res.SimSeconds
 	}
 	t1, t4 := timeFor(25), timeFor(100)
@@ -305,8 +306,8 @@ func TestGPUSASimTimeGrowsWithThreads(t *testing.T) {
 	in := benchInstanceCDD(20)
 	cfg := smallSA()
 	cfg.Iterations = 25
-	small := (&GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 32, Seed: 8}).Solve()
-	big := (&GPUSA{Inst: in, SA: cfg, Grid: 8, Block: 192, Seed: 8}).Solve()
+	small := (&GPUSA{Inst: in, SA: cfg, Grid: 2, Block: 32, Seed: 8}).MustSolve()
+	big := (&GPUSA{Inst: in, SA: cfg, Grid: 8, Block: 192, Seed: 8}).MustSolve()
 	if big.SimSeconds <= small.SimSeconds {
 		t.Errorf("24x threads did not increase sim time: %g vs %g", small.SimSeconds, big.SimSeconds)
 	}
@@ -317,8 +318,9 @@ func TestBestOfAcrossEngines(t *testing.T) {
 	cfg := smallSA()
 	cfg.Iterations = 40
 	idx, best, err := core.BestOf(
-		&AsyncSA{Label: "cpu", Inst: in, SA: cfg, Ens: Ensemble{Chains: 4, Seed: 1}},
-		&GPUSA{Label: "gpu", Inst: in, SA: cfg, Grid: 1, Block: 8, Seed: 2},
+		context.Background(), in,
+		&AsyncSA{Label: "cpu", SA: cfg, Ens: Ensemble{Chains: 4, Seed: 1}},
+		&GPUSA{Label: "gpu", SA: cfg, Grid: 1, Block: 8, Seed: 2},
 	)
 	if err != nil {
 		t.Fatal(err)

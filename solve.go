@@ -1,18 +1,14 @@
 package duedate
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cdd"
 	"repro/internal/core"
-	"repro/internal/dpso"
-	"repro/internal/es"
-	"repro/internal/parallel"
 	"repro/internal/problem"
-	"repro/internal/sa"
-	"repro/internal/ta"
 	"repro/internal/ucddcp"
-	"repro/internal/xrand"
 )
 
 // Algorithm selects the sequence-layer metaheuristic.
@@ -85,9 +81,12 @@ type Options struct {
 	// Iterations is the per-chain iteration budget (default 1000).
 	Iterations int
 	// Grid and Block set the GPU geometry (default 4 × 192); for CPU
-	// engines Grid·Block is the ensemble size.
+	// engines Grid·Block is the ensemble size. Negative values are
+	// rejected (only zero means "use the default").
 	Grid, Block int
-	// Seed derives all RNG streams (default 1).
+	// Seed derives all RNG streams. Zero is a sentinel for "unset" and
+	// is rewritten to 1, so Seed 0 and Seed 1 produce identical runs —
+	// pass distinct nonzero seeds for distinct streams.
 	Seed uint64
 	// Cooling overrides SA's exponential factor μ (default 0.88).
 	Cooling float64
@@ -100,112 +99,97 @@ type Options struct {
 	// launch runs the whole annealing loop instead of four kernels per
 	// iteration (identical results, lower launch overhead).
 	Persistent bool
+	// Workers bounds the host goroutines of EngineCPUParallel (default
+	// GOMAXPROCS). Serial and GPU engines ignore it.
+	Workers int
+	// Deadline, when nonzero, is the wall-clock cutoff: the engine stops
+	// at its next chain/level/iteration boundary past the deadline and
+	// returns the best-so-far with Result.Interrupted set.
+	Deadline time.Time
+	// Progress, when non-nil, receives best-so-far snapshots during the
+	// solve (see core.ProgressFunc for the emission contract).
+	Progress ProgressFunc
 }
 
-func (o Options) normalized() Options {
-	if o.Grid <= 0 {
+func (o Options) normalized() (Options, error) {
+	if o.Grid < 0 {
+		return o, fmt.Errorf("duedate: negative Grid %d (zero selects the default)", o.Grid)
+	}
+	if o.Block < 0 {
+		return o, fmt.Errorf("duedate: negative Block %d (zero selects the default)", o.Block)
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("duedate: negative Workers %d (zero selects GOMAXPROCS)", o.Workers)
+	}
+	if o.Grid == 0 {
 		o.Grid = 4
 	}
-	if o.Block <= 0 {
+	if o.Block == 0 {
 		o.Block = 192
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	return o
+	return o, nil
 }
 
-// Solve optimizes the instance with the selected algorithm and engine and
-// returns the best solution found. The reported cost is always the exact
-// objective of the returned sequence.
-func Solve(in *Instance, opts Options) (Result, error) {
+// budget translates the option bounds into the engine-layer budget.
+func (o Options) budget() core.Budget {
+	return core.Budget{Deadline: o.Deadline}
+}
+
+// Driver builds a configured solver for one algorithm×engine pairing.
+// The returned solver must treat the instance passed to Solve as
+// authoritative (Options carries no instance).
+type Driver func(opts Options) core.Solver
+
+// driverKey identifies one algorithm×engine pairing in the registry.
+type driverKey struct {
+	Algorithm Algorithm
+	Engine    Engine
+}
+
+// registry maps pairings to their drivers. Drivers self-register from
+// init (see drivers.go); the facade performs a lookup, never a switch, so
+// adding a pairing requires no edits here.
+var registry = map[driverKey]Driver{}
+
+// RegisterDriver installs the driver for an algorithm×engine pairing.
+// Registering the same pairing twice panics — drivers own their pairings
+// exclusively.
+func RegisterDriver(a Algorithm, e Engine, d Driver) {
+	key := driverKey{a, e}
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("duedate: driver for %v on %v registered twice", a, e))
+	}
+	registry[key] = d
+}
+
+// SolveContext optimizes the instance with the selected algorithm and
+// engine and returns the best solution found. The reported cost is always
+// the exact objective of the returned sequence. Cancelling ctx (or
+// passing Options.Deadline) stops the engine cooperatively at its next
+// chain/level/iteration boundary: the result still carries a valid
+// best-so-far sequence, with Result.Interrupted set.
+func SolveContext(ctx context.Context, in *Instance, opts Options) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
-	opts = opts.normalized()
-	chains := opts.Grid * opts.Block
-
-	saCfg := sa.Config{
-		Iterations:  opts.Iterations,
-		Cooling:     opts.Cooling,
-		Pert:        opts.Pert,
-		TempSamples: opts.TempSamples,
+	opts, err := opts.normalized()
+	if err != nil {
+		return Result{}, err
 	}
-	psoCfg := dpso.Config{Iterations: opts.Iterations}
-
-	switch opts.Algorithm {
-	case SA:
-		switch opts.Engine {
-		case EngineGPU:
-			if opts.Persistent {
-				return (&parallel.PersistentGPUSA{Inst: in, SA: saCfg, Grid: opts.Grid, Block: opts.Block, Seed: opts.Seed}).Solve(), nil
-			}
-			return (&parallel.GPUSA{Inst: in, SA: saCfg, Grid: opts.Grid, Block: opts.Block, Seed: opts.Seed}).Solve(), nil
-		default:
-			return (&parallel.AsyncSA{
-				Inst: in, SA: saCfg,
-				Ens:      parallel.Ensemble{Chains: chains, Seed: opts.Seed},
-				Parallel: opts.Engine == EngineCPUParallel,
-			}).Solve(), nil
-		}
-	case DPSO:
-		switch opts.Engine {
-		case EngineGPU:
-			return (&parallel.GPUDPSO{Inst: in, PSO: psoCfg, Grid: opts.Grid, Block: opts.Block, Seed: opts.Seed}).Solve(), nil
-		default:
-			return (&parallel.ParallelDPSO{
-				Inst: in, PSO: psoCfg,
-				Ens:      parallel.Ensemble{Chains: chains, Seed: opts.Seed},
-				Parallel: opts.Engine == EngineCPUParallel,
-			}).Solve(), nil
-		}
-	case TA:
-		if opts.Engine == EngineGPU {
-			return Result{}, fmt.Errorf("duedate: TA supports only the CPU engines")
-		}
-		return runBaselineEnsemble(in, chains, opts, func(eval core.Evaluator, rng *xrand.XORWOW) baselineChain {
-			return ta.NewChain(ta.Config{Iterations: opts.Iterations, TempSamples: opts.TempSamples}, eval, rng)
-		}), nil
-	case ES:
-		if opts.Engine == EngineGPU {
-			return Result{}, fmt.Errorf("duedate: ES supports only the CPU engines")
-		}
-		return runBaselineEnsemble(in, chains, opts, func(eval core.Evaluator, rng *xrand.XORWOW) baselineChain {
-			cfg := es.DefaultConfig()
-			if opts.Iterations > 0 {
-				cfg.Generations = opts.Iterations
-			}
-			return es.New(cfg, eval, rng)
-		}), nil
-	default:
-		return Result{}, fmt.Errorf("duedate: unknown algorithm %v", opts.Algorithm)
+	d, ok := registry[driverKey{opts.Algorithm, opts.Engine}]
+	if !ok {
+		return Result{}, fmt.Errorf("duedate: %v is not supported on the %v engine", opts.Algorithm, opts.Engine)
 	}
+	return d(opts).Solve(ctx, in)
 }
 
-// baselineChain is the common surface of the TA and ES baselines.
-type baselineChain interface {
-	Run() int64
-	Best() ([]int, int64)
-	Evaluations() int64
-}
-
-// runBaselineEnsemble executes `chains` baseline chains serially and
-// reduces to the best.
-func runBaselineEnsemble(in *Instance, chains int, opts Options, mk func(core.Evaluator, *xrand.XORWOW) baselineChain) Result {
-	res := Result{BestCost: 1 << 62}
-	for c := 0; c < chains; c++ {
-		eval := core.NewEvaluator(in)
-		chain := mk(eval, xrand.NewStream(opts.Seed, uint64(c)))
-		chain.Run()
-		seq, cost := chain.Best()
-		res.Evaluations += chain.Evaluations()
-		if cost < res.BestCost {
-			res.BestCost = cost
-			res.BestSeq = append([]int(nil), seq...)
-		}
-	}
-	res.Iterations = opts.Iterations
-	return res
+// Solve is SolveContext with a background context, for callers that need
+// neither cancellation nor a deadline.
+func Solve(in *Instance, opts Options) (Result, error) {
+	return SolveContext(context.Background(), in, opts)
 }
 
 // OptimizeSequence runs only the second layer: the exact O(n) linear
