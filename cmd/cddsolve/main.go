@@ -35,8 +35,8 @@ func main() {
 		record  = flag.Int("record", 0, "record index within the file or generated benchmark")
 		hFactor = flag.Float64("h", 0.6, "restrictive due-date factor d = ⌊h·ΣP⌋")
 		seed    = flag.Uint64("seed", orlib.DefaultSeed, "benchmark generator seed")
-		algo    = flag.String("algo", "sa", "algorithm: sa, dpso, ta, es")
-		engine  = flag.String("engine", "gpu", "engine: gpu, cpu, serial")
+		algo    = duedate.SA
+		engine  = duedate.EngineGPU
 		iters   = flag.Int("iters", 1000, "iterations per chain")
 		grid    = flag.Int("grid", 4, "GPU grid size (blocks)")
 		block   = flag.Int("block", 192, "GPU block size (threads per block)")
@@ -45,6 +45,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "wall-clock budget; on expiry the best-so-far is printed")
 		gantt   = flag.Bool("gantt", false, "print a textual Gantt chart (small n only)")
 	)
+	flag.Var(&algo, "algo", "algorithm: SA, DPSO, TA or ES")
+	flag.Var(&engine, "engine", "engine: gpu, cpu-parallel (cpu) or cpu-serial (serial)")
 	flag.Parse()
 
 	in, err := loadInstance(*file, *n, *size, *record, *hFactor, *seed)
@@ -53,6 +55,8 @@ func main() {
 	}
 
 	opts := duedate.Options{
+		Algorithm:  algo,
+		Engine:     engine,
 		Iterations: *iters,
 		Grid:       *grid,
 		Block:      *block,
@@ -61,9 +65,6 @@ func main() {
 	}
 	if *timeout > 0 {
 		opts.Deadline = time.Now().Add(*timeout)
-	}
-	if err := applyAlgoEngine(&opts, *algo, *engine); err != nil {
-		log.Fatal(err)
 	}
 
 	// Ctrl-C cancels cooperatively: the engine stops at its next
@@ -120,33 +121,6 @@ func loadInstance(file string, n, size, record int, h float64, seed uint64) (*du
 	default:
 		return duedate.PaperExample(duedate.CDD), nil
 	}
-}
-
-// applyAlgoEngine parses the -algo and -engine flags into opts.
-func applyAlgoEngine(opts *duedate.Options, algo, engine string) error {
-	switch algo {
-	case "sa":
-		opts.Algorithm = duedate.SA
-	case "dpso":
-		opts.Algorithm = duedate.DPSO
-	case "ta":
-		opts.Algorithm = duedate.TA
-	case "es":
-		opts.Algorithm = duedate.ES
-	default:
-		return fmt.Errorf("unknown algorithm %q (sa, dpso, ta, es)", algo)
-	}
-	switch engine {
-	case "gpu":
-		opts.Engine = duedate.EngineGPU
-	case "cpu":
-		opts.Engine = duedate.EngineCPUParallel
-	case "serial":
-		opts.Engine = duedate.EngineCPUSerial
-	default:
-		return fmt.Errorf("unknown engine %q (gpu, cpu, serial)", engine)
-	}
-	return nil
 }
 
 // onesBased renders a 0-based job sequence with the paper's 1-based ids.

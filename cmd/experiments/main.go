@@ -25,6 +25,7 @@ import (
 	"strings"
 	"syscall"
 
+	duedate "repro"
 	"repro/internal/harness"
 	"repro/internal/problem"
 )
@@ -40,6 +41,7 @@ func main() {
 	var (
 		exp     = flag.String("exp", "all", "experiment: table2, table3, fig12, fig13, fig14 (CDD); table4, table5, fig15, fig16, fig17 (UCDDCP); fig11; strategy; all")
 		preset  = flag.String("preset", "scaled", "preset: quick, scaled, full")
+		engine  = flag.String("engine", "", "override the preset's engine for the parallel runs: gpu, cpu-parallel or cpu-serial")
 		out     = flag.String("out", "", "directory for CSV outputs (optional)")
 		verbose = flag.Bool("v", false, "per-instance progress on stderr")
 		compare = flag.String("compare", "", "diff two sweep archives: old.json,new.json (skips running experiments)")
@@ -54,6 +56,12 @@ func main() {
 	}
 
 	p := harness.ByName(*preset)
+	if *engine != "" {
+		if _, err := duedate.ParseEngine(*engine); err != nil {
+			log.Fatal(err)
+		}
+		p.Engine = *engine
+	}
 	var progress io.Writer
 	if *verbose {
 		progress = os.Stderr

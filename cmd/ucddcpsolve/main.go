@@ -31,8 +31,8 @@ func main() {
 		size    = flag.Int("size", 0, "generate a benchmark instance of this size instead of -file")
 		record  = flag.Int("record", 0, "record index within the file or generated benchmark")
 		seed    = flag.Uint64("seed", orlib.DefaultSeed, "benchmark generator seed")
-		algo    = flag.String("algo", "sa", "algorithm: sa, dpso, ta, es")
-		engine  = flag.String("engine", "gpu", "engine: gpu, cpu, serial")
+		algo    = duedate.SA
+		engine  = duedate.EngineGPU
 		iters   = flag.Int("iters", 1000, "iterations per chain")
 		grid    = flag.Int("grid", 4, "GPU grid size (blocks)")
 		block   = flag.Int("block", 192, "GPU block size (threads per block)")
@@ -41,6 +41,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "wall-clock budget; on expiry the best-so-far is printed")
 		showX   = flag.Bool("compressions", true, "print the per-job compressions of the best schedule")
 	)
+	flag.Var(&algo, "algo", "algorithm: SA, DPSO, TA or ES")
+	flag.Var(&engine, "engine", "engine: gpu, cpu-parallel (cpu) or cpu-serial (serial)")
 	flag.Parse()
 
 	in, err := loadInstance(*file, *n, *size, *record, *seed)
@@ -48,6 +50,8 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := duedate.Options{
+		Algorithm:  algo,
+		Engine:     engine,
 		Iterations: *iters,
 		Grid:       *grid,
 		Block:      *block,
@@ -56,28 +60,6 @@ func main() {
 	}
 	if *timeout > 0 {
 		opts.Deadline = time.Now().Add(*timeout)
-	}
-	switch *algo {
-	case "sa":
-		opts.Algorithm = duedate.SA
-	case "dpso":
-		opts.Algorithm = duedate.DPSO
-	case "ta":
-		opts.Algorithm = duedate.TA
-	case "es":
-		opts.Algorithm = duedate.ES
-	default:
-		log.Fatalf("unknown algorithm %q (sa, dpso, ta, es)", *algo)
-	}
-	switch *engine {
-	case "gpu":
-		opts.Engine = duedate.EngineGPU
-	case "cpu":
-		opts.Engine = duedate.EngineCPUParallel
-	case "serial":
-		opts.Engine = duedate.EngineCPUSerial
-	default:
-		log.Fatalf("unknown engine %q (gpu, cpu, serial)", *engine)
 	}
 
 	// Ctrl-C cancels cooperatively: the engine stops at its next

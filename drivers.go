@@ -40,19 +40,19 @@ func init() {
 		if o.Persistent {
 			return &parallel.PersistentGPUSA{
 				SA: saConfigFrom(o), Grid: o.Grid, Block: o.Block, Seed: o.Seed,
-				Budget: o.budget(), Progress: o.Progress,
+				Budget: o.budget(), Progress: o.Progress, Metrics: o.Metrics,
 			}
 		}
 		return &parallel.GPUSA{
 			SA: saConfigFrom(o), Grid: o.Grid, Block: o.Block, Seed: o.Seed,
-			Budget: o.budget(), Progress: o.Progress,
+			Budget: o.budget(), Progress: o.Progress, Metrics: o.Metrics,
 		}
 	})
 	saCPU := func(parallelOK bool) Driver {
 		return func(o Options) core.Solver {
 			return &parallel.AsyncSA{
 				SA: saConfigFrom(o), Ens: ensembleFrom(o), Parallel: parallelOK,
-				Budget: o.budget(), Progress: o.Progress,
+				Budget: o.budget(), Progress: o.Progress, Metrics: o.Metrics,
 			}
 		}
 	}
@@ -63,14 +63,14 @@ func init() {
 	RegisterDriver(DPSO, EngineGPU, func(o Options) core.Solver {
 		return &parallel.GPUDPSO{
 			PSO: dpso.Config{Iterations: o.Iterations}, Grid: o.Grid, Block: o.Block,
-			Seed: o.Seed, Budget: o.budget(), Progress: o.Progress,
+			Seed: o.Seed, Budget: o.budget(), Progress: o.Progress, Metrics: o.Metrics,
 		}
 	})
 	dpsoCPU := func(parallelOK bool) Driver {
 		return func(o Options) core.Solver {
 			return &parallel.ParallelDPSO{
 				PSO: dpso.Config{Iterations: o.Iterations}, Ens: ensembleFrom(o),
-				Parallel: parallelOK, Budget: o.budget(), Progress: o.Progress,
+				Parallel: parallelOK, Budget: o.budget(), Progress: o.Progress, Metrics: o.Metrics,
 			}
 		}
 	}
@@ -87,6 +87,7 @@ func init() {
 			return &parallel.ChainEnsemble{
 				Label: "TA", Ens: ensembleFrom(o), Parallel: parallelOK,
 				Iterations: o.Iterations, Budget: o.budget(), Progress: o.Progress,
+				Metrics: o.Metrics,
 				NewChain: func(inst *problem.Instance, _ int, rng *xrand.XORWOW) parallel.Chain {
 					return ta.NewChain(cfg, core.NewEvaluator(inst), rng)
 				},
@@ -105,6 +106,7 @@ func init() {
 			return &parallel.ChainEnsemble{
 				Label: "ES", Ens: ensembleFrom(o), Parallel: parallelOK,
 				Iterations: o.Iterations, Budget: o.budget(), Progress: o.Progress,
+				Metrics: o.Metrics,
 				NewChain: func(inst *problem.Instance, _ int, rng *xrand.XORWOW) parallel.Chain {
 					return es.New(cfg, core.NewEvaluator(inst), rng)
 				},

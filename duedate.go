@@ -51,6 +51,29 @@ type Schedule = problem.Schedule
 // Result is a solver outcome: best sequence, exact cost, and timing.
 type Result = core.Result
 
+// MetricsLevel selects how much instrumentation a solve collects (see
+// Options.Metrics); the zero value disables collection.
+type MetricsLevel = core.MetricsLevel
+
+// The instrumentation levels, lowest to highest.
+const (
+	// MetricsOff collects nothing; Result.Metrics stays nil.
+	MetricsOff = core.MetricsOff
+	// MetricsCounters collects per-chain counters and ensemble
+	// aggregates.
+	MetricsCounters = core.MetricsCounters
+	// MetricsKernels additionally times every phase/kernel (host wall
+	// clock plus simulated device seconds on the GPU engine).
+	MetricsKernels = core.MetricsKernels
+)
+
+// Metrics is the instrumentation snapshot attached to Result.Metrics
+// when a solve runs with Options.Metrics above MetricsOff.
+type Metrics = core.Metrics
+
+// PhaseMetric is one phase's accounting within Metrics.
+type PhaseMetric = core.PhaseMetric
+
 // Snapshot is one best-so-far progress report from a running solve.
 type Snapshot = core.Snapshot
 

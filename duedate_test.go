@@ -2,6 +2,7 @@ package duedate_test
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -60,23 +61,10 @@ func TestSolveDefaultsOnSmallInstance(t *testing.T) {
 
 func TestSolveAllAlgorithmEngineCombos(t *testing.T) {
 	in := duedate.PaperExample(duedate.UCDDCP)
-	combos := []struct {
-		algo   duedate.Algorithm
-		engine duedate.Engine
-	}{
-		{duedate.SA, duedate.EngineGPU},
-		{duedate.SA, duedate.EngineCPUParallel},
-		{duedate.SA, duedate.EngineCPUSerial},
-		{duedate.DPSO, duedate.EngineGPU},
-		{duedate.DPSO, duedate.EngineCPUParallel},
-		{duedate.DPSO, duedate.EngineCPUSerial},
-		{duedate.TA, duedate.EngineCPUSerial},
-		{duedate.ES, duedate.EngineCPUSerial},
-	}
-	for _, c := range combos {
-		t.Run(c.algo.String()+"/"+c.engine.String(), func(t *testing.T) {
+	for _, c := range duedate.Pairings() {
+		t.Run(c.Algorithm.String()+"/"+c.Engine.String(), func(t *testing.T) {
 			res, err := duedate.Solve(in, duedate.Options{
-				Algorithm: c.algo, Engine: c.engine,
+				Algorithm: c.Algorithm, Engine: c.Engine,
 				Iterations: 40, Grid: 1, Block: 8, TempSamples: 50,
 			})
 			if err != nil {
@@ -93,11 +81,57 @@ func TestSolveAllAlgorithmEngineCombos(t *testing.T) {
 	}
 }
 
+// TestFacadeMetrics: every registered pairing must populate
+// Result.Metrics when asked (with an evaluation count that matches the
+// result's) and leave it nil at the default level.
+func TestFacadeMetrics(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	for _, c := range duedate.Pairings() {
+		t.Run(c.Algorithm.String()+"/"+c.Engine.String(), func(t *testing.T) {
+			base := duedate.Options{
+				Algorithm: c.Algorithm, Engine: c.Engine,
+				Iterations: 40, Grid: 1, Block: 8, TempSamples: 50, Seed: 5,
+			}
+			off, err := duedate.Solve(in, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off.Metrics != nil {
+				t.Error("Metrics non-nil at the default (off) level")
+			}
+			on := base
+			on.Metrics = duedate.MetricsCounters
+			res, err := duedate.Solve(in, on)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := res.Metrics
+			if m == nil {
+				t.Fatal("Metrics nil with counters level requested")
+			}
+			if m.Level != duedate.MetricsCounters {
+				t.Errorf("Level = %v, want counters", m.Level)
+			}
+			if m.Evaluations != res.Evaluations {
+				t.Errorf("Metrics.Evaluations %d != Result.Evaluations %d", m.Evaluations, res.Evaluations)
+			}
+			if res.BestCost != off.BestCost || res.Evaluations != off.Evaluations {
+				t.Errorf("metrics collection changed the run: %d/%d vs %d/%d",
+					res.BestCost, res.Evaluations, off.BestCost, off.Evaluations)
+			}
+			if m.Chains <= 0 || m.Workers <= 0 {
+				t.Errorf("geometry unset: chains=%d workers=%d", m.Chains, m.Workers)
+			}
+		})
+	}
+}
+
 func TestSolveRejectsGPUBaselines(t *testing.T) {
 	in := duedate.PaperExample(duedate.CDD)
 	for _, algo := range []duedate.Algorithm{duedate.TA, duedate.ES} {
-		if _, err := duedate.Solve(in, duedate.Options{Algorithm: algo, Engine: duedate.EngineGPU}); err == nil {
-			t.Errorf("%v on GPU accepted", algo)
+		_, err := duedate.Solve(in, duedate.Options{Algorithm: algo, Engine: duedate.EngineGPU})
+		if !errors.Is(err, duedate.ErrUnsupportedPairing) {
+			t.Errorf("%v on GPU: err = %v, want ErrUnsupportedPairing", algo, err)
 		}
 	}
 }
@@ -112,11 +146,11 @@ func TestSolveValidatesInstance(t *testing.T) {
 
 func TestOptimizeSequenceRejections(t *testing.T) {
 	in := duedate.PaperExample(duedate.CDD)
-	if _, _, err := duedate.OptimizeSequence(in, []int{0, 1, 2}); err == nil {
-		t.Error("short sequence accepted")
+	if _, _, err := duedate.OptimizeSequence(in, []int{0, 1, 2}); !errors.Is(err, duedate.ErrInvalidSequence) {
+		t.Errorf("short sequence: err = %v, want ErrInvalidSequence", err)
 	}
-	if _, _, err := duedate.OptimizeSequence(in, []int{0, 0, 1, 2, 3}); err == nil {
-		t.Error("non-permutation accepted")
+	if _, _, err := duedate.OptimizeSequence(in, []int{0, 0, 1, 2, 3}); !errors.Is(err, duedate.ErrInvalidSequence) {
+		t.Errorf("non-permutation: err = %v, want ErrInvalidSequence", err)
 	}
 }
 
@@ -180,8 +214,8 @@ func TestOptionsRejectNegativeGeometry(t *testing.T) {
 		{Engine: duedate.EngineCPUParallel, Workers: -2},
 	}
 	for _, o := range cases {
-		if _, err := duedate.Solve(in, o); err == nil {
-			t.Errorf("options %+v accepted, want rejection", o)
+		if _, err := duedate.Solve(in, o); !errors.Is(err, duedate.ErrInvalidOptions) {
+			t.Errorf("options %+v: err = %v, want ErrInvalidOptions", o, err)
 		}
 	}
 }

@@ -84,14 +84,25 @@ func TestAllEnginesAgreeWithExactOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := []duedate.Options{
-		{Algorithm: duedate.SA, Engine: duedate.EngineGPU, Iterations: 300, Grid: 2, Block: 16, TempSamples: 200},
-		{Algorithm: duedate.SA, Engine: duedate.EngineGPU, Iterations: 300, Grid: 2, Block: 16, TempSamples: 200, Persistent: true},
-		{Algorithm: duedate.SA, Engine: duedate.EngineCPUParallel, Iterations: 300, Grid: 2, Block: 16, TempSamples: 200},
-		{Algorithm: duedate.DPSO, Engine: duedate.EngineGPU, Iterations: 300, Grid: 2, Block: 16},
-		{Algorithm: duedate.TA, Engine: duedate.EngineCPUSerial, Iterations: 300, Grid: 1, Block: 8, TempSamples: 200},
-		{Algorithm: duedate.ES, Engine: duedate.EngineCPUSerial, Iterations: 120, Grid: 1, Block: 4},
+	// Every registered pairing runs, with per-algorithm budgets (ES
+	// converges on smaller populations; the others share one shape). The
+	// persistent-kernel SA variant is appended manually — it is an option
+	// on SA×GPU, not a pairing of its own.
+	budgets := map[duedate.Algorithm]duedate.Options{
+		duedate.SA:   {Iterations: 300, Grid: 2, Block: 16, TempSamples: 200},
+		duedate.DPSO: {Iterations: 300, Grid: 2, Block: 16},
+		duedate.TA:   {Iterations: 300, Grid: 1, Block: 8, TempSamples: 200},
+		duedate.ES:   {Iterations: 120, Grid: 1, Block: 4},
 	}
+	var opts []duedate.Options
+	for _, p := range duedate.Pairings() {
+		o := budgets[p.Algorithm]
+		o.Algorithm, o.Engine = p.Algorithm, p.Engine
+		opts = append(opts, o)
+	}
+	persistent := budgets[duedate.SA]
+	persistent.Algorithm, persistent.Engine, persistent.Persistent = duedate.SA, duedate.EngineGPU, true
+	opts = append(opts, persistent)
 	for _, o := range opts {
 		o.Seed = 7
 		res, err := duedate.Solve(in, o)

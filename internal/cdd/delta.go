@@ -476,7 +476,7 @@ func (dl *Delta[S]) deltaTiming() (cost, start int64, dueJob int) {
 	}
 	cm := dl.compAt(r - 1)
 	a := dl.paAt(r - 1)
-	b := totalB - dl.pbAt(r - 1)
+	b := totalB - dl.pbAt(r-1)
 	ac, bcPre := dl.pacbcAt(r - 1)
 	bc := totalBC - bcPre
 	return a*cm - ac + bc - b*cm, d - cm, r

@@ -96,6 +96,10 @@ type Result struct {
 	// a valid permutation even when cancelled before the first chain
 	// completes).
 	Interrupted bool
+	// Metrics holds the run's instrumentation snapshot when the solver
+	// was configured with a MetricsLevel above MetricsOff; nil otherwise
+	// (the default — collection is opt-in).
+	Metrics *Metrics
 }
 
 // Schedule materializes the result's sequence into a fully timed schedule

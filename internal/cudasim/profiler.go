@@ -109,6 +109,19 @@ func (p *Profiler) Kernel(name string) KernelStats {
 	return KernelStats{}
 }
 
+// Kernels returns a copy of every kernel's stats, keyed by kernel name —
+// the exportable form of the profile that Report renders (used by the
+// gpuprof JSON emitter).
+func (p *Profiler) Kernels() map[string]KernelStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]KernelStats, len(p.kernels))
+	for name, ks := range p.kernels {
+		out[name] = *ks
+	}
+	return out
+}
+
 // Transfers returns copies of the host-to-device and device-to-host
 // transfer stats.
 func (p *Profiler) Transfers() (h2d, d2h TransferStats) {

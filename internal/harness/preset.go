@@ -36,6 +36,10 @@ type Preset struct {
 	RefChains int
 	// Seed makes the whole sweep reproducible.
 	Seed uint64
+	// Engine names the execution backend of the four parallel algorithm
+	// runs ("gpu", "cpu-parallel" or "cpu-serial"; empty means "gpu", the
+	// paper's configuration). The CPU references always run serially.
+	Engine string
 }
 
 // Ensemble returns the total GPU thread count.

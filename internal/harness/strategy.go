@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/problem"
 	"repro/internal/sa"
@@ -21,6 +22,11 @@ type StrategyRow struct {
 	// strategy won, as the paper found ("premature convergence of the
 	// latter approach").
 	AsyncPct float64
+	// AsyncAccepts and SyncAccepts count accepted Metropolis moves across
+	// the whole ensemble — the synchronous broadcast's premature
+	// convergence shows up as a collapsed acceptance count.
+	AsyncAccepts int64
+	SyncAccepts  int64
 }
 
 // CompareStrategies runs asynchronous vs synchronous parallel SA over the
@@ -42,7 +48,10 @@ func CompareStrategies(ctx context.Context, p Preset, progress io.Writer) ([]Str
 		}
 		inst := instances[len(instances)-1]
 		ens := parallel.Ensemble{Chains: p.Ensemble(), Seed: p.Seed ^ uint64(size)}
-		async, err := (&parallel.AsyncSA{Inst: inst, SA: saCfg, Ens: ens, Parallel: true}).Solve(ctx, inst)
+		async, err := (&parallel.AsyncSA{
+			Inst: inst, SA: saCfg, Ens: ens, Parallel: true,
+			Metrics: core.MetricsCounters,
+		}).Solve(ctx, inst)
 		if err != nil {
 			return nil, err
 		}
@@ -50,6 +59,7 @@ func CompareStrategies(ctx context.Context, p Preset, progress io.Writer) ([]Str
 			Inst: inst, SA: saCfg, Ens: ens,
 			MarkovLen: markov, Levels: p.ItersLow / markov,
 			Parallel: true,
+			Metrics:  core.MetricsCounters,
 		}).Solve(ctx, inst)
 		if err != nil {
 			return nil, err
@@ -59,6 +69,12 @@ func CompareStrategies(ctx context.Context, p Preset, progress io.Writer) ([]Str
 			AsyncCost: async.BestCost,
 			SyncCost:  sync.BestCost,
 			AsyncPct:  100 * float64(async.BestCost-sync.BestCost) / float64(sync.BestCost),
+		}
+		if async.Metrics != nil {
+			row.AsyncAccepts = async.Metrics.Acceptances
+		}
+		if sync.Metrics != nil {
+			row.SyncAccepts = sync.Metrics.Acceptances
 		}
 		rows = append(rows, row)
 		if progress != nil {
@@ -74,10 +90,12 @@ func CompareStrategies(ctx context.Context, p Preset, progress io.Writer) ([]Str
 func RenderStrategies(rows []StrategyRow) string {
 	var b strings.Builder
 	b.WriteString("STRATEGY COMPARISON — asynchronous vs synchronous parallel SA (Ferreiro et al.)\n")
-	fmt.Fprintf(&b, "%6s %14s %14s %12s\n", "Jobs", "async best", "sync best", "async vs sync")
+	fmt.Fprintf(&b, "%6s %14s %14s %12s %14s %14s\n",
+		"Jobs", "async best", "sync best", "async vs sync", "async accepts", "sync accepts")
 	asyncWins := 0
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%6d %14d %14d %11.2f%%\n", r.Size, r.AsyncCost, r.SyncCost, r.AsyncPct)
+		fmt.Fprintf(&b, "%6d %14d %14d %11.2f%% %14d %14d\n",
+			r.Size, r.AsyncCost, r.SyncCost, r.AsyncPct, r.AsyncAccepts, r.SyncAccepts)
 		if r.AsyncCost <= r.SyncCost {
 			asyncWins++
 		}

@@ -6,8 +6,8 @@ import (
 	"io"
 	"time"
 
+	duedate "repro"
 	"repro/internal/core"
-	"repro/internal/dpso"
 	"repro/internal/orlib"
 	"repro/internal/parallel"
 	"repro/internal/problem"
@@ -28,6 +28,11 @@ type InstanceRun struct {
 	Sim    float64 // simulated device seconds
 	Evals  int64   // fitness evaluations performed
 	PctDev float64 // 100·(Z−Z_best)/Z_best against the CPU reference
+	// Accepts and DeltaEvals come from the solver's metrics snapshot:
+	// accepted moves (pbest refreshes for DPSO) and the share of fitness
+	// evaluations served by the incremental O(Δ) path.
+	Accepts    int64
+	DeltaEvals int64
 }
 
 // InstanceResult collects everything measured on one instance.
@@ -50,6 +55,11 @@ type SizeRow struct {
 	MeanPctDev map[string]float64
 	MeanWall   map[string]float64
 	MeanSim    map[string]float64
+	// MeanEvals, MeanAccepts and MeanDeltaEvals aggregate the metrics
+	// counters of the parallel runs (Figures 12/15 companion columns).
+	MeanEvals      map[string]float64
+	MeanAccepts    map[string]float64
+	MeanDeltaEvals map[string]float64
 	// Speedups are budget-normalized: reference seconds-per-evaluation ×
 	// the run's evaluation count, divided by the run's wall (Wall) or
 	// simulated device (Sim) time.
@@ -167,29 +177,54 @@ func runInstance(ctx context.Context, p Preset, inst *problem.Instance, seed uin
 	res.RefEvals18 = refTA.Evaluations
 	res.RefWall18 = time.Since(taStart).Seconds()
 
-	saLow := sa.Config{Iterations: p.ItersLow, TempSamples: p.TempSamples}
-	saHigh := sa.Config{Iterations: p.ItersHigh, TempSamples: p.TempSamples}
-	psLow := dpso.Config{Iterations: p.ItersLow}
-	psHigh := dpso.Config{Iterations: p.ItersHigh}
-
-	solvers := map[string]core.Solver{
-		"SA_low":    &parallel.GPUSA{Inst: inst, SA: saLow, Grid: p.Grid, Block: p.Block, Seed: seed},
-		"SA_high":   &parallel.GPUSA{Inst: inst, SA: saHigh, Grid: p.Grid, Block: p.Block, Seed: seed + 1},
-		"DPSO_low":  &parallel.GPUDPSO{Inst: inst, PSO: psLow, Grid: p.Grid, Block: p.Block, Seed: seed + 2},
-		"DPSO_high": &parallel.GPUDPSO{Inst: inst, PSO: psHigh, Grid: p.Grid, Block: p.Block, Seed: seed + 3},
+	// The four parallel algorithms go through the facade, so the sweep
+	// exercises exactly what library callers get, honors the preset's
+	// engine selection, and collects the metrics counters.
+	engine := duedate.EngineGPU
+	if p.Engine != "" {
+		var err error
+		if engine, err = duedate.ParseEngine(p.Engine); err != nil {
+			return res, err
+		}
+	}
+	type runSpec struct {
+		algo  duedate.Algorithm
+		iters int
+		seed  uint64
+	}
+	specs := map[string]runSpec{
+		"SA_low":    {duedate.SA, p.ItersLow, seed},
+		"SA_high":   {duedate.SA, p.ItersHigh, seed + 1},
+		"DPSO_low":  {duedate.DPSO, p.ItersLow, seed + 2},
+		"DPSO_high": {duedate.DPSO, p.ItersHigh, seed + 3},
 	}
 	for _, algo := range AlgoNames {
-		r, err := solvers[algo].Solve(ctx, inst)
+		sp := specs[algo]
+		r, err := duedate.SolveContext(ctx, inst, duedate.Options{
+			Algorithm:   sp.algo,
+			Engine:      engine,
+			Iterations:  sp.iters,
+			Grid:        p.Grid,
+			Block:       p.Block,
+			Seed:        sp.seed,
+			TempSamples: p.TempSamples,
+			Metrics:     duedate.MetricsCounters,
+		})
 		if err != nil {
 			return res, fmt.Errorf("harness: %s on %s: %w", algo, inst.Name, err)
 		}
-		res.Runs[algo] = InstanceRun{
+		run := InstanceRun{
 			Cost:   r.BestCost,
 			Wall:   r.Elapsed.Seconds(),
 			Sim:    r.SimSeconds,
 			Evals:  r.Evaluations,
 			PctDev: core.PercentDeviation(r.BestCost, res.RefCost),
 		}
+		if m := r.Metrics; m != nil {
+			run.Accepts = m.Acceptances
+			run.DeltaEvals = m.DeltaEvaluations
+		}
+		res.Runs[algo] = run
 	}
 	return res, nil
 }
@@ -197,14 +232,17 @@ func runInstance(ctx context.Context, p Preset, inst *problem.Instance, seed uin
 // aggregateSize folds the per-instance results of one size into a row.
 func aggregateSize(size int, results []InstanceResult) SizeRow {
 	row := SizeRow{
-		Size:          size,
-		MeanPctDev:    map[string]float64{},
-		MeanWall:      map[string]float64{},
-		MeanSim:       map[string]float64{},
-		SpeedupWall7:  map[string]float64{},
-		SpeedupSim7:   map[string]float64{},
-		SpeedupWall18: map[string]float64{},
-		RawSim7:       map[string]float64{},
+		Size:           size,
+		MeanPctDev:     map[string]float64{},
+		MeanWall:       map[string]float64{},
+		MeanSim:        map[string]float64{},
+		MeanEvals:      map[string]float64{},
+		MeanAccepts:    map[string]float64{},
+		MeanDeltaEvals: map[string]float64{},
+		SpeedupWall7:   map[string]float64{},
+		SpeedupSim7:    map[string]float64{},
+		SpeedupWall18:  map[string]float64{},
+		RawSim7:        map[string]float64{},
 	}
 	var ref7, ref18 []float64
 	for _, r := range results {
@@ -215,12 +253,16 @@ func aggregateSize(size int, results []InstanceResult) SizeRow {
 	row.RefWall18 = stats.Mean(ref18)
 	for _, algo := range AlgoNames {
 		var devs, walls, sims []float64
+		var evals, accepts, deltas []float64
 		var spWall7, spSim7, spWall18, rawSim7 []float64
 		for _, r := range results {
 			run := r.Runs[algo]
 			devs = append(devs, run.PctDev)
 			walls = append(walls, run.Wall)
 			sims = append(sims, run.Sim)
+			evals = append(evals, float64(run.Evals))
+			accepts = append(accepts, float64(run.Accepts))
+			deltas = append(deltas, float64(run.DeltaEvals))
 			// Budget-normalized speedups: the serial CPU reference's
 			// seconds-per-evaluation, projected onto this run's
 			// evaluation count, divided by the run's time. This is the
@@ -240,6 +282,9 @@ func aggregateSize(size int, results []InstanceResult) SizeRow {
 		row.MeanPctDev[algo] = stats.Mean(devs)
 		row.MeanWall[algo] = stats.Mean(walls)
 		row.MeanSim[algo] = stats.Mean(sims)
+		row.MeanEvals[algo] = stats.Mean(evals)
+		row.MeanAccepts[algo] = stats.Mean(accepts)
+		row.MeanDeltaEvals[algo] = stats.Mean(deltas)
 		row.SpeedupWall7[algo] = stats.Mean(spWall7)
 		row.SpeedupSim7[algo] = stats.Mean(spSim7)
 		row.SpeedupWall18[algo] = stats.Mean(spWall18)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dpso"
+	"repro/internal/obs"
 	"repro/internal/problem"
 	"repro/internal/xrand"
 )
@@ -35,6 +36,8 @@ type ParallelDPSO struct {
 	Budget core.Budget
 	// Progress receives a snapshot whenever the swarm best improves.
 	Progress core.ProgressFunc
+	// Metrics selects the instrumentation level (off by default).
+	Metrics core.MetricsLevel
 }
 
 // Name implements core.Solver.
@@ -65,12 +68,16 @@ func (d *ParallelDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.
 	start := time.Now()
 	n := inst.N()
 
+	col := obs.NewCollector(d.Metrics)
 	particles := make([]*dpso.Particle, ens.Chains)
 	evals := make([]core.Evaluator, ens.Chains)
-	runOverWorkers(ens.Chains, ens.Workers, d.Parallel, func(i int) {
-		evals[i] = core.NewEvaluator(inst)
-		particles[i] = dpso.NewParticle(cfg, evals[i], xrand.NewStream(ens.Seed, uint64(i)))
+	phased(col, obs.PhaseInit, func() {
+		runOverWorkers(ens.Chains, ens.Workers, d.Parallel, func(i int) {
+			evals[i] = core.NewEvaluator(inst)
+			particles[i] = dpso.NewParticle(cfg, evals[i], xrand.NewStream(ens.Seed, uint64(i)))
+		})
 	})
+	col.AddFullEvals(int64(ens.Chains))
 
 	red := newReducer(ens.Chains)
 	m := newMeter(d.Progress, start, red)
@@ -87,7 +94,7 @@ func (d *ParallelDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.
 			}
 		}
 	}
-	reduce()
+	phased(col, obs.PhaseReduce, reduce)
 
 	iters := cfg.Iterations
 	// In shared mode, particles read the previous generation's gbest
@@ -101,17 +108,33 @@ func (d *ParallelDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.
 	for g := 0; g < iters; g++ {
 		if ctx.Err() != nil {
 			interrupted = true
+			col.SetInterruptedAt("generation")
 			break
 		}
 		copy(gbestSnapshot, gbest)
-		runOverWorkers(ens.Chains, ens.Workers, d.Parallel, func(i int) {
-			ref := gbestSnapshot
-			if !d.ShareSwarmBest {
-				ref, _ = particles[i].Best()
-			}
-			particles[i].Update(ref, evals[i])
+		phased(col, obs.PhaseUpdate, func() {
+			runOverWorkers(ens.Chains, ens.Workers, d.Parallel, func(i int) {
+				ref := gbestSnapshot
+				if !d.ShareSwarmBest {
+					ref, _ = particles[i].Best()
+				}
+				if col.Enabled() {
+					_, before := particles[i].Best()
+					particles[i].Update(ref, evals[i])
+					// A personal-best refresh is DPSO's acceptance
+					// analogue, and it always improves the particle's
+					// best-so-far.
+					if _, after := particles[i].Best(); after < before {
+						col.AddAccepts(1)
+						col.AddImprovements(1)
+					}
+				} else {
+					particles[i].Update(ref, evals[i])
+				}
+			})
 		})
-		reduce()
+		col.AddFullEvals(int64(ens.Chains))
+		phased(col, obs.PhaseReduce, reduce)
 		generations++
 	}
 
@@ -122,6 +145,13 @@ func (d *ParallelDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.
 		Evaluations: int64(ens.Chains) * int64(generations+1),
 		Elapsed:     time.Since(start),
 		Interrupted: interrupted,
+	}
+	if col.Enabled() {
+		workers := 1
+		if d.Parallel {
+			workers = ens.Workers
+		}
+		res.Metrics = col.Snapshot(res.Evaluations, ens.Chains, workers, res.Elapsed)
 	}
 	m.final(res)
 	return res, nil

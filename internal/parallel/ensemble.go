@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/problem"
 	"repro/internal/xrand"
 )
@@ -42,6 +43,9 @@ type RunSpec struct {
 	// called on the worker goroutine that runs the chain, so per-chain
 	// state (evaluators, scratch) needs no synchronization.
 	NewChain func(i int, rng *xrand.XORWOW) Chain
+	// Collector receives the run's metrics; nil (the default) disables
+	// collection entirely.
+	Collector *obs.Collector
 }
 
 // Run is the shared ensemble runtime behind every CPU driver: it
@@ -68,23 +72,68 @@ func (e Ensemble) Run(ctx context.Context, inst *problem.Instance, spec RunSpec)
 	start := time.Now()
 	red := newReducer(ens.Chains)
 	m := newMeter(spec.Progress, start, red)
+	col := spec.Collector
 	var skipped atomic.Bool
 	runOverWorkers(ens.Chains, ens.Workers, spec.Parallel, func(i int) {
 		if ctx.Err() != nil {
 			skipped.Store(true)
+			col.SetInterruptedAt("chain")
 			return
 		}
+		// Per-phase timing is gated on the kernels level; the counters
+		// level pays two timestamps per chain (for the busy-time
+		// aggregate) plus atomic increments. Chain construction (which
+		// includes the T₀ estimation) and the iteration loop are the
+		// CPU engines' two phases.
+		var t0, t1 time.Time
+		if col.Enabled() {
+			t0 = time.Now()
+		}
 		chain := spec.NewChain(i, xrand.NewStream(ens.Seed, uint64(i)))
+		if col.Kernels() {
+			t1 = time.Now()
+			col.Phase(obs.PhaseT0, t1.Sub(t0), 0)
+		} else {
+			col.CountPhase(obs.PhaseT0)
+		}
 		chain.Run()
+		if col.Enabled() {
+			done := time.Now()
+			if col.Kernels() {
+				col.Phase(obs.PhaseChain, done.Sub(t1), 0)
+			} else {
+				col.CountPhase(obs.PhaseChain)
+			}
+			col.AddBusy(done.Sub(t0))
+			if src, ok := chain.(obs.CounterSource); ok {
+				col.AddChain(src.Counters())
+			}
+		}
 		seq, cost := chain.Best()
 		if red.record(i, seq, cost, chain.Evaluations()) {
 			m.improved()
 		}
 	})
+	var tr time.Time
+	if col.Kernels() {
+		tr = time.Now()
+	}
 	res := red.result(inst)
 	res.Iterations = spec.Iterations
 	res.Interrupted = skipped.Load()
 	res.Elapsed = time.Since(start)
+	if col.Enabled() {
+		if col.Kernels() {
+			col.Phase(obs.PhaseReduce, time.Since(tr), 0)
+		} else {
+			col.CountPhase(obs.PhaseReduce)
+		}
+		workers := 1
+		if spec.Parallel {
+			workers = ens.Workers
+		}
+		res.Metrics = col.Snapshot(res.Evaluations, ens.Chains, workers, res.Elapsed)
+	}
 	m.final(res)
 	return res, nil
 }
@@ -224,6 +273,8 @@ type ChainEnsemble struct {
 	Budget core.Budget
 	// Progress receives best-so-far snapshots.
 	Progress core.ProgressFunc
+	// Metrics selects the instrumentation level (off by default).
+	Metrics core.MetricsLevel
 	// NewChain builds chain i for the instance over its RNG stream.
 	NewChain func(inst *problem.Instance, chain int, rng *xrand.XORWOW) Chain
 }
@@ -247,6 +298,7 @@ func (c *ChainEnsemble) Solve(ctx context.Context, inst *problem.Instance) (core
 		Parallel:   c.Parallel,
 		Iterations: c.Iterations,
 		Progress:   c.Progress,
+		Collector:  obs.NewCollector(c.Metrics),
 		NewChain: func(i int, rng *xrand.XORWOW) Chain {
 			return c.NewChain(inst, i, rng)
 		},

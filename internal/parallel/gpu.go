@@ -9,6 +9,7 @@ import (
 	"repro/internal/cdd"
 	"repro/internal/core"
 	"repro/internal/cudasim"
+	"repro/internal/obs"
 	"repro/internal/problem"
 	"repro/internal/sa"
 	"repro/internal/xrand"
@@ -69,6 +70,10 @@ type GPUSA struct {
 	// snapshot costs a device→host copy of the winning sequence, so leave
 	// it nil for timing runs.
 	Progress core.ProgressFunc
+	// Metrics selects the instrumentation level (off by default). At
+	// MetricsKernels every launch is bracketed with device events, so the
+	// per-phase metrics carry simulated seconds alongside host wall time.
+	Metrics core.MetricsLevel
 }
 
 // Name implements core.Solver.
@@ -442,14 +447,18 @@ func (g *GPUSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result,
 		cfg.TempSamples = full.TempSamples
 	}
 
+	col := obs.NewCollector(g.Metrics)
 	var evalCount int64
 	// T0: standard deviation of random-sequence fitnesses (host side, as
 	// a pre-processing step; one stream beyond the thread streams).
 	temp := cfg.T0
 	if temp <= 0 {
-		eval := core.NewEvaluator(inst)
-		temp = core.InitialTemperature(eval, xrand.NewStream(g.Seed, uint64(N)+1), cfg.TempSamples)
+		phased(col, obs.PhaseT0, func() {
+			eval := core.NewEvaluator(inst)
+			temp = core.InitialTemperature(eval, xrand.NewStream(g.Seed, uint64(N)+1), cfg.TempSamples)
+		})
 		evalCount += int64(cfg.TempSamples)
+		col.AddFullEvals(int64(cfg.TempSamples))
 	}
 
 	// Device state: sequences, candidates, costs, per-thread bests.
@@ -470,20 +479,24 @@ func (g *GPUSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result,
 	// Initial fitness of the random sequences; initialize bests. The delta
 	// path caches each row during this pass so later iterations can price
 	// candidates incrementally.
-	if pl.deltas != nil {
-		if err := pl.resetKernel(seqBuf, costBuf); err != nil {
-			return core.Result{}, err
+	if err := gpuPhased(col, dev, obs.PhaseFitness, func() error {
+		if pl.deltas != nil {
+			return pl.resetKernel(seqBuf, costBuf)
 		}
-	} else if err := pl.fitnessKernel(seqBuf, costBuf); err != nil {
+		return pl.fitnessKernel(seqBuf, costBuf)
+	}); err != nil {
 		return core.Result{}, err
 	}
 	evalCount += int64(N)
-	if err := dev.Launch(pl.launchCfg("init"), func(c *cudasim.Ctx) {
-		tid := c.GlobalThreadID()
-		v := costBuf.Load(c, tid)
-		bestCostBuf.Store(c, tid, v)
-		copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], seqBuf.Raw()[tid*n:(tid+1)*n])
-		c.ChargeGlobal(2*n, true)
+	col.AddFullEvals(int64(N))
+	if err := gpuPhased(col, dev, obs.PhaseInit, func() error {
+		return dev.Launch(pl.launchCfg("init"), func(c *cudasim.Ctx) {
+			tid := c.GlobalThreadID()
+			v := costBuf.Load(c, tid)
+			bestCostBuf.Store(c, tid, v)
+			copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], seqBuf.Raw()[tid*n:(tid+1)*n])
+			c.ChargeGlobal(2*n, true)
+		})
 	}); err != nil {
 		return core.Result{}, err
 	}
@@ -499,79 +512,94 @@ func (g *GPUSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result,
 	for it := 0; it < cfg.Iterations; it++ {
 		if ctx.Err() != nil {
 			interrupted = true
+			col.SetInterruptedAt("iteration")
 			break
 		}
 		dev.SetConstantFloat("T", temp)
 		iter := it
 
 		// Kernel 1: perturbation (Fisher–Yates on a Pert-subset).
-		if err := dev.Launch(pl.launchCfg("perturb"), func(c *cudasim.Ctx) {
-			tid := c.GlobalThreadID()
-			rng := pl.rngs[tid]
-			src := seqBuf.Raw()[tid*n : (tid+1)*n]
-			dst := candBuf.Raw()[tid*n : (tid+1)*n]
-			copy(dst, src)
-			c.ChargeGlobal(2*n, true)
-			if iter%cfg.ReselectPeriod == 0 || len(positions[tid]) == 0 {
-				positions[tid] = drawPositions(rng, positions[tid][:0], n, cfg.Pert)
-				c.ChargeArith(4 * cfg.Pert)
-			}
-			pos := positions[tid]
-			for i := len(pos) - 1; i > 0; i-- {
-				j := rng.Intn(i + 1)
-				a, b := pos[i], pos[j]
-				dst[a], dst[b] = dst[b], dst[a]
-			}
-			c.ChargeGlobal(2*len(pos), false) // scattered swaps
-			c.ChargeArith(6 * len(pos))
+		if err := gpuPhased(col, dev, obs.PhasePerturb, func() error {
+			return dev.Launch(pl.launchCfg("perturb"), func(c *cudasim.Ctx) {
+				tid := c.GlobalThreadID()
+				rng := pl.rngs[tid]
+				src := seqBuf.Raw()[tid*n : (tid+1)*n]
+				dst := candBuf.Raw()[tid*n : (tid+1)*n]
+				copy(dst, src)
+				c.ChargeGlobal(2*n, true)
+				if iter%cfg.ReselectPeriod == 0 || len(positions[tid]) == 0 {
+					positions[tid] = drawPositions(rng, positions[tid][:0], n, cfg.Pert)
+					c.ChargeArith(4 * cfg.Pert)
+				}
+				pos := positions[tid]
+				for i := len(pos) - 1; i > 0; i-- {
+					j := rng.Intn(i + 1)
+					a, b := pos[i], pos[j]
+					dst[a], dst[b] = dst[b], dst[a]
+				}
+				c.ChargeGlobal(2*len(pos), false) // scattered swaps
+				c.ChargeArith(6 * len(pos))
+			})
 		}); err != nil {
 			return core.Result{}, err
 		}
 
 		// Kernel 2: fitness of the candidates — incremental when the delta
 		// path is on (O(touched) per thread), the full O(n) pass otherwise.
-		if pl.deltas != nil {
-			if err := pl.deltaFitnessKernel(candBuf, positions, candCostBuf); err != nil {
-				return core.Result{}, err
+		if err := gpuPhased(col, dev, obs.PhaseFitness, func() error {
+			if pl.deltas != nil {
+				return pl.deltaFitnessKernel(candBuf, positions, candCostBuf)
 			}
-		} else if err := pl.fitnessKernel(candBuf, candCostBuf); err != nil {
+			return pl.fitnessKernel(candBuf, candCostBuf)
+		}); err != nil {
 			return core.Result{}, err
 		}
 		evalCount += int64(N)
+		if pl.deltas != nil {
+			col.AddDeltaEvals(int64(N))
+		} else {
+			col.AddFullEvals(int64(N))
+		}
 
 		// Kernel 3: metropolis acceptance + per-thread best tracking.
-		if err := dev.Launch(pl.launchCfg("accept"), func(c *cudasim.Ctx) {
-			tid := c.GlobalThreadID()
-			rng := pl.rngs[tid]
-			cur := costBuf.Load(c, tid)
-			cand := candCostBuf.Load(c, tid)
-			T := c.ConstFloat("T")
-			accept := cand <= cur
-			if !accept && T > 0 {
-				accept = math.Exp(float64(cur-cand)/T) >= rng.Float64()
-			}
-			c.ChargeArith(12)
-			if accept {
-				if pl.deltas != nil {
-					pl.deltas[tid].Commit()
-					c.ChargeArith(10 * len(positions[tid]) * bits.Len(uint(n)))
+		if err := gpuPhased(col, dev, obs.PhaseAccept, func() error {
+			return dev.Launch(pl.launchCfg("accept"), func(c *cudasim.Ctx) {
+				tid := c.GlobalThreadID()
+				rng := pl.rngs[tid]
+				cur := costBuf.Load(c, tid)
+				cand := candCostBuf.Load(c, tid)
+				T := c.ConstFloat("T")
+				accept := cand <= cur
+				if !accept && T > 0 {
+					accept = math.Exp(float64(cur-cand)/T) >= rng.Float64()
 				}
-				copy(seqBuf.Raw()[tid*n:(tid+1)*n], candBuf.Raw()[tid*n:(tid+1)*n])
-				costBuf.Store(c, tid, cand)
-				c.ChargeGlobal(2*n, true)
-				if cand < bestCostBuf.Load(c, tid) {
-					bestCostBuf.Store(c, tid, cand)
-					copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], candBuf.Raw()[tid*n:(tid+1)*n])
+				c.ChargeArith(12)
+				if accept {
+					col.AddAccepts(1)
+					if pl.deltas != nil {
+						pl.deltas[tid].Commit()
+						c.ChargeArith(10 * len(positions[tid]) * bits.Len(uint(n)))
+					}
+					copy(seqBuf.Raw()[tid*n:(tid+1)*n], candBuf.Raw()[tid*n:(tid+1)*n])
+					costBuf.Store(c, tid, cand)
 					c.ChargeGlobal(2*n, true)
+					if cand < bestCostBuf.Load(c, tid) {
+						col.AddImprovements(1)
+						bestCostBuf.Store(c, tid, cand)
+						copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], candBuf.Raw()[tid*n:(tid+1)*n])
+						c.ChargeGlobal(2*n, true)
+					}
 				}
-			}
+			})
 		}); err != nil {
 			return core.Result{}, err
 		}
 
 		// Kernel 4: reduction (atomic min in L2).
 		if (it+1)%reduceEvery == 0 || it == cfg.Iterations-1 {
-			if err := pl.reduceKernel(bestCostBuf, packedBuf); err != nil {
+			if err := gpuPhased(col, dev, obs.PhaseReduce, func() error {
+				return pl.reduceKernel(bestCostBuf, packedBuf)
+			}); err != nil {
 				return core.Result{}, err
 			}
 			if g.Progress != nil {
@@ -590,7 +618,9 @@ func (g *GPUSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result,
 	if interrupted {
 		// Fold the per-thread bests accumulated so far (the atomic min is
 		// idempotent, so re-reducing rounds already folded is harmless).
-		if err := pl.reduceKernel(bestCostBuf, packedBuf); err != nil {
+		if err := gpuPhased(col, dev, obs.PhaseReduce, func() error {
+			return pl.reduceKernel(bestCostBuf, packedBuf)
+		}); err != nil {
 			return core.Result{}, err
 		}
 	}
@@ -598,7 +628,7 @@ func (g *GPUSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result,
 	// Copy the winner back to the host (the second transfer of Figure 9).
 	bestSeq, bestCost := pl.winner(packedBuf, bestSeqBuf)
 
-	return core.Result{
+	res := core.Result{
 		BestSeq:     bestSeq,
 		BestCost:    bestCost,
 		Iterations:  cfg.Iterations,
@@ -606,7 +636,11 @@ func (g *GPUSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result,
 		Elapsed:     time.Since(start),
 		SimSeconds:  dev.SimTime() - simStart,
 		Interrupted: interrupted,
-	}, nil
+	}
+	if col.Enabled() {
+		res.Metrics = col.Snapshot(evalCount, N, 1, res.Elapsed)
+	}
+	return res, nil
 }
 
 // MustSolve is the context-free convenience form of Solve: background

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cudasim"
 	"repro/internal/dpso"
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/problem"
 )
@@ -62,6 +63,10 @@ type GPUDPSO struct {
 	// snapshot costs a device→host copy of the winning sequence, so leave
 	// it nil for timing runs.
 	Progress core.ProgressFunc
+	// Metrics selects the instrumentation level (off by default). At
+	// MetricsKernels every launch is bracketed with device events, so the
+	// per-phase metrics carry simulated seconds alongside host wall time.
+	Metrics core.MetricsLevel
 }
 
 // Name implements core.Solver.
@@ -128,19 +133,25 @@ func (g *GPUDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.Resul
 		buf3[t] = make([]int, n)
 	}
 
+	col := obs.NewCollector(g.Metrics)
 	var evalCount int64
 	// Initial fitness; personal bests = initial positions.
-	if err := pl.fitnessKernel(posBuf, costBuf); err != nil {
+	if err := gpuPhased(col, dev, obs.PhaseFitness, func() error {
+		return pl.fitnessKernel(posBuf, costBuf)
+	}); err != nil {
 		return core.Result{}, err
 	}
 	evalCount += int64(N)
-	if err := dev.Launch(pl.launchCfg("init"), func(c *cudasim.Ctx) {
-		tid := c.GlobalThreadID()
-		v := costBuf.Load(c, tid)
-		pbestCostBuf.Store(c, tid, v)
-		copy(pbestBuf.Raw()[tid*n:(tid+1)*n], posBuf.Raw()[tid*n:(tid+1)*n])
-		c.ChargeGlobal(2*n, true)
-		cudasim.AtomicMinInt64(c, packedBuf, 0, v<<tidBits|int64(tid))
+	col.AddFullEvals(int64(N))
+	if err := gpuPhased(col, dev, obs.PhaseInit, func() error {
+		return dev.Launch(pl.launchCfg("init"), func(c *cudasim.Ctx) {
+			tid := c.GlobalThreadID()
+			v := costBuf.Load(c, tid)
+			pbestCostBuf.Store(c, tid, v)
+			copy(pbestBuf.Raw()[tid*n:(tid+1)*n], posBuf.Raw()[tid*n:(tid+1)*n])
+			c.ChargeGlobal(2*n, true)
+			cudasim.AtomicMinInt64(c, packedBuf, 0, v<<tidBits|int64(tid))
+		})
 	}); err != nil {
 		return core.Result{}, err
 	}
@@ -148,13 +159,15 @@ func (g *GPUDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.Resul
 		if !g.ShareSwarmBest {
 			return nil
 		}
-		return dev.Launch(pl.launchCfg("broadcast"), func(c *cudasim.Ctx) {
-			tid := c.GlobalThreadID()
-			winner := int(cudasim.AtomicLoadInt64(c, packedBuf, 0) & (1<<tidBits - 1))
-			if tid == winner {
-				copy(gbestBuf.Raw(), pbestBuf.Raw()[tid*n:(tid+1)*n])
-				c.ChargeGlobal(2*n, true)
-			}
+		return gpuPhased(col, dev, obs.PhaseBroadcast, func() error {
+			return dev.Launch(pl.launchCfg("broadcast"), func(c *cudasim.Ctx) {
+				tid := c.GlobalThreadID()
+				winner := int(cudasim.AtomicLoadInt64(c, packedBuf, 0) & (1<<tidBits - 1))
+				if tid == winner {
+					copy(gbestBuf.Raw(), pbestBuf.Raw()[tid*n:(tid+1)*n])
+					c.ChargeGlobal(2*n, true)
+				}
+			})
 		})
 	}
 	if err := broadcast(); err != nil {
@@ -165,92 +178,105 @@ func (g *GPUDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.Resul
 	for it := 0; it < cfg.Iterations; it++ {
 		if ctx.Err() != nil {
 			interrupted = true
+			col.SetInterruptedAt("iteration")
 			break
 		}
 		// Kernel 1: position update per Equation (3). Reads the swarm
 		// best published by the previous broadcast (asynchronous: all
 		// particles see the same, possibly one-generation-old gbest).
-		if err := dev.Launch(pl.launchCfg("update"), func(c *cudasim.Ctx) {
-			tid := c.GlobalThreadID()
-			rng := pl.rngs[tid]
-			pos := posBuf.Raw()[tid*n : (tid+1)*n]
-			pbest := pbestBuf.Raw()[tid*n : (tid+1)*n]
-			// Asynchronous (paper) mode: no cross-thread state — g(t)
-			// collapses to the particle's own best.
-			gbest := pbest
-			if g.ShareSwarmBest {
-				gbest = gbestBuf.Raw()
-			}
-			c.ChargeGlobal(3*n, true)
+		if err := gpuPhased(col, dev, obs.PhaseUpdate, func() error {
+			return dev.Launch(pl.launchCfg("update"), func(c *cudasim.Ctx) {
+				tid := c.GlobalThreadID()
+				rng := pl.rngs[tid]
+				pos := posBuf.Raw()[tid*n : (tid+1)*n]
+				pbest := pbestBuf.Raw()[tid*n : (tid+1)*n]
+				// Asynchronous (paper) mode: no cross-thread state — g(t)
+				// collapses to the particle's own best.
+				gbest := pbest
+				if g.ShareSwarmBest {
+					gbest = gbestBuf.Raw()
+				}
+				c.ChargeGlobal(3*n, true)
 
-			// λ = w ⊕ F1(pos): swap. a/b ping-pong so crossover source and
-			// destination never alias.
-			a, b := buf1[tid], buf2[tid]
-			cur := a
-			for i, v := range pos {
-				cur[i] = int(v)
-			}
-			if rng.Float64() < cfg.W {
-				perm.Swap(rng, cur)
-			}
-			// δ = c1 ⊕ F2(λ, pbest): one-point crossover.
-			if rng.Float64() < cfg.C1 {
-				pb := buf3[tid]
-				for i, v := range pbest {
-					pb[i] = int(v)
+				// λ = w ⊕ F1(pos): swap. a/b ping-pong so crossover source and
+				// destination never alias.
+				a, b := buf1[tid], buf2[tid]
+				cur := a
+				for i, v := range pos {
+					cur[i] = int(v)
 				}
-				ops[tid].OnePoint(rng, b, cur, pb)
-				cur = b
-			}
-			// pos' = c2 ⊕ F3(δ, gbest): two-point crossover.
-			if rng.Float64() < cfg.C2 {
-				gb := buf3[tid]
-				for i, v := range gbest {
-					gb[i] = int(v)
+				if rng.Float64() < cfg.W {
+					perm.Swap(rng, cur)
 				}
-				dst := a
-				if len(cur) > 0 && &cur[0] == &a[0] {
-					dst = b
+				// δ = c1 ⊕ F2(λ, pbest): one-point crossover.
+				if rng.Float64() < cfg.C1 {
+					pb := buf3[tid]
+					for i, v := range pbest {
+						pb[i] = int(v)
+					}
+					ops[tid].OnePoint(rng, b, cur, pb)
+					cur = b
 				}
-				ops[tid].TwoPoint(rng, dst, cur, gb)
-				cur = dst
-			}
-			for i, v := range cur {
-				pos[i] = int32(v)
-			}
-			c.ChargeGlobal(n, true)
-			// Each order crossover is ~3 passes over the sequence (copy
-			// the donor segment, scan the other parent, maintain the
-			// used-markers in local memory), plus the swap and the final
-			// write-back conversion — far heavier than SA's Pert-element
-			// shuffle, which is why the paper's Figures 14/16 show DPSO
-			// consistently slower than SA at equal budgets.
-			c.ChargeArith(20 * n)
+				// pos' = c2 ⊕ F3(δ, gbest): two-point crossover.
+				if rng.Float64() < cfg.C2 {
+					gb := buf3[tid]
+					for i, v := range gbest {
+						gb[i] = int(v)
+					}
+					dst := a
+					if len(cur) > 0 && &cur[0] == &a[0] {
+						dst = b
+					}
+					ops[tid].TwoPoint(rng, dst, cur, gb)
+					cur = dst
+				}
+				for i, v := range cur {
+					pos[i] = int32(v)
+				}
+				c.ChargeGlobal(n, true)
+				// Each order crossover is ~3 passes over the sequence (copy
+				// the donor segment, scan the other parent, maintain the
+				// used-markers in local memory), plus the swap and the final
+				// write-back conversion — far heavier than SA's Pert-element
+				// shuffle, which is why the paper's Figures 14/16 show DPSO
+				// consistently slower than SA at equal budgets.
+				c.ChargeArith(20 * n)
+			})
 		}); err != nil {
 			return core.Result{}, err
 		}
 
 		// Kernel 2: fitness of the new positions.
-		if err := pl.fitnessKernel(posBuf, costBuf); err != nil {
+		if err := gpuPhased(col, dev, obs.PhaseFitness, func() error {
+			return pl.fitnessKernel(posBuf, costBuf)
+		}); err != nil {
 			return core.Result{}, err
 		}
 		evalCount += int64(N)
+		col.AddFullEvals(int64(N))
 
-		// Kernel 3: personal-best refresh.
-		if err := dev.Launch(pl.launchCfg("pbest"), func(c *cudasim.Ctx) {
-			tid := c.GlobalThreadID()
-			v := costBuf.Load(c, tid)
-			if v < pbestCostBuf.Load(c, tid) {
-				pbestCostBuf.Store(c, tid, v)
-				copy(pbestBuf.Raw()[tid*n:(tid+1)*n], posBuf.Raw()[tid*n:(tid+1)*n])
-				c.ChargeGlobal(2*n, true)
-			}
+		// Kernel 3: personal-best refresh (the acceptance analogue; every
+		// refresh also improves the particle's best-so-far).
+		if err := gpuPhased(col, dev, obs.PhasePBest, func() error {
+			return dev.Launch(pl.launchCfg("pbest"), func(c *cudasim.Ctx) {
+				tid := c.GlobalThreadID()
+				v := costBuf.Load(c, tid)
+				if v < pbestCostBuf.Load(c, tid) {
+					col.AddAccepts(1)
+					col.AddImprovements(1)
+					pbestCostBuf.Store(c, tid, v)
+					copy(pbestBuf.Raw()[tid*n:(tid+1)*n], posBuf.Raw()[tid*n:(tid+1)*n])
+					c.ChargeGlobal(2*n, true)
+				}
+			})
 		}); err != nil {
 			return core.Result{}, err
 		}
 
 		// Kernel 4: reduction, then gbest broadcast.
-		if err := pl.reduceKernel(pbestCostBuf, packedBuf); err != nil {
+		if err := gpuPhased(col, dev, obs.PhaseReduce, func() error {
+			return pl.reduceKernel(pbestCostBuf, packedBuf)
+		}); err != nil {
 			return core.Result{}, err
 		}
 		if err := broadcast(); err != nil {
@@ -266,7 +292,7 @@ func (g *GPUDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.Resul
 	// The init kernel already folded every particle's initial cost into
 	// packedBuf, so the reduction is valid even on a zero-generation run.
 	bestSeq, bestCost := pl.winner(packedBuf, pbestBuf)
-	return core.Result{
+	res := core.Result{
 		BestSeq:     bestSeq,
 		BestCost:    bestCost,
 		Iterations:  cfg.Iterations,
@@ -274,7 +300,11 @@ func (g *GPUDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.Resul
 		Elapsed:     time.Since(start),
 		SimSeconds:  dev.SimTime() - simStart,
 		Interrupted: interrupted,
-	}, nil
+	}
+	if col.Enabled() {
+		res.Metrics = col.Snapshot(evalCount, N, 1, res.Elapsed)
+	}
+	return res, nil
 }
 
 // MustSolve is the context-free convenience form of Solve: background

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cdd"
 	"repro/internal/core"
 	"repro/internal/cudasim"
+	"repro/internal/obs"
 	"repro/internal/problem"
 	"repro/internal/sa"
 	"repro/internal/xrand"
@@ -48,6 +49,10 @@ type PersistentGPUSA struct {
 	// no host control between iterations, which is exactly the
 	// flexibility it trades away (see the type comment).
 	Progress core.ProgressFunc
+	// Metrics selects the instrumentation level (off by default). The
+	// single launch reports as the "persistent" phase; per-thread
+	// counters are folded when each resident thread retires.
+	Metrics core.MetricsLevel
 }
 
 // Name implements core.Solver.
@@ -116,12 +121,16 @@ func (g *PersistentGPUSA) Solve(ctx context.Context, inst *problem.Instance) (co
 		cfg.TempSamples = full.TempSamples
 	}
 
+	col := obs.NewCollector(g.Metrics)
 	var evalCount int64
 	t0 := cfg.T0
 	if t0 <= 0 {
-		eval := core.NewEvaluator(inst)
-		t0 = core.InitialTemperature(eval, xrand.NewStream(g.Seed, uint64(N)+1), cfg.TempSamples)
+		phased(col, obs.PhaseT0, func() {
+			eval := core.NewEvaluator(inst)
+			t0 = core.InitialTemperature(eval, xrand.NewStream(g.Seed, uint64(N)+1), cfg.TempSamples)
+		})
 		evalCount += int64(cfg.TempSamples)
+		col.AddFullEvals(int64(cfg.TempSamples))
 	}
 
 	seqBuf := cudasim.NewBufferFrom(dev, pl.randomRows())
@@ -145,109 +154,119 @@ func (g *PersistentGPUSA) Solve(ctx context.Context, inst *problem.Instance) (co
 	var interrupted atomic.Bool
 	var itersDone atomic.Int64
 	kernelCfg := pl.launchCfg("persistent")
-	err := dev.Launch(kernelCfg, func(c *cudasim.Ctx) {
-		shA, shB := pl.stagePenalties(c)
-		tid := c.GlobalThreadID()
-		rng := pl.rngs[tid]
-		cur := seqBuf.Raw()[tid*n : (tid+1)*n]
-		cnd := cand[tid]
-		d := c.ConstInt("d")
+	err := gpuPhased(col, dev, obs.PhasePersistent, func() error {
+		return dev.Launch(kernelCfg, func(c *cudasim.Ctx) {
+			shA, shB := pl.stagePenalties(c)
+			tid := c.GlobalThreadID()
+			rng := pl.rngs[tid]
+			cur := seqBuf.Raw()[tid*n : (tid+1)*n]
+			cnd := cand[tid]
+			d := c.ConstInt("d")
 
-		evalRow := func(row []int32) int64 {
-			c.ChargeGlobal(n, true) // row traffic
-			c.ChargeShared(2 * n)
-			pArr := pl.loadProcessingTimes(c, tid, row)
-			var cost int64
-			var ops int
-			if pl.inst.Kind == problem.UCDDCP {
-				cost, ops = fitnessUCDDCPArrays(row, pArr, pl.mBuf.Raw(), shA, shB, pl.gammaBuf.Raw(), d, pl.comp[tid], pl.aux[tid])
-				c.ChargeGlobal(2*n, true)
-			} else {
-				cost, ops = fitnessCDDArrays(row, pArr, shA, shB, d, pl.comp[tid])
-			}
-			c.ChargeArith(ops)
-			return cost
-		}
-
-		var dl *cdd.Delta[int32]
-		if pl.deltas != nil {
-			dl = pl.deltas[tid]
-		}
-		lg := bits.Len(uint(n))
-
-		var curCost int64
-		if dl != nil {
-			chargeDeltaReset(c, n)
-			curCost = dl.Reset(cur)
-		} else {
-			curCost = evalRow(cur)
-		}
-		bestCost := curCost
-		copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], cur)
-		c.ChargeGlobal(2*n, true)
-
-		temp := t0
-		done := 0
-		for it := 0; it < cfg.Iterations; it++ {
-			if interrupted.Load() || ctx.Err() != nil {
-				interrupted.Store(true)
-				break
-			}
-			done++
-			// Perturbation (as the perturb kernel).
-			copy(cnd, cur)
-			c.ChargeGlobal(2*n, true)
-			if it%cfg.ReselectPeriod == 0 || len(positions[tid]) == 0 {
-				positions[tid] = drawPositions(rng, positions[tid][:0], n, cfg.Pert)
-				c.ChargeArith(4 * cfg.Pert)
-			}
-			pos := positions[tid]
-			for i := len(pos) - 1; i > 0; i-- {
-				j := rng.Intn(i + 1)
-				a, b := pos[i], pos[j]
-				cnd[a], cnd[b] = cnd[b], cnd[a]
-			}
-			c.ChargeGlobal(2*len(pos), false)
-			c.ChargeArith(6 * len(pos))
-
-			// Fitness: incremental over the perturbed positions when the
-			// delta path is on, full O(n) pass otherwise.
-			var candCost int64
-			if dl != nil {
-				chargeDeltaPropose(c, len(pos), lg)
-				candCost = dl.Propose(cnd, pos)
-			} else {
-				candCost = evalRow(cnd)
-			}
-
-			// Acceptance (as the accept kernel).
-			accept := candCost <= curCost
-			if !accept && temp > 0 {
-				accept = math.Exp(float64(curCost-candCost)/temp) >= rng.Float64()
-			}
-			c.ChargeArith(12)
-			if accept {
-				if dl != nil {
-					dl.Commit()
-					c.ChargeArith(10 * len(pos) * lg)
-				}
-				copy(cur, cnd)
-				curCost = candCost
-				c.ChargeGlobal(2*n, true)
-				if candCost < bestCost {
-					bestCost = candCost
-					copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], cnd)
+			evalRow := func(row []int32) int64 {
+				c.ChargeGlobal(n, true) // row traffic
+				c.ChargeShared(2 * n)
+				pArr := pl.loadProcessingTimes(c, tid, row)
+				var cost int64
+				var ops int
+				if pl.inst.Kind == problem.UCDDCP {
+					cost, ops = fitnessUCDDCPArrays(row, pArr, pl.mBuf.Raw(), shA, shB, pl.gammaBuf.Raw(), d, pl.comp[tid], pl.aux[tid])
 					c.ChargeGlobal(2*n, true)
+				} else {
+					cost, ops = fitnessCDDArrays(row, pArr, shA, shB, d, pl.comp[tid])
+				}
+				c.ChargeArith(ops)
+				return cost
+			}
+
+			var dl *cdd.Delta[int32]
+			if pl.deltas != nil {
+				dl = pl.deltas[tid]
+			}
+			lg := bits.Len(uint(n))
+
+			var cc obs.ChainCounters
+			var curCost int64
+			if dl != nil {
+				chargeDeltaReset(c, n)
+				curCost = dl.Reset(cur)
+			} else {
+				curCost = evalRow(cur)
+			}
+			cc.FullEvaluations++
+			bestCost := curCost
+			copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], cur)
+			c.ChargeGlobal(2*n, true)
+
+			temp := t0
+			done := 0
+			for it := 0; it < cfg.Iterations; it++ {
+				if interrupted.Load() || ctx.Err() != nil {
+					interrupted.Store(true)
+					col.SetInterruptedAt("kernel-iteration")
+					break
+				}
+				done++
+				// Perturbation (as the perturb kernel).
+				copy(cnd, cur)
+				c.ChargeGlobal(2*n, true)
+				if it%cfg.ReselectPeriod == 0 || len(positions[tid]) == 0 {
+					positions[tid] = drawPositions(rng, positions[tid][:0], n, cfg.Pert)
+					c.ChargeArith(4 * cfg.Pert)
+				}
+				pos := positions[tid]
+				for i := len(pos) - 1; i > 0; i-- {
+					j := rng.Intn(i + 1)
+					a, b := pos[i], pos[j]
+					cnd[a], cnd[b] = cnd[b], cnd[a]
+				}
+				c.ChargeGlobal(2*len(pos), false)
+				c.ChargeArith(6 * len(pos))
+
+				// Fitness: incremental over the perturbed positions when the
+				// delta path is on, full O(n) pass otherwise.
+				var candCost int64
+				if dl != nil {
+					chargeDeltaPropose(c, len(pos), lg)
+					candCost = dl.Propose(cnd, pos)
+					cc.DeltaEvaluations++
+				} else {
+					candCost = evalRow(cnd)
+					cc.FullEvaluations++
+				}
+
+				// Acceptance (as the accept kernel).
+				accept := candCost <= curCost
+				if !accept && temp > 0 {
+					accept = math.Exp(float64(curCost-candCost)/temp) >= rng.Float64()
+				}
+				c.ChargeArith(12)
+				if accept {
+					cc.Acceptances++
+					if dl != nil {
+						dl.Commit()
+						c.ChargeArith(10 * len(pos) * lg)
+					}
+					copy(cur, cnd)
+					curCost = candCost
+					c.ChargeGlobal(2*n, true)
+					if candCost < bestCost {
+						cc.Improvements++
+						bestCost = candCost
+						copy(bestSeqBuf.Raw()[tid*n:(tid+1)*n], cnd)
+						c.ChargeGlobal(2*n, true)
+					}
+				}
+				temp *= cfg.Cooling
+				if cfg.TMin > 0 && temp < cfg.TMin {
+					temp = cfg.TMin
 				}
 			}
-			temp *= cfg.Cooling
-			if cfg.TMin > 0 && temp < cfg.TMin {
-				temp = cfg.TMin
-			}
-		}
-		itersDone.Add(int64(done))
-		bestCostBuf.Store(c, tid, bestCost)
-		cudasim.AtomicMinInt64(c, packedBuf, 0, bestCost<<tidBits|int64(tid))
+			itersDone.Add(int64(done))
+			col.AddChain(cc)
+			bestCostBuf.Store(c, tid, bestCost)
+			cudasim.AtomicMinInt64(c, packedBuf, 0, bestCost<<tidBits|int64(tid))
+		})
 	})
 	if err != nil {
 		return core.Result{}, err
@@ -263,6 +282,9 @@ func (g *PersistentGPUSA) Solve(ctx context.Context, inst *problem.Instance) (co
 		Elapsed:     time.Since(start),
 		SimSeconds:  dev.SimTime() - simStart,
 		Interrupted: interrupted.Load(),
+	}
+	if col.Enabled() {
+		res.Metrics = col.Snapshot(evalCount, N, 1, res.Elapsed)
 	}
 	if g.Progress != nil {
 		g.Progress(core.Snapshot{

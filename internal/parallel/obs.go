@@ -1,0 +1,40 @@
+package parallel
+
+import (
+	"time"
+
+	"repro/internal/cudasim"
+	"repro/internal/obs"
+)
+
+// phased runs fn as one execution of phase p on the collector: a bare
+// launch count at the counters level (free when col is nil), host
+// wall-clock timing at the kernels level.
+func phased(col *obs.Collector, p obs.Phase, fn func()) {
+	if !col.Kernels() {
+		fn()
+		col.CountPhase(p)
+		return
+	}
+	t0 := time.Now()
+	fn()
+	col.Phase(p, time.Since(t0), 0)
+}
+
+// gpuPhased runs one kernel launch as phase p, bracketing it with device
+// events so the phase accumulates simulated device seconds alongside
+// host wall time — the cudasim equivalent of cudaEventElapsedTime
+// around a launch.
+func gpuPhased(col *obs.Collector, dev *cudasim.Device, p obs.Phase, fn func() error) error {
+	if !col.Kernels() {
+		err := fn()
+		col.CountPhase(p)
+		return err
+	}
+	before := dev.Record()
+	t0 := time.Now()
+	err := fn()
+	after := dev.Record()
+	col.Phase(p, time.Since(t0), before.ElapsedSeconds(after))
+	return err
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/problem"
 	"repro/internal/sa"
 	"repro/internal/xrand"
@@ -109,6 +110,8 @@ type AsyncSA struct {
 	Budget core.Budget
 	// Progress receives best-so-far snapshots.
 	Progress core.ProgressFunc
+	// Metrics selects the instrumentation level (off by default).
+	Metrics core.MetricsLevel
 }
 
 // Name implements core.Solver.
@@ -137,6 +140,7 @@ func (a *AsyncSA) Solve(ctx context.Context, inst *problem.Instance) (core.Resul
 		Parallel:   a.Parallel,
 		Iterations: cfg.Iterations,
 		Progress:   a.Progress,
+		Collector:  obs.NewCollector(a.Metrics),
 		NewChain: func(i int, rng *xrand.XORWOW) Chain {
 			// Incremental evaluator: chains price each neighbour in
 			// O(touched) with bit-identical costs, so results match full
@@ -172,6 +176,8 @@ type SyncSA struct {
 	Budget core.Budget
 	// Progress receives a snapshot after each level's reduction.
 	Progress core.ProgressFunc
+	// Metrics selects the instrumentation level (off by default).
+	Metrics core.MetricsLevel
 }
 
 // Name implements core.Solver.
@@ -202,11 +208,14 @@ func (s *SyncSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result
 	defer cancel()
 	start := time.Now()
 
+	col := obs.NewCollector(s.Metrics)
 	chains := make([]*sa.Chain, ens.Chains)
 	evals := make([]core.Evaluator, ens.Chains)
-	runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
-		evals[i] = core.NewDeltaEvaluator(inst)
-		chains[i] = sa.NewChain(s.SA, evals[i], xrand.NewStream(ens.Seed, uint64(i)))
+	phased(col, obs.PhaseT0, func() {
+		runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
+			evals[i] = core.NewDeltaEvaluator(inst)
+			chains[i] = sa.NewChain(s.SA, evals[i], xrand.NewStream(ens.Seed, uint64(i)))
+		})
 	})
 
 	red := newReducer(ens.Chains)
@@ -217,21 +226,26 @@ func (s *SyncSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result
 	for level := 0; level < levels; level++ {
 		if ctx.Err() != nil {
 			interrupted = true
+			col.SetInterruptedAt("level")
 			break
 		}
-		runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
-			for m := 0; m < markov; m++ {
-				chains[i].Step()
-			}
+		phased(col, obs.PhaseChain, func() {
+			runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
+				for m := 0; m < markov; m++ {
+					chains[i].Step()
+				}
+			})
 		})
 		// Reduce: s_j^min over current states.
 		minIdx := 0
 		_, minCost := chains[0].Current()
-		for i := 1; i < ens.Chains; i++ {
-			if _, c := chains[i].Current(); c < minCost {
-				minCost, minIdx = c, i
+		phased(col, obs.PhaseReduce, func() {
+			for i := 1; i < ens.Chains; i++ {
+				if _, c := chains[i].Current(); c < minCost {
+					minCost, minIdx = c, i
+				}
 			}
-		}
+		})
 		minSeq, _ := chains[minIdx].Current()
 		if minCost < bestCost {
 			bestCost = minCost
@@ -242,8 +256,10 @@ func (s *SyncSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result
 		}
 		// Broadcast as the next level's initial state on all processors.
 		seqCopy := append([]int(nil), minSeq...)
-		runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
-			chains[i].SetSolution(seqCopy, minCost)
+		phased(col, obs.PhaseBroadcast, func() {
+			runOverWorkers(ens.Chains, ens.Workers, s.Parallel, func(i int) {
+				chains[i].SetSolution(seqCopy, minCost)
+			})
 		})
 	}
 	// The final global best may be better than the last broadcast — and
@@ -259,8 +275,18 @@ func (s *SyncSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result
 	res := core.Result{BestSeq: bestSeq, BestCost: bestCost, Iterations: levels * markov, Interrupted: interrupted}
 	for _, c := range chains {
 		res.Evaluations += c.Evaluations()
+		if col.Enabled() {
+			col.AddChain(c.Counters())
+		}
 	}
 	res.Elapsed = time.Since(start)
+	if col.Enabled() {
+		workers := 1
+		if s.Parallel {
+			workers = ens.Workers
+		}
+		res.Metrics = col.Snapshot(res.Evaluations, ens.Chains, workers, res.Elapsed)
+	}
 	m.final(res)
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/xrand"
 )
@@ -124,6 +125,14 @@ type Chain struct {
 	cooler *Cooler
 	iter   int
 	evals  int64
+
+	// Plain-int64 tallies for the observability layer; always maintained
+	// (a few register increments per step) and folded into a run's
+	// obs.Collector through Counters.
+	deltaEvals int64
+	fullEvals  int64
+	accepts    int64
+	improves   int64
 }
 
 // NewChain builds a chain over the evaluator with its own RNG stream. The
@@ -152,12 +161,14 @@ func NewChain(cfg Config, eval core.Evaluator, rng *xrand.XORWOW) *Chain {
 		c.curCost = eval.Cost(c.cur)
 	}
 	c.evals++
+	c.fullEvals++
 	copy(c.best, c.cur)
 	c.bestCost = c.curCost
 	c.temp = cfg.T0
 	if c.temp <= 0 {
 		c.temp = core.InitialTemperature(eval, rng, cfg.TempSamples)
 		c.evals += int64(cfg.TempSamples)
+		c.fullEvals += int64(cfg.TempSamples)
 	}
 	if cfg.Schedule != Exponential {
 		c.cooler = NewCooler(cfg.Schedule, c.temp, cfg.Cooling, cfg.Iterations, cfg.ReheatPeriod, cfg.ReheatFactor)
@@ -191,6 +202,17 @@ func (c *Chain) Temperature() float64 { return c.temp }
 // Evaluations returns the number of fitness evaluations performed,
 // including the T0 estimation samples.
 func (c *Chain) Evaluations() int64 { return c.evals }
+
+// Counters returns the chain's observability tallies; with it Chain
+// satisfies obs.CounterSource.
+func (c *Chain) Counters() obs.ChainCounters {
+	return obs.ChainCounters{
+		DeltaEvaluations: c.deltaEvals,
+		FullEvaluations:  c.fullEvals,
+		Acceptances:      c.accepts,
+		Improvements:     c.improves,
+	}
+}
 
 // Neighbour writes a perturbed copy of the current sequence into the
 // chain's candidate buffer and returns it (borrowed). For the default
@@ -278,8 +300,10 @@ func (c *Chain) Step() int64 {
 	var candCost int64
 	if c.delta != nil {
 		candCost = c.delta.Propose(cand, c.touched)
+		c.deltaEvals++
 	} else {
 		candCost = c.eval.Cost(cand)
+		c.fullEvals++
 	}
 	c.evals++
 	if c.accept(candCost) {
@@ -288,9 +312,11 @@ func (c *Chain) Step() int64 {
 		}
 		c.cur, c.cand = c.cand, c.cur
 		c.curCost = candCost
+		c.accepts++
 		if candCost < c.bestCost {
 			copy(c.best, c.cur)
 			c.bestCost = candCost
+			c.improves++
 		}
 	}
 	c.iter++

@@ -1,0 +1,67 @@
+package duedate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file gives Algorithm and Engine their textual round trip:
+// ParseAlgorithm/ParseEngine invert String(), and the pointer receivers
+// implement flag.Value (String is promoted from the value receiver), so
+// the CLIs bind flags straight to the enums —
+//
+//	algo := duedate.SA
+//	flag.Var(&algo, "algo", "metaheuristic: SA, DPSO, TA or ES")
+//
+// — instead of hand-rolling per-command switch statements.
+
+// ParseAlgorithm maps a name to its Algorithm, inverting String():
+// "SA", "DPSO", "TA" or "ES", case-insensitively.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "SA":
+		return SA, nil
+	case "DPSO":
+		return DPSO, nil
+	case "TA":
+		return TA, nil
+	case "ES":
+		return ES, nil
+	}
+	return 0, fmt.Errorf("duedate: %w: unknown algorithm %q (want SA, DPSO, TA or ES)", ErrInvalidOptions, s)
+}
+
+// ParseEngine maps a name to its Engine, inverting String(): "gpu",
+// "cpu-parallel" or "cpu-serial", case-insensitively, plus the CLI
+// shorthands "cpu" (cpu-parallel) and "serial" (cpu-serial).
+func ParseEngine(s string) (Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "gpu":
+		return EngineGPU, nil
+	case "cpu-parallel", "cpu":
+		return EngineCPUParallel, nil
+	case "cpu-serial", "serial":
+		return EngineCPUSerial, nil
+	}
+	return 0, fmt.Errorf("duedate: %w: unknown engine %q (want gpu, cpu-parallel or cpu-serial)", ErrInvalidOptions, s)
+}
+
+// Set implements flag.Value.
+func (a *Algorithm) Set(s string) error {
+	v, err := ParseAlgorithm(s)
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
+}
+
+// Set implements flag.Value.
+func (e *Engine) Set(s string) error {
+	v, err := ParseEngine(s)
+	if err != nil {
+		return err
+	}
+	*e = v
+	return nil
+}

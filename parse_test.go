@@ -1,0 +1,170 @@
+package duedate_test
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	duedate "repro"
+)
+
+// Algorithm and Engine must satisfy flag.Value (Set on the pointer,
+// String promoted from the value receiver), so CLIs bind flags straight
+// to the enums.
+var (
+	_ flag.Value = (*duedate.Algorithm)(nil)
+	_ flag.Value = (*duedate.Engine)(nil)
+)
+
+// allAlgorithms and allEngines enumerate every declared value for the
+// round-trip property tests.
+var allAlgorithms = []duedate.Algorithm{duedate.SA, duedate.DPSO, duedate.TA, duedate.ES}
+var allEngines = []duedate.Engine{duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial}
+
+// TestParseRoundTripsString: Parse∘String must be the identity for every
+// declared value, case-insensitively and with surrounding whitespace.
+func TestParseRoundTripsString(t *testing.T) {
+	for _, a := range allAlgorithms {
+		for _, form := range []string{a.String(), strings.ToLower(a.String()), " " + a.String() + " "} {
+			got, err := duedate.ParseAlgorithm(form)
+			if err != nil {
+				t.Errorf("ParseAlgorithm(%q): %v", form, err)
+				continue
+			}
+			if got != a {
+				t.Errorf("ParseAlgorithm(%q) = %v, want %v", form, got, a)
+			}
+		}
+	}
+	for _, e := range allEngines {
+		for _, form := range []string{e.String(), strings.ToUpper(e.String()), " " + e.String() + "\t"} {
+			got, err := duedate.ParseEngine(form)
+			if err != nil {
+				t.Errorf("ParseEngine(%q): %v", form, err)
+				continue
+			}
+			if got != e {
+				t.Errorf("ParseEngine(%q) = %v, want %v", form, got, e)
+			}
+		}
+	}
+}
+
+// TestParseEngineShorthands: the CLI aliases map onto the canonical
+// engines.
+func TestParseEngineShorthands(t *testing.T) {
+	cases := map[string]duedate.Engine{
+		"cpu":    duedate.EngineCPUParallel,
+		"serial": duedate.EngineCPUSerial,
+	}
+	for alias, want := range cases {
+		got, err := duedate.ParseEngine(alias)
+		if err != nil {
+			t.Fatalf("ParseEngine(%q): %v", alias, err)
+		}
+		if got != want {
+			t.Errorf("ParseEngine(%q) = %v, want %v", alias, got, want)
+		}
+	}
+}
+
+// TestParseErrorsWrapInvalidOptions: unknown names must report
+// ErrInvalidOptions so flag-parsing failures and option validation share
+// one errors.Is branch.
+func TestParseErrorsWrapInvalidOptions(t *testing.T) {
+	if _, err := duedate.ParseAlgorithm("annealing"); !errors.Is(err, duedate.ErrInvalidOptions) {
+		t.Errorf("ParseAlgorithm error = %v, want ErrInvalidOptions", err)
+	}
+	if _, err := duedate.ParseEngine("tpu"); !errors.Is(err, duedate.ErrInvalidOptions) {
+		t.Errorf("ParseEngine error = %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestFlagValueSet: Set stores parsed values and surfaces parse errors,
+// exactly as the flag package will drive it.
+func TestFlagValueSet(t *testing.T) {
+	algo := duedate.SA
+	if err := algo.Set("dpso"); err != nil || algo != duedate.DPSO {
+		t.Errorf("Set(\"dpso\") → %v, %v", algo, err)
+	}
+	if err := algo.Set("nope"); err == nil {
+		t.Error("Set accepted an unknown algorithm")
+	} else if algo != duedate.DPSO {
+		t.Error("failed Set clobbered the previous value")
+	}
+	engine := duedate.EngineGPU
+	if err := engine.Set("serial"); err != nil || engine != duedate.EngineCPUSerial {
+		t.Errorf("Set(\"serial\") → %v, %v", engine, err)
+	}
+
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	a, e := duedate.SA, duedate.EngineGPU
+	fs.Var(&a, "algo", "")
+	fs.Var(&e, "engine", "")
+	if err := fs.Parse([]string{"-algo", "ta", "-engine", "cpu"}); err != nil {
+		t.Fatal(err)
+	}
+	if a != duedate.TA || e != duedate.EngineCPUParallel {
+		t.Errorf("flag parse produced %v/%v", a, e)
+	}
+}
+
+// TestPairingsEnumeratesRegistry: the built-in drivers register SA and
+// DPSO on all three engines and TA/ES on the two CPU engines, sorted by
+// algorithm then engine; every pairing's names round-trip through parse.
+func TestPairingsEnumeratesRegistry(t *testing.T) {
+	ps := duedate.Pairings()
+	if len(ps) != 10 {
+		t.Fatalf("Pairings() returned %d combos, want 10: %v", len(ps), ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		prev, cur := ps[i-1], ps[i]
+		if cur.Algorithm < prev.Algorithm ||
+			(cur.Algorithm == prev.Algorithm && cur.Engine <= prev.Engine) {
+			t.Fatalf("Pairings() not sorted at %d: %v after %v", i, cur, prev)
+		}
+	}
+	want := map[duedate.Algorithm][]duedate.Engine{
+		duedate.SA:   {duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial},
+		duedate.DPSO: {duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial},
+		duedate.TA:   {duedate.EngineCPUParallel, duedate.EngineCPUSerial},
+		duedate.ES:   {duedate.EngineCPUParallel, duedate.EngineCPUSerial},
+	}
+	have := map[duedate.Algorithm]map[duedate.Engine]bool{}
+	for _, p := range ps {
+		if have[p.Algorithm] == nil {
+			have[p.Algorithm] = map[duedate.Engine]bool{}
+		}
+		have[p.Algorithm][p.Engine] = true
+		if a, err := duedate.ParseAlgorithm(p.Algorithm.String()); err != nil || a != p.Algorithm {
+			t.Errorf("pairing algorithm %v does not round-trip (%v, %v)", p.Algorithm, a, err)
+		}
+		if e, err := duedate.ParseEngine(p.Engine.String()); err != nil || e != p.Engine {
+			t.Errorf("pairing engine %v does not round-trip (%v, %v)", p.Engine, e, err)
+		}
+	}
+	for algo, engines := range want {
+		for _, e := range engines {
+			if !have[algo][e] {
+				t.Errorf("registry missing %v on %v", algo, e)
+			}
+		}
+	}
+}
+
+// TestUnsupportedPairingErrorListsEngines: the rejection must carry the
+// sentinel and name the engines that do work, so the CLI message is
+// actionable.
+func TestUnsupportedPairingErrorListsEngines(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	_, err := duedate.Solve(in, duedate.Options{Algorithm: duedate.TA, Engine: duedate.EngineGPU})
+	if !errors.Is(err, duedate.ErrUnsupportedPairing) {
+		t.Fatalf("error = %v, want ErrUnsupportedPairing", err)
+	}
+	for _, name := range []string{"cpu-parallel", "cpu-serial"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("message %q does not list registered engine %s", err, name)
+		}
+	}
+}

@@ -2,13 +2,32 @@ package duedate
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/cdd"
 	"repro/internal/core"
 	"repro/internal/problem"
 	"repro/internal/ucddcp"
+)
+
+// Sentinel errors of the facade. Every error returned by SolveContext,
+// Solve and OptimizeSequence that stems from caller input wraps one of
+// these, so callers branch with errors.Is instead of string matching.
+var (
+	// ErrUnsupportedPairing reports an algorithm×engine combination with
+	// no registered driver (e.g. TA or ES on the GPU engine). The
+	// message lists the engines registered for the algorithm.
+	ErrUnsupportedPairing = errors.New("unsupported algorithm/engine pairing")
+	// ErrInvalidOptions reports Options that fail validation (negative
+	// geometry or worker counts, unparseable algorithm/engine names).
+	ErrInvalidOptions = errors.New("invalid options")
+	// ErrInvalidSequence reports a sequence that is not a permutation of
+	// the instance's job indices.
+	ErrInvalidSequence = errors.New("invalid sequence")
 )
 
 // Algorithm selects the sequence-layer metaheuristic.
@@ -109,17 +128,22 @@ type Options struct {
 	// Progress, when non-nil, receives best-so-far snapshots during the
 	// solve (see core.ProgressFunc for the emission contract).
 	Progress ProgressFunc
+	// Metrics selects the instrumentation level (default MetricsOff —
+	// Result.Metrics stays nil and the engines skip all collection).
+	// MetricsCounters adds the per-chain counters and ensemble
+	// aggregates; MetricsKernels additionally times every phase/kernel.
+	Metrics MetricsLevel
 }
 
 func (o Options) normalized() (Options, error) {
 	if o.Grid < 0 {
-		return o, fmt.Errorf("duedate: negative Grid %d (zero selects the default)", o.Grid)
+		return o, fmt.Errorf("duedate: %w: negative Grid %d (zero selects the default)", ErrInvalidOptions, o.Grid)
 	}
 	if o.Block < 0 {
-		return o, fmt.Errorf("duedate: negative Block %d (zero selects the default)", o.Block)
+		return o, fmt.Errorf("duedate: %w: negative Block %d (zero selects the default)", ErrInvalidOptions, o.Block)
 	}
 	if o.Workers < 0 {
-		return o, fmt.Errorf("duedate: negative Workers %d (zero selects GOMAXPROCS)", o.Workers)
+		return o, fmt.Errorf("duedate: %w: negative Workers %d (zero selects GOMAXPROCS)", ErrInvalidOptions, o.Workers)
 	}
 	if o.Grid == 0 {
 		o.Grid = 4
@@ -181,9 +205,48 @@ func SolveContext(ctx context.Context, in *Instance, opts Options) (Result, erro
 	}
 	d, ok := registry[driverKey{opts.Algorithm, opts.Engine}]
 	if !ok {
-		return Result{}, fmt.Errorf("duedate: %v is not supported on the %v engine", opts.Algorithm, opts.Engine)
+		return Result{}, fmt.Errorf("duedate: %w: %v is not supported on the %v engine (registered engines for %v: %s)",
+			ErrUnsupportedPairing, opts.Algorithm, opts.Engine, opts.Algorithm, registeredEngines(opts.Algorithm))
 	}
 	return d(opts).Solve(ctx, in)
+}
+
+// registeredEngines renders the engines registered for an algorithm,
+// sorted, for the ErrUnsupportedPairing message.
+func registeredEngines(a Algorithm) string {
+	var names []string
+	for _, p := range Pairings() {
+		if p.Algorithm == a {
+			names = append(names, p.Engine.String())
+		}
+	}
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ", ")
+}
+
+// Pairing is one registered algorithm×engine combination.
+type Pairing struct {
+	Algorithm Algorithm
+	Engine    Engine
+}
+
+// Pairings returns every registered algorithm×engine combination, sorted
+// by algorithm then engine — the supported-combo enumeration for tests
+// and CLIs, replacing hardcoded lists.
+func Pairings() []Pairing {
+	out := make([]Pairing, 0, len(registry))
+	for k := range registry {
+		out = append(out, Pairing{k.Algorithm, k.Engine})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Algorithm != out[j].Algorithm {
+			return out[i].Algorithm < out[j].Algorithm
+		}
+		return out[i].Engine < out[j].Engine
+	})
+	return out
 }
 
 // Solve is SolveContext with a background context, for callers that need
@@ -201,7 +264,7 @@ func OptimizeSequence(in *Instance, seq []int) (Schedule, int64, error) {
 		return Schedule{}, 0, err
 	}
 	if len(seq) != in.N() || !problem.IsPermutation(seq) {
-		return Schedule{}, 0, fmt.Errorf("duedate: seq must be a permutation of 0..%d", in.N()-1)
+		return Schedule{}, 0, fmt.Errorf("duedate: %w: seq must be a permutation of 0..%d", ErrInvalidSequence, in.N()-1)
 	}
 	if in.Kind == problem.UCDDCP {
 		r := ucddcp.OptimizeSequence(in, seq)
