@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hotpath experiments examples clean
+.PHONY: all build vet test race cover bench bench-hotpath experiments examples clean verify-diff fuzz
 
 all: build vet test
 
@@ -31,6 +31,20 @@ bench-hotpath:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluator(CDD|CDDDelta|UCDDCP)' -benchmem -benchtime 1s . \
 		| $(GO) run ./cmd/benchjson -out BENCH_evaluator.json
 
+# Cross-engine differential verification: every generator family through
+# the evaluator-agreement chain, the exact oracles, the metamorphic
+# properties and all registered drivers. Exits nonzero on any discrepancy.
+verify-diff:
+	$(GO) run ./cmd/verify -trials 200 -out verify-report.json
+
+# Run each native fuzz target briefly (go test runs one target at a time).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzCDDDeltaVsFull$$' -fuzztime $(FUZZTIME) ./internal/cdd
+	$(GO) test -run '^$$' -fuzz '^FuzzUCDDCPDeltaVsFull$$' -fuzztime $(FUZZTIME) ./internal/ucddcp
+	$(GO) test -run '^$$' -fuzz '^FuzzParseInstance$$' -fuzztime $(FUZZTIME) ./internal/problem
+	$(GO) test -run '^$$' -fuzz '^FuzzSolveFacade$$' -fuzztime $(FUZZTIME) .
+
 # Regenerate the paper's tables and figures (scaled preset, ~minutes).
 experiments:
 	$(GO) run ./cmd/experiments -exp all -preset scaled -out results/
@@ -43,4 +57,4 @@ examples:
 	$(GO) run ./examples/orlib_cdd
 
 clean:
-	rm -rf results/ test_output.txt bench_output.txt
+	rm -rf results/ test_output.txt bench_output.txt verify-report.json

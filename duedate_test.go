@@ -354,3 +354,76 @@ func TestBaselinesHonorParallelEngine(t *testing.T) {
 		}
 	}
 }
+
+// TestSolveContextOptionValidation is the table-driven contract test of
+// the facade's option gate: every invalid Options value must be rejected
+// by SolveContext itself — before any engine runs — with an error that
+// satisfies errors.Is(err, ErrInvalidOptions), across every algorithm.
+func TestSolveContextOptionValidation(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	cases := []struct {
+		name string
+		opts duedate.Options
+	}{
+		{"negative-grid", duedate.Options{Grid: -1}},
+		{"negative-block", duedate.Options{Block: -192}},
+		{"negative-workers", duedate.Options{Engine: duedate.EngineCPUSerial, Workers: -1}},
+		{"negative-grid-cpu", duedate.Options{Engine: duedate.EngineCPUParallel, Grid: -4}},
+		{"all-negative", duedate.Options{Grid: -1, Block: -1, Workers: -1}},
+	}
+	for _, tc := range cases {
+		for _, algo := range []duedate.Algorithm{duedate.SA, duedate.DPSO, duedate.TA, duedate.ES} {
+			o := tc.opts
+			o.Algorithm = algo
+			_, err := duedate.SolveContext(context.Background(), in, o)
+			if !errors.Is(err, duedate.ErrInvalidOptions) {
+				t.Errorf("%s/%v: err = %v, want ErrInvalidOptions", tc.name, algo, err)
+			}
+			// Option validation must precede pairing dispatch: a bad
+			// option on an unregistered pairing still reports the option.
+			if errors.Is(err, duedate.ErrUnsupportedPairing) {
+				t.Errorf("%s/%v: pairing error before option validation", tc.name, algo)
+			}
+		}
+	}
+}
+
+// TestSolveContextSeedZeroSentinel: the Seed-0 "unset" sentinel must be
+// rewritten to 1 on the SolveContext path too, for every engine class —
+// bit-identical runs, not merely equal costs.
+func TestSolveContextSeedZeroSentinel(t *testing.T) {
+	in := duedate.PaperExample(duedate.CDD)
+	engines := []duedate.Engine{duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial}
+	for _, eng := range engines {
+		base := duedate.Options{Engine: eng, Iterations: 40, Grid: 1, Block: 4, TempSamples: 20}
+		zero := base
+		zero.Seed = 0
+		one := base
+		one.Seed = 1
+		a, err := duedate.SolveContext(context.Background(), in, zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := duedate.SolveContext(context.Background(), in, one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.BestCost != b.BestCost || a.Evaluations != b.Evaluations ||
+			!equalSeq(a.BestSeq, b.BestSeq) {
+			t.Errorf("%v: seed 0 run (cost %d, evals %d, seq %v) differs from seed 1 (cost %d, evals %d, seq %v)",
+				eng, a.BestCost, a.Evaluations, a.BestSeq, b.BestCost, b.Evaluations, b.BestSeq)
+		}
+	}
+}
+
+func equalSeq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+package duedate_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	duedate "repro"
+	"repro/internal/problem"
+)
+
+// facadeInstanceFromBytes decodes a fuzzer payload into a small valid
+// instance of either kind (three bytes per job; UCDDCP adds m and γ from
+// the same bytes, folded into range). Returns nil when too short.
+func facadeInstanceFromBytes(data []byte, dRaw, kindRaw uint64) *problem.Instance {
+	n := len(data) / 3
+	if n < 1 {
+		return nil
+	}
+	if n > 8 {
+		n = 8
+	}
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum uint64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + int(data[3*i]%20)
+		alpha[i] = int(data[3*i+1] % 11)
+		beta[i] = int(data[3*i+2] % 16)
+		sum += uint64(p[i])
+	}
+	if kindRaw%2 == 1 {
+		m := make([]int, n)
+		gamma := make([]int, n)
+		for i := 0; i < n; i++ {
+			m[i] = 1 + int(data[3*i+1])%p[i]
+			gamma[i] = int(data[3*i+2] % 11)
+		}
+		in, err := problem.NewUCDDCP("fuzz", p, m, alpha, beta, gamma, int64(sum+dRaw%(sum+1)))
+		if err != nil {
+			panic(err) // valid by construction
+		}
+		return in
+	}
+	in, err := problem.NewCDD("fuzz", p, alpha, beta, int64(dRaw%(2*sum+2)))
+	if err != nil {
+		panic(err) // valid by construction
+	}
+	return in
+}
+
+// FuzzSolveFacade runs fuzzer-chosen instances through SolveContext with
+// fuzzer-chosen algorithm×engine selections and tiny budgets. The facade
+// contract under test: unregistered pairings fail with
+// ErrUnsupportedPairing (never a panic), and every successful solve
+// returns a valid permutation whose re-evaluated cost matches BestCost.
+func FuzzSolveFacade(f *testing.F) {
+	f.Add([]byte{6, 7, 9, 5, 9, 5, 2, 6, 4}, uint64(16), uint64(1), uint64(0), uint64(0))
+	f.Add([]byte{1, 0, 1, 20, 10, 0}, uint64(3), uint64(2), uint64(3), uint64(2))
+	f.Add([]byte{5, 5, 5, 5, 5, 5}, uint64(9), uint64(4), uint64(2), uint64(0))
+	f.Fuzz(func(t *testing.T, data []byte, dRaw, seed, algoRaw, engRaw uint64) {
+		kindRaw := dRaw >> 32
+		in := facadeInstanceFromBytes(data, dRaw, kindRaw)
+		if in == nil {
+			t.Skip("payload too short for one job")
+		}
+		opts := duedate.Options{
+			Algorithm:   duedate.Algorithm(algoRaw % 4),
+			Engine:      duedate.Engine(engRaw % 3),
+			Iterations:  4,
+			Grid:        1,
+			Block:       2,
+			TempSamples: 8,
+			Seed:        seed,
+			Persistent:  engRaw%5 == 0,
+		}
+		res, err := duedate.SolveContext(context.Background(), in, opts)
+		if err != nil {
+			if !errors.Is(err, duedate.ErrUnsupportedPairing) {
+				t.Fatalf("unexpected error class from SolveContext: %v", err)
+			}
+			return
+		}
+		if len(res.BestSeq) != in.N() || !problem.IsPermutation(res.BestSeq) {
+			t.Fatalf("best sequence %v is not a permutation of 0..%d", res.BestSeq, in.N()-1)
+		}
+		honest, err := duedate.Cost(in, res.BestSeq)
+		if err != nil {
+			t.Fatalf("re-evaluating the best sequence: %v", err)
+		}
+		if honest != res.BestCost {
+			t.Fatalf("reported cost %d, sequence re-evaluates to %d", res.BestCost, honest)
+		}
+	})
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/problem"
 	"repro/internal/sa"
 	"repro/internal/stats"
+	"repro/internal/verify"
 )
 
 // TestBenchmarkFileToSolverFlow drives the genbench → file → reader →
@@ -255,6 +256,33 @@ func TestSweepArchiveRegressionFlow(t *testing.T) {
 	for _, l := range lines {
 		if !bytes.Contains([]byte(l), []byte("+0.000")) {
 			t.Errorf("self-comparison shows drift: %s", l)
+		}
+	}
+}
+
+// TestDifferentialVerificationOverRegistry runs the cross-engine
+// verification subsystem over every registered pairing (enumerated from
+// duedate.Pairings() at run time, so a future engine is covered the
+// moment it self-registers). A small per-family trial count keeps the
+// test quick; `make verify-diff` runs the full sweep.
+func TestDifferentialVerificationOverRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep skipped in -short mode")
+	}
+	drivers := verify.RegisteredDrivers(verify.Budget{})
+	if want := len(duedate.Pairings()) + 1; len(drivers) != want { // +1: persistent SA/GPU
+		t.Fatalf("RegisteredDrivers returned %d drivers, want %d (registry out of sync)", len(drivers), want)
+	}
+	rep, err := verify.Run(context.Background(), verify.Config{Trials: 2, Seed: 42, MaxN: 7}, drivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Discrepancies {
+		t.Errorf("%s family=%s instance=%s driver=%s: %s", d.Check, d.Family, d.Instance, d.Driver, d.Detail)
+	}
+	for name, st := range rep.DriverStats {
+		if st.Runs == 0 {
+			t.Errorf("driver %s never ran", name)
 		}
 	}
 }

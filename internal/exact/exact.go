@@ -19,6 +19,7 @@
 package exact
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -26,6 +27,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/problem"
 )
+
+// ErrTooLarge is the typed size-guard error wrapped by Brute and SubsetCDD
+// when the instance exceeds the enumeration limit. Callers that fall back
+// to heuristics (or that must fail loudly instead of hanging on an n!
+// enumeration) test for it with errors.Is.
+var ErrTooLarge = errors.New("exact: instance too large for exhaustive enumeration")
 
 // Result is an exact optimum.
 type Result struct {
@@ -48,7 +55,7 @@ const MaxSubsetN = 22
 func Brute(in *problem.Instance) (Result, error) {
 	n := in.N()
 	if n > MaxBruteN {
-		return Result{}, fmt.Errorf("exact: n=%d exceeds brute-force limit %d", n, MaxBruteN)
+		return Result{}, fmt.Errorf("%w: n=%d exceeds brute-force limit %d", ErrTooLarge, n, MaxBruteN)
 	}
 	eval := core.NewEvaluator(in)
 	seq := problem.IdentitySequence(n)
@@ -79,7 +86,7 @@ func Brute(in *problem.Instance) (Result, error) {
 func SubsetCDD(in *problem.Instance) (Result, error) {
 	n := in.N()
 	if n > MaxSubsetN {
-		return Result{}, fmt.Errorf("exact: n=%d exceeds subset limit %d", n, MaxSubsetN)
+		return Result{}, fmt.Errorf("%w: n=%d exceeds subset limit %d", ErrTooLarge, n, MaxSubsetN)
 	}
 	if in.Kind != problem.CDD {
 		return Result{}, fmt.Errorf("exact: SubsetCDD requires a CDD instance, got %v", in.Kind)

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -182,5 +183,28 @@ func TestSAReachesExactOptimum(t *testing.T) {
 		if res.BestCost != opt.Cost {
 			t.Errorf("trial %d: SA %d missed the exact optimum %d on n=8", trial, res.BestCost, opt.Cost)
 		}
+	}
+}
+
+// TestErrTooLargeSentinel: the size guards must wrap the typed sentinel
+// (so differential harnesses fail loudly with errors.Is instead of
+// hanging on an n! enumeration), while the domain rejections — wrong kind,
+// restrictive due date — must NOT claim the instance was too large.
+func TestErrTooLargeSentinel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	if _, err := Brute(randomUnrestrictedCDD(rng, MaxBruteN+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Brute oversize: got %v, want ErrTooLarge", err)
+	}
+	if _, err := SubsetCDD(randomUnrestrictedCDD(rng, MaxSubsetN+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("SubsetCDD oversize: got %v, want ErrTooLarge", err)
+	}
+	if _, err := SubsetCDD(randomRestrictiveCDD(rng, 6)); errors.Is(err, ErrTooLarge) {
+		t.Errorf("restrictive rejection mislabeled as ErrTooLarge: %v", err)
+	}
+	if _, err := SubsetCDD(problem.PaperExample(problem.UCDDCP)); errors.Is(err, ErrTooLarge) {
+		t.Errorf("kind rejection mislabeled as ErrTooLarge: %v", err)
+	}
+	if _, err := Brute(randomUnrestrictedCDD(rng, MaxBruteN)); err != nil {
+		t.Errorf("Brute at the limit must still run: %v", err)
 	}
 }

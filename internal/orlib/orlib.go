@@ -183,6 +183,11 @@ func WriteCDD(w io.Writer, raws []*Raw) error {
 	return bw.Flush()
 }
 
+// MaxRecords bounds the record count the readers accept. The largest
+// genuine OR-library file holds 10 records; a corrupt or hostile header
+// must fail fast instead of driving a multi-gigabyte allocation.
+const MaxRecords = 1 << 20
+
 // ReadCDD parses the OR-library sch format; n is the per-record job count
 // (implied by the original file name, e.g. 10 for sch10).
 func ReadCDD(r io.Reader, n int) ([]*Raw, error) {
@@ -191,8 +196,8 @@ func ReadCDD(r io.Reader, n int) ([]*Raw, error) {
 	if _, err := fmt.Fscan(br, &k); err != nil {
 		return nil, fmt.Errorf("orlib: reading record count: %w", err)
 	}
-	if k < 0 {
-		return nil, fmt.Errorf("orlib: negative record count %d", k)
+	if k < 0 || k > MaxRecords {
+		return nil, fmt.Errorf("orlib: record count %d outside [0,%d]", k, MaxRecords)
 	}
 	raws := make([]*Raw, k)
 	for i := 0; i < k; i++ {
@@ -230,8 +235,8 @@ func ReadUCDDCP(r io.Reader, n int) ([]*Raw, error) {
 	if _, err := fmt.Fscan(br, &k); err != nil {
 		return nil, fmt.Errorf("orlib: reading record count: %w", err)
 	}
-	if k < 0 {
-		return nil, fmt.Errorf("orlib: negative record count %d", k)
+	if k < 0 || k > MaxRecords {
+		return nil, fmt.Errorf("orlib: record count %d outside [0,%d]", k, MaxRecords)
 	}
 	raws := make([]*Raw, k)
 	for i := 0; i < k; i++ {

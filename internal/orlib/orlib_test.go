@@ -210,3 +210,40 @@ func maxI(a, b int) int {
 	}
 	return b
 }
+
+// TestReadErrorPathsTable sweeps malformed file contents through both
+// readers: every case must return an error (never panic, never allocate
+// unboundedly) and never a partial result.
+func TestReadErrorPathsTable(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"whitespace-only", "   \n\t\n"},
+		{"non-numeric-count", "abc\n"},
+		{"negative-count", "-3\n1 1 1\n"},
+		{"huge-count", "1000000000\n1 1 1\n"},
+		{"count-overflow", "99999999999999999999999\n"},
+		{"nan-field", "1\nNaN 2 3\n"},
+		{"float-field", "1\n1.5 2 3\n"},
+		{"truncated-row", "1\n1 2\n"},
+		{"missing-record", "2\n1 2 3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if raws, err := ReadCDD(strings.NewReader(tc.input), 1); err == nil {
+				t.Errorf("ReadCDD accepted %q: %v", tc.input, raws)
+			}
+			if raws, err := ReadUCDDCP(strings.NewReader(tc.input), 1); err == nil {
+				t.Errorf("ReadUCDDCP accepted %q: %v", tc.input, raws)
+			}
+		})
+	}
+	// Sanity: the guard must not reject genuine files.
+	if _, err := ReadCDD(strings.NewReader("1\n5 2 3\n"), 1); err != nil {
+		t.Errorf("minimal valid CDD file rejected: %v", err)
+	}
+	if _, err := ReadUCDDCP(strings.NewReader("1\n5 3 2 3 4\n"), 1); err != nil {
+		t.Errorf("minimal valid UCDDCP file rejected: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package problem_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/orlib"
+	"repro/internal/problem"
+)
+
+// FuzzParseInstance throws arbitrary bytes at every instance parser in the
+// repository — the JSON interchange reader and the two OR-library text
+// readers — and asserts the parser contract: never panic, never hang,
+// never allocate unboundedly, and when a parse succeeds the result must
+// pass Validate and survive a write/re-read round trip unchanged.
+func FuzzParseInstance(f *testing.F) {
+	// A valid JSON instance, a valid sch-format record, a valid
+	// controllable record, and adversarial headers.
+	f.Add([]byte(`{"name":"x","kind":"CDD","dueDate":16,"jobs":[{"p":6,"alpha":7,"beta":9}]}`), uint64(1))
+	f.Add([]byte(`{"name":"u","kind":"UCDDCP","dueDate":12,"jobs":[{"p":6,"m":5,"alpha":7,"beta":9,"gamma":5},{"p":5,"m":4,"alpha":9,"beta":5,"gamma":4}]}`), uint64(1))
+	f.Add([]byte("1\n6 7 9\n5 9 5\n"), uint64(2))
+	f.Add([]byte("1\n6 5 7 9 5\n5 5 9 5 4\n"), uint64(2))
+	f.Add([]byte("999999999999999999\n1 1 1\n"), uint64(3))
+	f.Add([]byte("-5\n"), uint64(1))
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint64) {
+		if in, err := problem.ReadInstanceJSON(bytes.NewReader(data)); err == nil {
+			if verr := in.Validate(); verr != nil {
+				t.Fatalf("ReadInstanceJSON accepted an invalid instance: %v", verr)
+			}
+			var buf bytes.Buffer
+			if werr := problem.WriteInstanceJSON(&buf, in); werr != nil {
+				t.Fatalf("cannot re-serialize a parsed instance: %v", werr)
+			}
+			back, rerr := problem.ReadInstanceJSON(&buf)
+			if rerr != nil {
+				t.Fatalf("round trip failed to parse: %v", rerr)
+			}
+			if !reflect.DeepEqual(in, back) {
+				t.Fatalf("round trip changed the instance:\n%+v\nvs\n%+v", in, back)
+			}
+		}
+
+		n := 1 + int(nRaw%16)
+		if raws, err := orlib.ReadCDD(bytes.NewReader(data), n); err == nil {
+			for k, raw := range raws {
+				if in, ierr := orlib.CDDInstance(raw, n, k, 0.6); ierr == nil {
+					if verr := in.Validate(); verr != nil {
+						t.Fatalf("CDDInstance built an invalid instance: %v", verr)
+					}
+				}
+			}
+		}
+		if raws, err := orlib.ReadUCDDCP(bytes.NewReader(data), n); err == nil {
+			for k, raw := range raws {
+				if in, ierr := orlib.UCDDCPInstance(raw, n, k); ierr == nil {
+					if verr := in.Validate(); verr != nil {
+						t.Fatalf("UCDDCPInstance built an invalid instance: %v", verr)
+					}
+				}
+			}
+		}
+	})
+}

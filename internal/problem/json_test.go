@@ -111,3 +111,34 @@ func TestScheduleJSONRejectsInfeasible(t *testing.T) {
 		t.Error("non-permutation schedule parsed")
 	}
 }
+
+// TestInstanceJSONRejectsMalformed sweeps invalid documents through the
+// reader: every case must fail with an error — the parser validates on
+// load, so no invalid instance can enter the system through JSON.
+func TestInstanceJSONRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"not-json", "due date: 16"},
+		{"nan-due-date", `{"kind":"CDD","dueDate":NaN,"jobs":[{"p":1,"alpha":1,"beta":1}]}`},
+		{"string-due-date", `{"kind":"CDD","dueDate":"16","jobs":[{"p":1,"alpha":1,"beta":1}]}`},
+		{"negative-due-date", `{"kind":"CDD","dueDate":-1,"jobs":[{"p":1,"alpha":1,"beta":1}]}`},
+		{"unknown-kind", `{"kind":"cdd","dueDate":16,"jobs":[{"p":1,"alpha":1,"beta":1}]}`},
+		{"no-jobs", `{"kind":"CDD","dueDate":16,"jobs":[]}`},
+		{"zero-p", `{"kind":"CDD","dueDate":16,"jobs":[{"p":0,"alpha":1,"beta":1}]}`},
+		{"negative-p", `{"kind":"CDD","dueDate":16,"jobs":[{"p":-4,"alpha":1,"beta":1}]}`},
+		{"negative-alpha", `{"kind":"CDD","dueDate":16,"jobs":[{"p":1,"alpha":-1,"beta":1}]}`},
+		{"negative-beta", `{"kind":"CDD","dueDate":16,"jobs":[{"p":1,"alpha":1,"beta":-1}]}`},
+		{"m-exceeds-p", `{"kind":"UCDDCP","dueDate":16,"jobs":[{"p":2,"m":3,"alpha":1,"beta":1,"gamma":1}]}`},
+		{"negative-gamma", `{"kind":"UCDDCP","dueDate":16,"jobs":[{"p":2,"m":1,"alpha":1,"beta":1,"gamma":-1}]}`},
+		{"ucddcp-restrictive", `{"kind":"UCDDCP","dueDate":1,"jobs":[{"p":5,"m":3,"alpha":1,"beta":1,"gamma":1}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if in, err := ReadInstanceJSON(strings.NewReader(tc.input)); err == nil {
+				t.Errorf("accepted %q as %+v", tc.input, in)
+			}
+		})
+	}
+}

@@ -1,0 +1,284 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/problem"
+	"repro/internal/xrand"
+)
+
+// This file holds the seedable instance-generator families of the
+// differential-testing subsystem. Each family targets a region of the
+// input space where the O(n) linear algorithms (and the engines built on
+// them) have historically distinct code paths: the uniform OR-library
+// regime, the degenerate zero-penalty landscapes, equal processing times
+// (maximal breakpoint ties), the d = 0 and d = ΣP boundaries of the
+// restrictive condition, maximal compression capacity, single-job
+// instances, and an exhaustive small-size ladder for the exact oracles.
+//
+// Generators are pure functions of (rng, trial): the same Config.Seed
+// replays the same instance stream, so any discrepancy report is
+// reproducible from its family name and trial index alone.
+
+// Family is one named instance generator.
+type Family struct {
+	// Name identifies the family in reports and CLI filters.
+	Name string
+	// Gen produces the trial-th instance of the family. maxN bounds the
+	// job count (families with an intrinsic size, e.g. single-job, ignore
+	// it). The returned instance must pass problem.Validate.
+	Gen func(rng *xrand.XORWOW, trial, maxN int) *problem.Instance
+}
+
+// Families returns every generator family, in reporting order.
+func Families() []Family {
+	return []Family{
+		{Name: "uniform-cdd", Gen: genUniformCDD},
+		{Name: "uniform-ucddcp", Gen: genUniformUCDDCP},
+		{Name: "zero-penalties", Gen: genZeroPenalties},
+		{Name: "equal-p", Gen: genEqualP},
+		{Name: "d-zero", Gen: genDZero},
+		{Name: "d-boundary", Gen: genDBoundary},
+		{Name: "max-compression", Gen: genMaxCompression},
+		{Name: "single-job", Gen: genSingleJob},
+		{Name: "exhaustive-sizes", Gen: genExhaustiveSizes},
+	}
+}
+
+// FamilyByName returns the named family or an error listing the valid
+// names.
+func FamilyByName(name string) (Family, error) {
+	var names []string
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, nil
+		}
+		names = append(names, f.Name)
+	}
+	return Family{}, fmt.Errorf("verify: unknown family %q (want one of %v)", name, names)
+}
+
+// size draws a job count in [2, maxN].
+func size(rng *xrand.XORWOW, maxN int) int {
+	if maxN < 2 {
+		maxN = 2
+	}
+	return 2 + rng.Intn(maxN-1)
+}
+
+// mustCDD wraps problem.NewCDD; generator parameters are valid by
+// construction, so a failure is a generator bug worth crashing on.
+func mustCDD(name string, p, alpha, beta []int, d int64) *problem.Instance {
+	in, err := problem.NewCDD(name, p, alpha, beta, d)
+	if err != nil {
+		panic(fmt.Sprintf("verify: generator built an invalid instance: %v", err))
+	}
+	return in
+}
+
+// mustUCDDCP wraps problem.NewUCDDCP under the same contract.
+func mustUCDDCP(name string, p, m, alpha, beta, gamma []int, d int64) *problem.Instance {
+	in, err := problem.NewUCDDCP(name, p, m, alpha, beta, gamma, d)
+	if err != nil {
+		panic(fmt.Sprintf("verify: generator built an invalid instance: %v", err))
+	}
+	return in
+}
+
+// genUniformCDD mirrors the OR-library distribution: p ~ U[1,20],
+// α ~ U[1,10], β ~ U[1,15], restrictive factor h ∈ {0.2, 0.4, 0.6, 0.8}.
+func genUniformCDD(rng *xrand.XORWOW, trial, maxN int) *problem.Instance {
+	n := size(rng, maxN)
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(20)
+		alpha[i] = 1 + rng.Intn(10)
+		beta[i] = 1 + rng.Intn(15)
+		sum += int64(p[i])
+	}
+	h := []float64{0.2, 0.4, 0.6, 0.8}[trial%4]
+	d := int64(h * float64(sum))
+	return mustCDD(fmt.Sprintf("uniform-cdd/t%d/n%d", trial, n), p, alpha, beta, d)
+}
+
+// genUniformUCDDCP draws controllable instances with a due date in the
+// unrestricted band [ΣP, 1.5·ΣP].
+func genUniformUCDDCP(rng *xrand.XORWOW, trial, maxN int) *problem.Instance {
+	n := size(rng, maxN)
+	p := make([]int, n)
+	m := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	gamma := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(20)
+		lo := (p[i] + 1) / 2
+		m[i] = lo + rng.Intn(p[i]-lo+1)
+		alpha[i] = 1 + rng.Intn(10)
+		beta[i] = 1 + rng.Intn(15)
+		gamma[i] = 1 + rng.Intn(10)
+		sum += int64(p[i])
+	}
+	d := sum + int64(rng.Intn(int(sum/2)+1))
+	return mustUCDDCP(fmt.Sprintf("uniform-ucddcp/t%d/n%d", trial, n), p, m, alpha, beta, gamma, d)
+}
+
+// genZeroPenalties zeroes the earliness weights, the tardiness weights, or
+// both (cycling by trial), exercising the degenerate landscapes where the
+// breakpoint walk must not anchor on an absent penalty gradient.
+func genZeroPenalties(rng *xrand.XORWOW, trial, maxN int) *problem.Instance {
+	n := size(rng, maxN)
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	mode := trial % 3
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(20)
+		sum += int64(p[i])
+		switch mode {
+		case 0: // zero α: only tardiness matters
+			alpha[i] = 0
+			beta[i] = 1 + rng.Intn(15)
+		case 1: // zero β: only earliness matters
+			alpha[i] = 1 + rng.Intn(10)
+			beta[i] = 0
+		default: // flat landscape: every sequence costs zero
+			alpha[i], beta[i] = 0, 0
+		}
+	}
+	d := int64(rng.Intn(int(sum) + 2))
+	return mustCDD(fmt.Sprintf("zero-penalties/t%d/m%d/n%d", trial, mode, n), p, alpha, beta, d)
+}
+
+// genEqualP gives every job the same processing time, so every breakpoint
+// of the piecewise-linear cost coincides with a completion-time tie.
+func genEqualP(rng *xrand.XORWOW, trial, maxN int) *problem.Instance {
+	n := size(rng, maxN)
+	pv := 1 + rng.Intn(10)
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	for i := 0; i < n; i++ {
+		p[i] = pv
+		alpha[i] = 1 + rng.Intn(10)
+		beta[i] = 1 + rng.Intn(15)
+	}
+	sum := int64(n * pv)
+	// Land d exactly on a completion-time multiple half the time.
+	var d int64
+	if trial%2 == 0 {
+		d = int64(pv) * int64(rng.Intn(n+1))
+	} else {
+		d = int64(rng.Intn(int(sum) + 1))
+	}
+	return mustCDD(fmt.Sprintf("equal-p/t%d/n%d", trial, n), p, alpha, beta, d)
+}
+
+// genDZero pins the due date to zero: every job is tardy from the first
+// instant, the most restrictive boundary the CDD algorithm accepts.
+func genDZero(rng *xrand.XORWOW, trial, maxN int) *problem.Instance {
+	n := size(rng, maxN)
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(20)
+		alpha[i] = 1 + rng.Intn(10)
+		beta[i] = 1 + rng.Intn(15)
+	}
+	return mustCDD(fmt.Sprintf("d-zero/t%d/n%d", trial, n), p, alpha, beta, 0)
+}
+
+// genDBoundary straddles the restrictive boundary d = ΣP: cycling through
+// d ∈ {ΣP−1, ΣP, ΣP+1}, the three cases where Restrictive() flips and the
+// unrestricted dominance properties begin to hold.
+func genDBoundary(rng *xrand.XORWOW, trial, maxN int) *problem.Instance {
+	n := size(rng, maxN)
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(20)
+		alpha[i] = 1 + rng.Intn(10)
+		beta[i] = 1 + rng.Intn(15)
+		sum += int64(p[i])
+	}
+	d := sum + int64(trial%3) - 1
+	if d < 0 {
+		d = 0
+	}
+	return mustCDD(fmt.Sprintf("d-boundary/t%d/n%d", trial, n), p, alpha, beta, d)
+}
+
+// genMaxCompression builds UCDDCP instances with M_i = 1 everywhere (the
+// maximal compression capacity P−M = P−1) and deliberately small γ, so the
+// all-or-nothing compression rule fires on most jobs.
+func genMaxCompression(rng *xrand.XORWOW, trial, maxN int) *problem.Instance {
+	n := size(rng, maxN)
+	p := make([]int, n)
+	m := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	gamma := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 2 + rng.Intn(19)
+		m[i] = 1
+		alpha[i] = 1 + rng.Intn(10)
+		beta[i] = 1 + rng.Intn(15)
+		gamma[i] = rng.Intn(4) // often cheaper than any penalty sum
+		sum += int64(p[i])
+	}
+	// Alternate the exact unrestricted boundary d = ΣP with a slack band.
+	d := sum
+	if trial%2 == 1 {
+		d = sum + int64(rng.Intn(int(sum)/2+1))
+	}
+	return mustUCDDCP(fmt.Sprintf("max-compression/t%d/n%d", trial, n), p, m, alpha, beta, gamma, d)
+}
+
+// genSingleJob emits n = 1 instances of both kinds, cycling the due date
+// through 0, P and 2P — the smallest inputs every engine must survive.
+func genSingleJob(rng *xrand.XORWOW, trial, _ int) *problem.Instance {
+	p := 1 + rng.Intn(20)
+	alpha := 1 + rng.Intn(10)
+	beta := 1 + rng.Intn(15)
+	switch trial % 4 {
+	case 0:
+		return mustCDD(fmt.Sprintf("single-job/t%d/cdd-d0", trial), []int{p}, []int{alpha}, []int{beta}, 0)
+	case 1:
+		return mustCDD(fmt.Sprintf("single-job/t%d/cdd-dp", trial), []int{p}, []int{alpha}, []int{beta}, int64(p))
+	case 2:
+		return mustCDD(fmt.Sprintf("single-job/t%d/cdd-d2p", trial), []int{p}, []int{alpha}, []int{beta}, int64(2*p))
+	default:
+		m := 1 + rng.Intn(p)
+		gamma := rng.Intn(10)
+		return mustUCDDCP(fmt.Sprintf("single-job/t%d/ucddcp", trial), []int{p}, []int{m}, []int{alpha}, []int{beta}, []int{gamma}, int64(p+rng.Intn(p+1)))
+	}
+}
+
+// genExhaustiveSizes ladders n through 1..12 (cycling by trial) on
+// unrestricted CDD data with strictly positive penalties, the exact domain
+// where both exact oracles (brute enumeration and the V-shape subset scan)
+// apply, so every size up to the oracle limits is hit deterministically.
+func genExhaustiveSizes(rng *xrand.XORWOW, trial, _ int) *problem.Instance {
+	n := 1 + trial%12
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(10)
+		alpha[i] = 1 + rng.Intn(10)
+		beta[i] = 1 + rng.Intn(10)
+		sum += int64(p[i])
+	}
+	d := sum + int64(rng.Intn(int(sum)+1))
+	return mustCDD(fmt.Sprintf("exhaustive-sizes/t%d/n%d", trial, n), p, alpha, beta, d)
+}

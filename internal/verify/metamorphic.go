@@ -1,0 +1,146 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/problem"
+	"repro/internal/xrand"
+)
+
+// Metamorphic properties: transformations of an instance with a provable
+// effect on the objective, checked against the actual evaluators. Unlike
+// the oracle chain these need no ground truth — the relation between the
+// original and the transformed evaluation is the oracle.
+//
+//   - relabel-invariance: renaming job ids (and mapping the sequence
+//     through the renaming) cannot change any sequence's cost.
+//   - penalty-scaling: multiplying every α, β, γ by k multiplies every
+//     sequence's optimal cost by exactly k (the timing/compression
+//     decision space is unchanged; the objective is linear in the
+//     penalty weights).
+//   - compression-monotone: allowing compression can only help — the
+//     UCDDCP optimum of a sequence is ≤ the CDD optimum of the same
+//     sequence with compression ignored; and a zero-capacity (M = P)
+//     controllable instance evaluates exactly like its CDD projection.
+//
+// The V-shape dominance property around d (every unrestricted CDD
+// instance has a V-shaped optimal sequence) is checked in the oracle
+// chain as brute == subset, where the subset oracle enumerates only
+// V-shaped candidates; idle-time freeness and the compression bounds
+// 0 ≤ X ≤ P−M are asserted on every materialized schedule by
+// scheduleCost in the sequence-agreement chain.
+
+// CheckMetamorphic runs every applicable metamorphic property on the
+// instance with sequences drawn from rng and returns the discrepancies.
+func CheckMetamorphic(in *problem.Instance, rng *xrand.XORWOW, samples int) []Discrepancy {
+	var ds []Discrepancy
+	n := in.N()
+	eval := core.NewEvaluator(in)
+	seq := problem.IdentitySequence(n)
+	for s := 0; s < samples; s++ {
+		shuffle(rng, seq)
+		base := eval.Cost(seq)
+		ds = append(ds, checkRelabel(in, rng, seq, base)...)
+		ds = append(ds, checkScaling(in, rng, seq, base)...)
+		if in.Kind == problem.UCDDCP {
+			ds = append(ds, checkCompressionMonotone(in, seq, base)...)
+		}
+	}
+	return ds
+}
+
+// shuffle is a Fisher–Yates permutation using the subsystem's rng.
+func shuffle(rng *xrand.XORWOW, seq []int) {
+	for i := len(seq) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		seq[i], seq[j] = seq[j], seq[i]
+	}
+}
+
+// checkRelabel renames job ids through a random permutation π (job i of
+// the original becomes job π(i) of the relabeled instance) and asserts
+// cost invariance of the mapped sequence.
+func checkRelabel(in *problem.Instance, rng *xrand.XORWOW, seq []int, base int64) []Discrepancy {
+	n := in.N()
+	pi := problem.IdentitySequence(n)
+	shuffle(rng, pi)
+	re := &problem.Instance{Name: in.Name + "/relabeled", Kind: in.Kind, D: in.D, Jobs: make([]problem.Job, n)}
+	for i, j := range in.Jobs {
+		re.Jobs[pi[i]] = j
+	}
+	mapped := make([]int, n)
+	for pos, job := range seq {
+		mapped[pos] = pi[job]
+	}
+	if got := core.NewEvaluator(re).Cost(mapped); got != base {
+		return []Discrepancy{{
+			Check: "relabel-invariance", Instance: in.Name,
+			Detail: fmt.Sprintf("relabeled cost %d != original %d (seq %v, π %v)", got, base, seq, pi),
+		}}
+	}
+	return nil
+}
+
+// checkScaling multiplies the penalty weights by k and asserts the cost
+// scales by exactly k.
+func checkScaling(in *problem.Instance, rng *xrand.XORWOW, seq []int, base int64) []Discrepancy {
+	k := 2 + rng.Intn(4) // k ∈ [2,5]; instance data is small, no overflow
+	sc := in.Clone()
+	sc.Name = fmt.Sprintf("%s/x%d", in.Name, k)
+	for i := range sc.Jobs {
+		sc.Jobs[i].Alpha *= k
+		sc.Jobs[i].Beta *= k
+		sc.Jobs[i].Gamma *= k
+	}
+	if got := core.NewEvaluator(sc).Cost(seq); got != int64(k)*base {
+		return []Discrepancy{{
+			Check: "penalty-scaling", Instance: in.Name,
+			Detail: fmt.Sprintf("×%d scaled cost %d != %d·%d (seq %v)", k, got, k, base, seq),
+		}}
+	}
+	return nil
+}
+
+// checkCompressionMonotone asserts that compression never hurts (UCDDCP
+// cost ≤ CDD cost of the uncompressed projection on the same sequence)
+// and that zero compression capacity collapses the controllable problem
+// onto plain CDD exactly.
+func checkCompressionMonotone(in *problem.Instance, seq []int, base int64) []Discrepancy {
+	n := in.N()
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	for i, j := range in.Jobs {
+		p[i], alpha[i], beta[i] = j.P, j.Alpha, j.Beta
+	}
+	proj, err := problem.NewCDD(in.Name+"/cdd-projection", p, alpha, beta, in.D)
+	if err != nil {
+		return []Discrepancy{{
+			Check: "compression-monotone", Instance: in.Name,
+			Detail: fmt.Sprintf("CDD projection rejected: %v", err),
+		}}
+	}
+	cddCost := core.NewEvaluator(proj).Cost(seq)
+	var ds []Discrepancy
+	if base > cddCost {
+		ds = append(ds, Discrepancy{
+			Check: "compression-monotone", Instance: in.Name,
+			Detail: fmt.Sprintf("UCDDCP cost %d > CDD cost %d of the uncompressed projection (seq %v)", base, cddCost, seq),
+		})
+	}
+	// Zero capacity: force M = P on a clone; the evaluation must equal the
+	// CDD projection bit for bit.
+	zc := in.Clone()
+	zc.Name = in.Name + "/zero-capacity"
+	for i := range zc.Jobs {
+		zc.Jobs[i].M = zc.Jobs[i].P
+	}
+	if got := core.NewEvaluator(zc).Cost(seq); got != cddCost {
+		ds = append(ds, Discrepancy{
+			Check: "compression-monotone", Instance: in.Name,
+			Detail: fmt.Sprintf("zero-capacity UCDDCP cost %d != CDD cost %d (seq %v)", got, cddCost, seq),
+		})
+	}
+	return ds
+}

@@ -1,0 +1,293 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cdd"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/lpref"
+	"repro/internal/problem"
+	"repro/internal/ucddcp"
+	"repro/internal/xrand"
+)
+
+// This file implements the two oracle layers of the subsystem:
+//
+//   - sequence-cost agreement: for a fixed sequence, every evaluator in
+//     the repository — the fused full passes, the cost-only pass, the
+//     host Evaluators, the incremental delta evaluators (both via Reset
+//     and via Propose), the materialized-schedule re-evaluation, and the
+//     per-sequence LP reference — must report the same exact cost;
+//
+//   - the exact chain: brute-force enumeration, the V-shape subset scan
+//     (where applicable) and every registered driver must order as
+//     brute == subset ≤ driver, with each driver's reported cost honest
+//     against re-evaluation of its returned sequence.
+
+// NamedCost is one sequence evaluator under differential test. Cost
+// returns the optimal objective of the sequence, or an error if the
+// evaluator cannot handle the instance (which is itself a discrepancy for
+// the standard evaluators — they are total over valid instances).
+type NamedCost struct {
+	Name string
+	Cost func(in *problem.Instance, seq []int) (int64, error)
+}
+
+// StandardEvaluators returns the evaluator chain for the instance's kind.
+// The first entry is the reference the others are compared against.
+func StandardEvaluators(in *problem.Instance) []NamedCost {
+	if in.Kind == problem.UCDDCP {
+		return ucddcpEvaluators()
+	}
+	return cddEvaluators()
+}
+
+func cddEvaluators() []NamedCost {
+	return []NamedCost{
+		{Name: "cdd.CostArrays", Cost: func(in *problem.Instance, seq []int) (int64, error) {
+			p, a, b := cdd.ParamArrays(in)
+			return cdd.CostArrays(seq, p, a, b, in.D), nil
+		}},
+		{Name: "cdd.OptimizeArrays", Cost: func(in *problem.Instance, seq []int) (int64, error) {
+			p, a, b := cdd.ParamArrays(in)
+			comp := make([]int64, len(seq))
+			c, _, _, _ := cdd.OptimizeArrays(seq, p, a, b, in.D, comp)
+			return c, nil
+		}},
+		{Name: "core.Evaluator", Cost: func(in *problem.Instance, seq []int) (int64, error) {
+			return core.NewEvaluator(in).Cost(seq), nil
+		}},
+		{Name: "cdd.Delta.Reset", Cost: func(in *problem.Instance, seq []int) (int64, error) {
+			return cdd.NewDeltaEvaluator(in).Reset(seq), nil
+		}},
+		{Name: "cdd.Delta.Propose", Cost: deltaProposeCost},
+		{Name: "schedule.Cost", Cost: scheduleCost},
+		{Name: "lpref", Cost: lpCost},
+	}
+}
+
+func ucddcpEvaluators() []NamedCost {
+	return []NamedCost{
+		{Name: "ucddcp.Evaluator", Cost: func(in *problem.Instance, seq []int) (int64, error) {
+			return ucddcp.NewEvaluator(in).Cost(seq), nil
+		}},
+		{Name: "ucddcp.OptimizeSequence", Cost: func(in *problem.Instance, seq []int) (int64, error) {
+			return ucddcp.OptimizeSequence(in, seq).Cost, nil
+		}},
+		{Name: "core.Evaluator", Cost: func(in *problem.Instance, seq []int) (int64, error) {
+			return core.NewEvaluator(in).Cost(seq), nil
+		}},
+		{Name: "ucddcp.Delta.Reset", Cost: func(in *problem.Instance, seq []int) (int64, error) {
+			return ucddcp.NewDeltaEvaluator(in).Reset(seq), nil
+		}},
+		{Name: "ucddcp.Delta.Propose", Cost: deltaProposeCost},
+		{Name: "schedule.Cost", Cost: scheduleCost},
+		{Name: "lpref", Cost: lpCost},
+	}
+}
+
+// deltaProposeCost prices seq through the incremental Propose path from a
+// rotated base sequence, so the correction machinery (not just the Reset
+// full pass) is under differential test.
+func deltaProposeCost(in *problem.Instance, seq []int) (int64, error) {
+	n := len(seq)
+	dl := core.NewDeltaEvaluator(in)
+	base := make([]int, n)
+	positions := make([]int, n)
+	for i := range seq {
+		base[i] = seq[(i+1)%n]
+		positions[i] = i
+	}
+	dl.Reset(base)
+	return dl.Propose(seq, positions), nil
+}
+
+// scheduleCost materializes the optimally timed (and compressed) schedule
+// and re-evaluates it from first principles via problem.Schedule.Cost,
+// checking the structural invariants on the way: the schedule validates
+// (permutation, start ≥ 0, compressions within [0, P−M]) and, when the
+// optimizer anchors a due-date job at 1-based position r, that job
+// completes exactly at d in the final schedule.
+func scheduleCost(in *problem.Instance, seq []int) (int64, error) {
+	var s problem.Schedule
+	var cost int64
+	var dueJob int
+	if in.Kind == problem.UCDDCP {
+		r := ucddcp.OptimizeSequence(in, seq)
+		s = problem.Schedule{Seq: seq, Start: r.Start, X: r.X}
+		cost, dueJob = r.Cost, r.DueJob
+	} else {
+		r := cdd.OptimizeSequence(in, seq)
+		s = problem.Schedule{Seq: seq, Start: r.Start}
+		cost, dueJob = r.Cost, r.DueJob
+	}
+	if err := s.Validate(in); err != nil {
+		return 0, fmt.Errorf("optimized schedule invalid: %w", err)
+	}
+	if dueJob > 0 {
+		if c := s.Completions(in)[dueJob-1]; c != in.D {
+			return 0, fmt.Errorf("due-date job at position %d completes at %d, not d=%d", dueJob, c, in.D)
+		}
+	} else if s.Start != 0 {
+		return 0, fmt.Errorf("no due-date job anchored but start=%d (Hall–Kubiak–Sethi: start 0 or a job at d)", s.Start)
+	}
+	if got := s.Cost(in); got != cost {
+		return 0, fmt.Errorf("schedule re-evaluates to %d, optimizer claimed %d", got, cost)
+	}
+	return cost, nil
+}
+
+// lpCost solves the per-sequence LP of Section III and rounds the optimum
+// (exact for the all-integer instances every generator produces).
+func lpCost(in *problem.Instance, seq []int) (int64, error) {
+	r, err := lpref.Solve(in, seq)
+	if err != nil {
+		return 0, err
+	}
+	return r.RoundedCost(), nil
+}
+
+// CheckSequenceAgreement runs every evaluator on (in, seq) and returns one
+// discrepancy per evaluator that errors or disagrees with the first
+// (reference) evaluator. Callers may append extra evaluators — the
+// mutation smoke tests inject deliberately broken ones to prove the chain
+// has teeth.
+func CheckSequenceAgreement(in *problem.Instance, seq []int, extra ...NamedCost) []Discrepancy {
+	evals := append(StandardEvaluators(in), extra...)
+	var ds []Discrepancy
+	ref, err := evals[0].Cost(in, seq)
+	if err != nil {
+		return []Discrepancy{{
+			Check: "sequence-agreement", Instance: in.Name, Driver: evals[0].Name,
+			Detail: fmt.Sprintf("reference evaluator failed on seq %v: %v", seq, err),
+		}}
+	}
+	for _, e := range evals[1:] {
+		got, err := e.Cost(in, seq)
+		if err != nil {
+			ds = append(ds, Discrepancy{
+				Check: "sequence-agreement", Instance: in.Name, Driver: e.Name,
+				Detail: fmt.Sprintf("failed on seq %v: %v", seq, err),
+			})
+			continue
+		}
+		if got != ref {
+			ds = append(ds, Discrepancy{
+				Check: "sequence-agreement", Instance: in.Name, Driver: e.Name,
+				Detail: fmt.Sprintf("cost %d != reference %s cost %d on seq %v", got, evals[0].Name, ref, seq),
+			})
+		}
+	}
+	return ds
+}
+
+// deltaWalkCheck drives the propose/commit protocol through a random walk
+// of small moves (the metaheuristic hot path) and cross-checks every
+// proposal against a stateless full evaluation.
+func deltaWalkCheck(in *problem.Instance, rng *xrand.XORWOW, steps int) []Discrepancy {
+	n := in.N()
+	dl := core.NewDeltaEvaluator(in)
+	full := core.NewEvaluator(in)
+	base := problem.IdentitySequence(n)
+	dl.Reset(base)
+	cand := make([]int, n)
+	var ds []Discrepancy
+	for s := 0; s < steps; s++ {
+		copy(cand, base)
+		// k-position move: 2 (swap) or 3 (rotate) touched positions.
+		k := 2 + rng.Intn(2)
+		pos := make([]int, 0, k)
+		for len(pos) < k && len(pos) < n {
+			pos = append(pos, rng.Intn(n))
+		}
+		if len(pos) >= 2 {
+			first := cand[pos[0]]
+			for i := 0; i < len(pos)-1; i++ {
+				cand[pos[i]] = cand[pos[i+1]]
+			}
+			cand[pos[len(pos)-1]] = first
+		}
+		got := dl.Propose(cand, pos)
+		want := full.Cost(cand)
+		if got != want {
+			ds = append(ds, Discrepancy{
+				Check: "delta-walk", Instance: in.Name,
+				Detail: fmt.Sprintf("step %d: Propose=%d, full=%d (base %v cand %v pos %v)", s, got, want, base, cand, pos),
+			})
+			return ds // the cache is suspect; stop the walk
+		}
+		if rng.Intn(2) == 0 {
+			dl.Commit()
+			copy(base, cand)
+		}
+	}
+	return ds
+}
+
+// ExactBounds holds the exact optima available for an instance.
+type ExactBounds struct {
+	// Cost is the proven global optimum; valid only when Known.
+	Cost  int64
+	Known bool
+	// BruteCost/SubsetCost are the per-oracle results where applicable.
+	Brute, Subset bool
+}
+
+// CheckExactOracles runs the applicable exact solvers (brute force within
+// bruteN, the V-shape subset scan within subsetN for unrestricted CDD) and
+// cross-checks them: where both apply they must agree exactly — the
+// weighted V-shape dominance property the subset oracle is built on.
+// Oversize instances must be rejected with the typed exact.ErrTooLarge
+// guard rather than hanging; any other failure is a discrepancy.
+func CheckExactOracles(in *problem.Instance, bruteN, subsetN int) (ExactBounds, []Discrepancy) {
+	var eb ExactBounds
+	var ds []Discrepancy
+	n := in.N()
+
+	var bruteCost int64
+	if n <= bruteN {
+		r, err := exact.Brute(in)
+		if err != nil {
+			ds = append(ds, Discrepancy{
+				Check: "oracle-chain", Instance: in.Name, Driver: "exact.Brute",
+				Detail: fmt.Sprintf("failed on n=%d: %v", n, err),
+			})
+		} else {
+			eb.Cost, eb.Known, eb.Brute = r.Cost, true, true
+			bruteCost = r.Cost
+		}
+	} else if n > exact.MaxBruteN {
+		// Past the hard limit the size guard must fire with the typed
+		// sentinel instead of starting an n! enumeration that never ends.
+		if _, err := exact.Brute(in); !errors.Is(err, exact.ErrTooLarge) {
+			ds = append(ds, Discrepancy{
+				Check: "oracle-chain", Instance: in.Name, Driver: "exact.Brute",
+				Detail: fmt.Sprintf("n=%d beyond MaxBruteN returned %v, want exact.ErrTooLarge", n, err),
+			})
+		}
+	}
+
+	if in.Kind == problem.CDD && !in.Restrictive() && n <= subsetN {
+		r, err := exact.SubsetCDD(in)
+		if err != nil {
+			ds = append(ds, Discrepancy{
+				Check: "oracle-chain", Instance: in.Name, Driver: "exact.SubsetCDD",
+				Detail: fmt.Sprintf("failed on n=%d: %v", n, err),
+			})
+		} else {
+			eb.Subset = true
+			if eb.Brute && r.Cost != bruteCost {
+				ds = append(ds, Discrepancy{
+					Check: "v-shape-dominance", Instance: in.Name, Driver: "exact.SubsetCDD",
+					Detail: fmt.Sprintf("subset optimum %d != brute optimum %d", r.Cost, bruteCost),
+				})
+			}
+			if !eb.Known || r.Cost < eb.Cost {
+				eb.Cost, eb.Known = r.Cost, true
+			}
+		}
+	}
+	return eb, ds
+}

@@ -168,3 +168,47 @@ func TestUnsupportedPairingErrorListsEngines(t *testing.T) {
 		}
 	}
 }
+
+// TestParseRejectionsTable sweeps malformed names through both parsers:
+// every rejection must wrap ErrInvalidOptions and name the offending
+// input, and near-miss spellings must not be silently coerced.
+func TestParseRejectionsTable(t *testing.T) {
+	algoCases := []string{
+		"", " ", "annealing", "SA ES", "S A", "sa,", "dps0", "ES2",
+		"threshold", "evolution", "*", "サ",
+	}
+	for _, s := range algoCases {
+		t.Run("algo/"+s, func(t *testing.T) {
+			if v, err := duedate.ParseAlgorithm(s); err == nil {
+				t.Fatalf("ParseAlgorithm(%q) = %v, want error", s, v)
+			} else if !errors.Is(err, duedate.ErrInvalidOptions) {
+				t.Errorf("ParseAlgorithm(%q) error %v does not wrap ErrInvalidOptions", s, err)
+			} else if !strings.Contains(err.Error(), "algorithm") {
+				t.Errorf("ParseAlgorithm(%q) error %q does not identify the field", s, err)
+			}
+		})
+	}
+	engineCases := []string{
+		"", " ", "tpu", "cpu_parallel", "cpuserial", "gpu2", "GPU!",
+		"cuda", "device", "cpu parallel",
+	}
+	for _, s := range engineCases {
+		t.Run("engine/"+s, func(t *testing.T) {
+			if v, err := duedate.ParseEngine(s); err == nil {
+				t.Fatalf("ParseEngine(%q) = %v, want error", s, v)
+			} else if !errors.Is(err, duedate.ErrInvalidOptions) {
+				t.Errorf("ParseEngine(%q) error %v does not wrap ErrInvalidOptions", s, err)
+			} else if !strings.Contains(err.Error(), "engine") {
+				t.Errorf("ParseEngine(%q) error %q does not identify the field", s, err)
+			}
+		})
+	}
+	// Case-folded and padded spellings are accepted — the rejection table
+	// above must not overreach into the documented leniency.
+	if v, err := duedate.ParseAlgorithm("  dPsO "); err != nil || v != duedate.DPSO {
+		t.Errorf("ParseAlgorithm leniency broken: %v, %v", v, err)
+	}
+	if v, err := duedate.ParseEngine(" CPU-Serial "); err != nil || v != duedate.EngineCPUSerial {
+		t.Errorf("ParseEngine leniency broken: %v, %v", v, err)
+	}
+}
