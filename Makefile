@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hotpath experiments examples clean verify-diff fuzz
+.PHONY: all build vet test race cover bench bench-hotpath experiments examples clean verify-diff fuzz serve docs-lint server-smoke
 
 all: build vet test
 
@@ -44,6 +44,21 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzUCDDCPDeltaVsFull$$' -fuzztime $(FUZZTIME) ./internal/ucddcp
 	$(GO) test -run '^$$' -fuzz '^FuzzParseInstance$$' -fuzztime $(FUZZTIME) ./internal/problem
 	$(GO) test -run '^$$' -fuzz '^FuzzSolveFacade$$' -fuzztime $(FUZZTIME) .
+
+# Run the batch-solving daemon locally on its default address (:8337).
+serve:
+	$(GO) run ./cmd/duedated
+
+# Exported-documentation check over every package (revive/golint-style
+# exported rule, stdlib-only). Fails on any missing doc comment.
+docs-lint:
+	$(GO) run ./cmd/docslint . ./cmd/* ./examples/* ./internal/*
+
+# End-to-end smoke test of the daemon: build, serve, post one CDD and
+# one UCDDCP instance from testdata/server/, assert a cache hit, then
+# SIGTERM and require a clean graceful drain.
+server-smoke:
+	scripts/server-smoke.sh
 
 # Regenerate the paper's tables and figures (scaled preset, ~minutes).
 experiments:

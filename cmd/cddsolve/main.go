@@ -4,7 +4,7 @@
 // With no flags it solves the paper's worked example. To solve instances
 // from an OR-library sch file:
 //
-//	cddsolve -file sch10.txt -n 10 -h 0.6 -index 0
+//	cddsolve -file sch10.txt -n 10 -h 0.6 -record 0
 //
 // To solve a generated benchmark instance:
 //

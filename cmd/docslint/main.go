@@ -1,0 +1,152 @@
+// Command docslint is the repository's exported-documentation check, a
+// dependency-free stand-in for the revive/golint exported rule: every
+// package it is pointed at must carry a package comment, and every
+// exported top-level identifier — functions, methods on exported types,
+// types, and const/var specs — must carry a doc comment (a spec is
+// covered by its declaration group's comment). Findings print one per
+// line as file:line: message and the exit status is 1 when any exist, so
+// the CI docs-lint job fails on missing docs.
+//
+//	docslint . ./internal/server
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("docslint: ")
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var findings []string
+	for _, dir := range dirs {
+		f, err := lintDir(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		findings = append(findings, f...)
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		log.Fatalf("%d missing-documentation finding(s)", len(findings))
+	}
+}
+
+// lintDir parses one package directory (tests excluded) and returns its
+// findings.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for name, pkg := range pkgs {
+		findings = append(findings, lintPackage(fset, dir, name, pkg)...)
+	}
+	return findings, nil
+}
+
+// lintPackage checks the package comment and every exported top-level
+// declaration of one parsed package.
+func lintPackage(fset *token.FileSet, dir, name string, pkg *ast.Package) []string {
+	var findings []string
+	hasPackageDoc := false
+	for _, file := range pkg.Files {
+		if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+			hasPackageDoc = true
+		}
+	}
+	if !hasPackageDoc {
+		findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", filepath.Clean(dir), name))
+	}
+	for fname, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			findings = append(findings, lintDecl(fset, fname, decl)...)
+		}
+	}
+	return findings
+}
+
+// lintDecl reports the undocumented exported identifiers of one
+// top-level declaration.
+func lintDecl(fset *token.FileSet, fname string, decl ast.Decl) []string {
+	var findings []string
+	report := func(pos token.Pos, format string, args ...any) {
+		findings = append(findings, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return nil
+		}
+		// Methods on unexported types are not public surface.
+		if d.Recv != nil && !receiverExported(d.Recv) {
+			return nil
+		}
+		what := "function"
+		if d.Recv != nil {
+			what = "method"
+		}
+		report(d.Pos(), "exported %s %s has no doc comment", what, d.Name.Name)
+	case *ast.GenDecl:
+		groupDocumented := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() && sp.Doc == nil && !groupDocumented {
+					report(sp.Pos(), "exported type %s has no doc comment", sp.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// A group comment (e.g. over a const block) covers its
+				// specs, matching the repository's documentation style.
+				if sp.Doc != nil || sp.Comment != nil || groupDocumented {
+					continue
+				}
+				for _, n := range sp.Names {
+					if n.IsExported() {
+						report(n.Pos(), "exported %s %s has no doc comment", d.Tok, n.Name)
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// receiverExported reports whether a method's receiver names an exported
+// type.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

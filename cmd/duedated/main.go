@@ -1,0 +1,82 @@
+// Command duedated is the batch-solving daemon: it serves the duedate
+// driver registry over an HTTP JSON API with a bounded worker pool,
+// queue admission control (429 when saturated), per-request deadlines,
+// and an LRU result cache. SIGINT/SIGTERM drain gracefully: queued and
+// running solves complete (bounded by -grace) before the process exits.
+//
+//	duedated -addr :8337 -pool 8 -queue 64 -cache 512
+//	curl -s localhost:8337/v1/pairings
+//	curl -s -X POST --data @testdata/server/solve_cdd.json localhost:8337/v1/solve
+//
+// Endpoints: POST /v1/solve, POST /v1/batch, GET /v1/pairings,
+// GET /healthz, GET /metrics. See internal/server for the wire formats.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	duedate "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("duedated: ")
+	var (
+		addr       = flag.String("addr", ":8337", "listen address")
+		pool       = flag.Int("pool", 0, "concurrent solve workers (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "admission queue depth beyond the running solves; full = 429")
+		cache      = flag.Int("cache", 512, "result-cache entries (negative disables)")
+		defTimeout = flag.Duration("default-timeout", 0, "deadline for requests without timeoutMs (0 = none)")
+		maxTimeout = flag.Duration("max-timeout", 0, "clamp on every request deadline (0 = no clamp)")
+		grace      = flag.Duration("grace", 30*time.Second, "drain budget after SIGINT/SIGTERM")
+		metrics    = flag.String("metrics", "counters", "solver instrumentation aggregated into /metrics: counters or kernels")
+	)
+	flag.Parse()
+
+	level := duedate.MetricsCounters
+	switch *metrics {
+	case "counters":
+	case "kernels":
+		level = duedate.MetricsKernels
+	default:
+		log.Fatalf("unknown -metrics level %q (want counters or kernels)", *metrics)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (pool %d, queue %d, cache %d)", l.Addr(), *pool, *queue, *cache)
+
+	// The signal context is the shutdown trigger: server.Run serves until
+	// it is cancelled, then drains the pool within -grace.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The config's zero value means "default"; an explicit -queue 0 (no
+	// waiting room) is spelled as a negative depth at the config layer.
+	queueDepth := *queue
+	if queueDepth == 0 {
+		queueDepth = -1
+	}
+	cfg := server.Config{
+		Pool:           *pool,
+		QueueDepth:     queueDepth,
+		CacheSize:      *cache,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Metrics:        level,
+	}
+	if err := server.Run(ctx, l, cfg, *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly")
+}

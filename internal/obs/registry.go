@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -120,4 +121,17 @@ func (r *Registry) String() string {
 	return string(b)
 }
 
-var _ expvar.Var = (*Registry)(nil)
+// ServeHTTP writes the registry snapshot as indented JSON, so a
+// *Registry mounts directly as a monitoring endpoint — the solver half of
+// the duedated server's /metrics payload is exactly this snapshot.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(r.Snapshot())
+}
+
+var (
+	_ expvar.Var   = (*Registry)(nil)
+	_ http.Handler = (*Registry)(nil)
+)

@@ -1,0 +1,34 @@
+package problem
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// CanonicalHash returns the hex SHA-256 digest of the instance's semantic
+// content: kind, due date, job count, and every job's (P, M, Alpha, Beta,
+// Gamma) in sequence order. The display Name is excluded, so a renamed
+// copy of an instance hashes identically, and the encoding is
+// length-prefixed fixed-width little-endian, so distinct instances cannot
+// collide by field concatenation. The digest is the instance component of
+// the result-cache key in the batch-solving service (internal/server).
+func (in *Instance) CanonicalHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(int64(in.Kind))
+	put(in.D)
+	put(int64(len(in.Jobs)))
+	for _, j := range in.Jobs {
+		put(int64(j.P))
+		put(int64(j.M))
+		put(int64(j.Alpha))
+		put(int64(j.Beta))
+		put(int64(j.Gamma))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,43 @@
+package problem
+
+import "testing"
+
+// TestCanonicalHashNameInvariant pins the semantic-content contract: the
+// display name does not participate in the hash, every other field does.
+func TestCanonicalHashNameInvariant(t *testing.T) {
+	base := PaperExample(CDD)
+	renamed := base.Clone()
+	renamed.Name = "something-else"
+	if base.CanonicalHash() != renamed.CanonicalHash() {
+		t.Fatalf("renaming changed the hash")
+	}
+	if base.CanonicalHash() != base.CanonicalHash() {
+		t.Fatalf("hash is not deterministic")
+	}
+	if PaperExample(CDD).CanonicalHash() == PaperExample(UCDDCP).CanonicalHash() {
+		t.Fatalf("CDD and UCDDCP paper examples hash equal")
+	}
+}
+
+// TestCanonicalHashSensitivity flips each field class once and requires a
+// different digest.
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := PaperExample(UCDDCP)
+	mutations := map[string]func(in *Instance){
+		"dueDate": func(in *Instance) { in.D++ },
+		"p":       func(in *Instance) { in.Jobs[0].P++ },
+		"m":       func(in *Instance) { in.Jobs[0].M-- },
+		"alpha":   func(in *Instance) { in.Jobs[1].Alpha++ },
+		"beta":    func(in *Instance) { in.Jobs[1].Beta++ },
+		"gamma":   func(in *Instance) { in.Jobs[2].Gamma++ },
+		"order":   func(in *Instance) { in.Jobs[0], in.Jobs[1] = in.Jobs[1], in.Jobs[0] },
+		"dropJob": func(in *Instance) { in.Jobs = in.Jobs[:len(in.Jobs)-1] },
+	}
+	for name, mutate := range mutations {
+		m := base.Clone()
+		mutate(m)
+		if m.CanonicalHash() == base.CanonicalHash() {
+			t.Errorf("mutation %q did not change the hash", name)
+		}
+	}
+}

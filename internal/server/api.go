@@ -1,0 +1,238 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	duedate "repro"
+	"repro/internal/problem"
+)
+
+// SolveRequest is the wire form of one solve job: the instance (in the
+// internal/problem JSON format) plus the solver configuration. Absent
+// fields select the facade defaults — the zero request solves with the
+// paper's GPU-SA configuration — so the minimal body is just
+// {"instance": {...}}.
+type SolveRequest struct {
+	// Instance is the CDD or UCDDCP instance to solve; it is validated
+	// while decoding (problem.Instance.UnmarshalJSON).
+	Instance *problem.Instance `json:"instance"`
+	// Algorithm names the metaheuristic ("SA", "DPSO", "TA", "ES";
+	// default SA).
+	Algorithm duedate.Algorithm `json:"algorithm,omitempty"`
+	// Engine names the backend ("gpu", "cpu-parallel", "cpu-serial";
+	// default gpu).
+	Engine duedate.Engine `json:"engine,omitempty"`
+	// Iterations is the per-chain iteration budget (default 1000).
+	Iterations int `json:"iterations,omitempty"`
+	// Grid and Block set the ensemble geometry (default 4 × 192).
+	Grid  int `json:"grid,omitempty"`
+	Block int `json:"block,omitempty"`
+	// Seed derives all RNG streams (0 is the facade's "unset" sentinel,
+	// rewritten to 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Cooling, Pert and TempSamples are the SA tuning knobs (defaults
+	// 0.88, 4, 5000).
+	Cooling     float64 `json:"cooling,omitempty"`
+	Pert        int     `json:"pert,omitempty"`
+	TempSamples int     `json:"tempSamples,omitempty"`
+	// Persistent selects the persistent-kernel GPU SA engine.
+	Persistent bool `json:"persistent,omitempty"`
+	// Workers bounds the host goroutines of the cpu-parallel engine.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs is the per-request wall-clock budget in milliseconds,
+	// measured from admission (so queue wait counts against it). On
+	// expiry the engine stops cooperatively and the response carries the
+	// best-so-far with interrupted=true. Zero selects the server's
+	// default; the server's maximum always clamps it.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// NoCache bypasses the result cache for this request (the solve still
+	// populates it).
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// options translates the request into facade Options. The deadline is
+// not set here — the pool stamps it at admission time.
+func (r *SolveRequest) options() duedate.Options {
+	return duedate.Options{
+		Algorithm:   r.Algorithm,
+		Engine:      r.Engine,
+		Iterations:  r.Iterations,
+		Grid:        r.Grid,
+		Block:       r.Block,
+		Seed:        r.Seed,
+		Cooling:     r.Cooling,
+		Pert:        r.Pert,
+		TempSamples: r.TempSamples,
+		Persistent:  r.Persistent,
+		Workers:     r.Workers,
+	}
+}
+
+// cacheKey derives the result-cache key: the instance's canonical hash
+// plus every option that participates in the solve trajectory. Workers
+// is deliberately excluded — fixed-seed results are bit-identical across
+// worker counts (pinned by the engine-layer tests) — as is the metrics
+// level, which never perturbs a trajectory.
+func (r *SolveRequest) cacheKey() string {
+	return fmt.Sprintf("%s|%s|%s|it=%d|g=%d|b=%d|seed=%d|mu=%g|pert=%d|ts=%d|pers=%t",
+		r.Instance.CanonicalHash(), r.Algorithm, r.Engine,
+		r.Iterations, r.Grid, r.Block, r.Seed,
+		r.Cooling, r.Pert, r.TempSamples, r.Persistent)
+}
+
+// SolveResponse is the wire form of one solve outcome. For identical
+// (instance, algorithm, engine, seed, iterations, geometry) the cost and
+// sequence are bit-identical to a direct duedate.SolveContext call — the
+// server adds queueing and caching, never a different trajectory.
+type SolveResponse struct {
+	// Instance echoes the instance name, Kind the problem ("CDD" or
+	// "UCDDCP"), N the job count and InstanceHash the canonical SHA-256
+	// digest used as the cache-key prefix.
+	Instance     string `json:"instance"`
+	Kind         string `json:"kind"`
+	N            int    `json:"n"`
+	InstanceHash string `json:"instanceHash"`
+	// Algorithm and Engine echo the (defaulted) solver selection; Seed
+	// the (defaulted) RNG seed.
+	Algorithm duedate.Algorithm `json:"algorithm"`
+	Engine    duedate.Engine    `json:"engine"`
+	Seed      uint64            `json:"seed"`
+	// Iterations is the per-chain iteration count actually executed.
+	Iterations int `json:"iterations"`
+	// Cost is the exact objective of Sequence; Start the optimal first
+	// start time; Compressions the per-job compressions (UCDDCP only).
+	Cost         int64   `json:"cost"`
+	Sequence     []int   `json:"sequence"`
+	Start        int64   `json:"start"`
+	Compressions []int64 `json:"compressions,omitempty"`
+	// Evaluations counts fitness evaluations across all chains; ElapsedNs
+	// is the solve's host wall time (the original solve's for cache
+	// hits); SimSeconds the simulated device time on the GPU engine.
+	Evaluations int64   `json:"evaluations"`
+	ElapsedNs   int64   `json:"elapsedNs"`
+	SimSeconds  float64 `json:"simSeconds,omitempty"`
+	// Interrupted reports a deadline/cancellation cut the run short; the
+	// result is still the valid best-so-far. Interrupted results are
+	// never cached.
+	Interrupted bool `json:"interrupted"`
+	// Cached reports that this response was served from the result cache.
+	Cached bool `json:"cached"`
+}
+
+// buildResponse assembles the response for a completed solve.
+func buildResponse(req *SolveRequest, opts duedate.Options, res duedate.Result) *SolveResponse {
+	sched := res.Schedule(req.Instance)
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1 // the facade's documented Seed-0 sentinel
+	}
+	return &SolveResponse{
+		Instance:     req.Instance.Name,
+		Kind:         req.Instance.Kind.String(),
+		N:            req.Instance.N(),
+		InstanceHash: req.Instance.CanonicalHash(),
+		Algorithm:    opts.Algorithm,
+		Engine:       opts.Engine,
+		Seed:         seed,
+		Iterations:   res.Iterations,
+		Cost:         res.BestCost,
+		Sequence:     res.BestSeq,
+		Start:        sched.Start,
+		Compressions: sched.X,
+		Evaluations:  res.Evaluations,
+		ElapsedNs:    int64(res.Elapsed),
+		SimSeconds:   res.SimSeconds,
+		Interrupted:  res.Interrupted,
+	}
+}
+
+// BatchRequest is the wire form of POST /v1/batch: independent solve
+// jobs that share the server's worker pool and cache.
+type BatchRequest struct {
+	// Requests are the jobs; each is admitted (and possibly rejected)
+	// individually.
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchResult is one slot of a batch response: either a response or an
+// error with its HTTP-equivalent status (e.g. 429 for a job that found
+// the queue full, 422 for an unsupported pairing).
+type BatchResult struct {
+	// Response is the solve outcome, nil when the slot errored.
+	Response *SolveResponse `json:"response,omitempty"`
+	// Error describes the failure, empty on success.
+	Error string `json:"error,omitempty"`
+	// Status is the slot's HTTP-equivalent status code (200 on success).
+	Status int `json:"status"`
+}
+
+// BatchResponse is the wire form of a batch outcome, one result per
+// request in order.
+type BatchResponse struct {
+	// Results holds one slot per request, index-aligned.
+	Results []BatchResult `json:"results"`
+}
+
+// PairingInfo is one registered algorithm×engine combination as reported
+// by GET /v1/pairings.
+type PairingInfo struct {
+	// Algorithm and Engine name the combination in the same spelling the
+	// solve endpoints accept.
+	Algorithm duedate.Algorithm `json:"algorithm"`
+	Engine    duedate.Engine    `json:"engine"`
+}
+
+// PairingsResponse is the wire form of GET /v1/pairings: the live driver
+// registry, so clients discover supported combinations instead of
+// hardcoding them.
+type PairingsResponse struct {
+	// Pairings is sorted by algorithm then engine (duedate.Pairings).
+	Pairings []PairingInfo `json:"pairings"`
+}
+
+// ErrorResponse is the wire form of any non-2xx response.
+type ErrorResponse struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+	// Status echoes the HTTP status code.
+	Status int `json:"status"`
+}
+
+// HealthResponse is the wire form of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok" while serving and "draining" once shutdown began
+	// (reported with a 503, so load balancers stop routing here).
+	Status string `json:"status"`
+	// Pool and QueueDepth echo the configured capacity.
+	Pool       int `json:"pool"`
+	QueueDepth int `json:"queueDepth"`
+}
+
+// ServerStats is the server half of the /metrics payload: admission and
+// cache counters since process start.
+type ServerStats struct {
+	// Requests counts solve jobs admitted to the pool (batch jobs count
+	// individually); Completed the subset that finished.
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	// CacheHits and CacheMisses count result-cache lookups; Rejected
+	// counts jobs turned away with 429 by queue admission control.
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	Rejected    int64 `json:"rejected"`
+	// Errors counts solves that returned an error (invalid options,
+	// unsupported pairings, internal failures).
+	Errors int64 `json:"errors"`
+	// Active is the number of solves executing right now, Queued the
+	// number waiting in the admission queue.
+	Active int64 `json:"active"`
+	Queued int   `json:"queued"`
+	// Pool and QueueDepth echo the configured capacity; Draining reports
+	// shutdown in progress.
+	Pool       int  `json:"pool"`
+	QueueDepth int  `json:"queueDepth"`
+	Draining   bool `json:"draining"`
+	// Uptime is the time since the server was created.
+	Uptime time.Duration `json:"uptimeNs"`
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a mutex-guarded LRU over completed solve responses,
+// keyed by SolveRequest.cacheKey (instance hash + trajectory-relevant
+// options). Entries are immutable once stored: hits hand out a shallow
+// copy whose slices are shared but only ever read by JSON encoding.
+// Interrupted results are never stored — a partial best-so-far from an
+// expired deadline must not shadow the full-budget answer.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+// cacheEntry is one cached response with its key (needed for eviction).
+type cacheEntry struct {
+	key  string
+	resp *SolveResponse
+}
+
+// newResultCache returns a cache bounded to max entries; max <= 0
+// disables caching (get always misses, put is a no-op).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached response for key, marking it most recently
+// used. The returned copy has Cached set.
+func (c *resultCache) get(key string) (*SolveResponse, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	resp := *el.Value.(*cacheEntry).resp
+	resp.Cached = true
+	return &resp, true
+}
+
+// put stores the response under key, evicting the least recently used
+// entry past capacity. Storing an existing key refreshes its position.
+func (c *resultCache) put(key string, resp *SolveResponse) {
+	if c.max <= 0 || resp == nil || resp.Interrupted {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).resp = resp
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	duedate "repro"
+)
+
+// task is one admitted solve job travelling from an HTTP handler through
+// the queue to a pool worker and back.
+type task struct {
+	// ctx is the request context (cancelled on client disconnect); the
+	// worker solves under it so abandoned requests stop consuming the
+	// pool at the engine's next cooperative boundary.
+	ctx context.Context
+	// req is the decoded request, opts its facade translation with the
+	// admission-time deadline already stamped.
+	req  *SolveRequest
+	opts duedate.Options
+	// key is the result-cache key.
+	key string
+	// done receives exactly one taskResult; it is buffered so a worker
+	// never blocks on a handler that gave up.
+	done chan taskResult
+}
+
+// taskResult is a worker's answer to one task.
+type taskResult struct {
+	resp *SolveResponse
+	err  error
+}
+
+// submit offers the task to the admission queue without blocking. It
+// returns false when the queue is saturated (the caller answers 429) or
+// the server is draining (503).
+func (s *Server) submit(t *task) bool {
+	// The read lock pairs with the write lock in Drain: once draining is
+	// set and the queue closed, no submit can be in flight, so the close
+	// below can never race a send.
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.draining.Load() {
+		return false
+	}
+	select {
+	case s.queue <- t:
+		s.stats.requests.Add(1)
+		return true
+	default:
+		s.stats.rejected.Add(1)
+		return false
+	}
+}
+
+// worker drains the admission queue until it is closed and empty —
+// queued work is completed, not dropped, during a graceful drain.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for t := range s.queue {
+		s.runTask(t)
+	}
+}
+
+// runTask executes one solve and answers the task's done channel.
+func (s *Server) runTask(t *task) {
+	s.stats.active.Add(1)
+	defer s.stats.active.Add(-1)
+	defer s.stats.completed.Add(1)
+
+	// A client that disconnected while the task was queued: don't burn a
+	// pool slot on an answer nobody reads.
+	if err := t.ctx.Err(); err != nil {
+		t.done <- taskResult{err: err}
+		return
+	}
+	res, err := s.solve(t.ctx, t.req.Instance, t.opts)
+	if err != nil {
+		s.stats.errors.Add(1)
+		t.done <- taskResult{err: err}
+		return
+	}
+	s.registry.Observe(res.Metrics)
+	resp := buildResponse(t.req, t.opts, res)
+	// Only full-budget results are cacheable; an interrupted best-so-far
+	// is valid but not the answer future requests are asking for.
+	if !resp.Interrupted {
+		s.cache.put(t.key, resp)
+	}
+	t.done <- taskResult{resp: resp}
+}
+
+// Drain performs the graceful-shutdown handshake: it flips the server
+// into draining mode (healthz answers 503, new solve requests are turned
+// away), closes the admission queue, and waits — bounded by ctx — for
+// the pool to finish every queued and running solve. It is safe to call
+// once; the HTTP listener should stop accepting requests (e.g. via
+// http.Server.Shutdown) before or concurrently with Drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.closeMu.Lock()
+	already := s.draining.Swap(true)
+	if !already {
+		close(s.queue)
+	}
+	s.closeMu.Unlock()
+	if already {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// deadlineFor resolves a request's wall-clock budget at admission time:
+// the request's timeoutMs, defaulted and clamped by the server config.
+// A zero return means no deadline.
+func (s *Server) deadlineFor(req *SolveRequest) time.Time {
+	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(timeout)
+}

@@ -1,0 +1,402 @@
+// Package server is the batch-solving service layer of the duedate
+// reproduction: an HTTP JSON API that accepts CDD/UCDDCP instances and
+// dispatches them onto a bounded worker pool of registry-resolved
+// solvers.
+//
+// The design maps the paper's two-layer architecture onto a long-lived
+// serving path. Each request becomes one ensemble solve resolved through
+// the duedate driver registry; a fixed-size pool bounds concurrent
+// solves, a fixed-depth queue absorbs bursts, and admission control
+// answers 429 the moment the queue is full instead of letting latency
+// grow without bound. Per-request deadlines are stamped at admission (so
+// queue wait counts against them) and honored cooperatively by the
+// engines via core.Budget — an expired deadline returns the valid
+// best-so-far with interrupted=true, never an error. Completed
+// full-budget results enter an LRU cache keyed by (canonical instance
+// hash, algorithm, engine, seed, iterations, geometry, SA knobs), so
+// identical resubmissions are answered without a solve. Solve responses
+// are bit-identical to a direct duedate.SolveContext call with the same
+// options.
+//
+// Endpoints:
+//
+//	POST /v1/solve     one instance → one SolveResponse
+//	POST /v1/batch     many instances through the same pool, per-item status
+//	GET  /v1/pairings  the live algorithm×engine driver registry
+//	GET  /healthz      liveness; 503 once draining
+//	GET  /metrics      ServerStats + the obs.Registry solver aggregates
+//
+// Shutdown is a graceful drain: the daemon (cmd/duedated) binds
+// SIGINT/SIGTERM to a context, stops the listener, and calls Drain,
+// which completes every queued and running solve before the process
+// exits.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	duedate "repro"
+	"repro/internal/obs"
+	"repro/internal/problem"
+)
+
+// Config sizes the service. The zero value is usable: GOMAXPROCS
+// workers, a 64-deep queue, a 512-entry cache, counters-level solver
+// metrics, and no default or maximum deadline.
+type Config struct {
+	// Pool is the number of worker goroutines executing solves
+	// concurrently (default GOMAXPROCS).
+	Pool int
+	// QueueDepth is the number of admitted-but-waiting solves beyond the
+	// running ones; a full queue answers 429 (default 64). Negative
+	// means a zero-depth queue: a request is admitted only when a worker
+	// is free to take it immediately.
+	QueueDepth int
+	// CacheSize bounds the result cache in entries (default 512;
+	// negative disables caching).
+	CacheSize int
+	// DefaultTimeout is applied to requests that carry no timeoutMs
+	// (zero: no deadline).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps every request's deadline (zero: no clamp).
+	MaxTimeout time.Duration
+	// Metrics is the instrumentation level solves run at; the snapshots
+	// aggregate into the /metrics payload (default MetricsCounters —
+	// trajectories are metrics-invariant, so this never changes results).
+	Metrics duedate.MetricsLevel
+}
+
+// withDefaults resolves the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Pool <= 0 {
+		c.Pool = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	case c.QueueDepth == 0:
+		c.QueueDepth = 64
+	}
+	switch {
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	case c.CacheSize == 0:
+		c.CacheSize = 512
+	}
+	if c.Metrics == duedate.MetricsOff {
+		c.Metrics = duedate.MetricsCounters
+	}
+	return c
+}
+
+// solveFunc is the pool's solver entry point; tests substitute it to
+// control timing deterministically. Production is duedate.SolveContext.
+type solveFunc func(ctx context.Context, in *problem.Instance, opts duedate.Options) (duedate.Result, error)
+
+// serverStats holds the admission/cache counters behind /metrics.
+type serverStats struct {
+	requests  atomic.Int64
+	completed atomic.Int64
+	cacheHits atomic.Int64
+	cacheMiss atomic.Int64
+	rejected  atomic.Int64
+	errors    atomic.Int64
+	active    atomic.Int64
+}
+
+// Server is the batch-solving service: an http.Handler plus the worker
+// pool behind it. Create it with New; shut it down with Drain.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	queue    chan *task
+	workers  sync.WaitGroup
+	closeMu  sync.RWMutex
+	draining atomic.Bool
+	cache    *resultCache
+	registry *obs.Registry
+	stats    serverStats
+	solve    solveFunc
+	started  time.Time
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		queue:    make(chan *task, cfg.QueueDepth),
+		cache:    newResultCache(cfg.CacheSize),
+		registry: &obs.Registry{},
+		solve:    duedate.SolveContext,
+		started:  time.Now(),
+	}
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/pairings", s.handlePairings)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.workers.Add(cfg.Pool)
+	for i := 0; i < cfg.Pool; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// maxBodyBytes bounds request bodies; a 1000-job instance is ~50 KiB, so
+// 32 MiB leaves room for very large batches.
+const maxBodyBytes = 32 << 20
+
+// statusFor maps solve errors onto HTTP statuses: caller mistakes keep
+// their PR 3 sentinel identity (ErrInvalidOptions and malformed input →
+// 400, ErrUnsupportedPairing → 422) instead of collapsing into opaque
+// 500s, which are reserved for genuine internal failures.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, duedate.ErrUnsupportedPairing):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, duedate.ErrInvalidOptions),
+		errors.Is(err, duedate.ErrInvalidSequence),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		// Context errors surface only for clients that vanished while
+		// queued; nobody reads the status, 400 keeps it out of the 5xx
+		// alerting bucket.
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes an ErrorResponse.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+// decodeSolveRequest decodes and structurally validates one request
+// body's worth of JSON into req.
+func decodeSolveRequest(r *http.Request, req *SolveRequest) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		return err
+	}
+	if req.Instance == nil {
+		return errors.New(`missing "instance"`)
+	}
+	return nil
+}
+
+// solveOne runs one request through cache → admission → pool and returns
+// the response or (error, HTTP status). It is the shared core of the
+// solve and batch handlers.
+func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (*SolveResponse, int, error) {
+	key := req.cacheKey()
+	if !req.NoCache {
+		if resp, ok := s.cache.get(key); ok {
+			s.stats.cacheHits.Add(1)
+			return resp, http.StatusOK, nil
+		}
+		s.stats.cacheMiss.Add(1)
+	}
+	opts := req.options()
+	opts.Metrics = s.cfg.Metrics
+	opts.Deadline = s.deadlineFor(req)
+	t := &task{ctx: ctx, req: req, opts: opts, key: key, done: make(chan taskResult, 1)}
+	if !s.submit(t) {
+		if s.draining.Load() {
+			return nil, http.StatusServiceUnavailable, errors.New("server is draining")
+		}
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("queue full (%d waiting, %d running)", s.cfg.QueueDepth, s.cfg.Pool)
+	}
+	res := <-t.done
+	if res.err != nil {
+		return nil, statusFor(res.err), res.err
+	}
+	return res.resp, http.StatusOK, nil
+}
+
+// handleSolve is POST /v1/solve.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SolveRequest
+	if err := decodeSolveRequest(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	resp, status, err := s.solveOne(r.Context(), &req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleBatch is POST /v1/batch: every job goes through the same
+// admission path concurrently, and each slot reports its own
+// HTTP-equivalent status, so one saturated or invalid job never fails
+// the jobs around it.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var batch BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, `empty "requests"`)
+		return
+	}
+	results := make([]BatchResult, len(batch.Requests))
+	var wg sync.WaitGroup
+	for i := range batch.Requests {
+		req := &batch.Requests[i]
+		if req.Instance == nil {
+			results[i] = BatchResult{Error: `missing "instance"`, Status: http.StatusBadRequest}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, req *SolveRequest) {
+			defer wg.Done()
+			resp, status, err := s.solveOne(r.Context(), req)
+			if err != nil {
+				results[i] = BatchResult{Error: err.Error(), Status: status}
+				return
+			}
+			results[i] = BatchResult{Response: resp, Status: status}
+		}(i, req)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// handlePairings is GET /v1/pairings.
+func (s *Server) handlePairings(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var resp PairingsResponse
+	for _, p := range duedate.Pairings() {
+		resp.Pairings = append(resp.Pairings, PairingInfo{Algorithm: p.Algorithm, Engine: p.Engine})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	h := HealthResponse{Status: "ok", Pool: s.cfg.Pool, QueueDepth: s.cfg.QueueDepth}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// MetricsResponse is the wire form of GET /metrics: the server's
+// admission/cache counters next to the obs.Registry aggregation of every
+// solve's core.Metrics snapshot.
+type MetricsResponse struct {
+	// Server holds the admission, cache and pool counters.
+	Server ServerStats `json:"server"`
+	// Solver holds the cross-run solver aggregates (evaluation splits,
+	// acceptances, per-phase timing at the kernels level).
+	Solver obs.RegistrySnapshot `json:"solver"`
+	// CacheEntries is the live result-cache size.
+	CacheEntries int `json:"cacheEntries"`
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Server: ServerStats{
+			Requests:    s.stats.requests.Load(),
+			Completed:   s.stats.completed.Load(),
+			CacheHits:   s.stats.cacheHits.Load(),
+			CacheMisses: s.stats.cacheMiss.Load(),
+			Rejected:    s.stats.rejected.Load(),
+			Errors:      s.stats.errors.Load(),
+			Active:      s.stats.active.Load(),
+			Queued:      len(s.queue),
+			Pool:        s.cfg.Pool,
+			QueueDepth:  s.cfg.QueueDepth,
+			Draining:    s.draining.Load(),
+			Uptime:      time.Since(s.started),
+		},
+		Solver:       s.registry.Snapshot(),
+		CacheEntries: s.cache.len(),
+	})
+}
+
+// Run serves the API on l until ctx is cancelled — the daemon binds
+// SIGINT/SIGTERM to ctx, so cancellation is the signal path — then
+// performs the graceful drain: stop accepting connections, wait (up to
+// grace) for in-flight handlers, and drain the worker pool so every
+// admitted solve completes. It returns nil on a clean drain.
+func Run(ctx context.Context, l net.Listener, cfg Config, grace time.Duration) error {
+	s := New(cfg)
+	// Request contexts deliberately do not descend from ctx: during the
+	// grace window in-flight solves run to completion instead of being
+	// interrupted the instant the signal lands (client disconnects still
+	// cancel per-request contexts).
+	httpSrv := &http.Server{Handler: s}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		return err // listener failed before any shutdown request
+	case <-ctx.Done():
+	}
+	graceCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	// Shutdown stops the listener and waits for active handlers, whose
+	// solves the pool is still executing; Drain then retires the pool.
+	shutdownErr := httpSrv.Shutdown(graceCtx)
+	if err := s.Drain(graceCtx); err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("server: shutdown: %w", shutdownErr)
+	}
+	return nil
+}

@@ -1,0 +1,585 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	duedate "repro"
+	"repro/internal/problem"
+)
+
+// postJSON marshals v and posts it to url, returning the status and body.
+func postJSON(t *testing.T, url string, v any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out.Bytes()
+}
+
+// decodeInto unmarshals body into v, failing the test on error.
+func decodeInto(t *testing.T, body []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("unmarshal %T: %v\nbody: %s", v, err, body)
+	}
+}
+
+// newTestServer builds a server + httptest listener and registers
+// cleanup (drain) on t.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// TestSolveRoundTripBitIdentical pins the core serving contract: for the
+// same (instance, algorithm, engine, seed, iterations, geometry) the
+// server's response equals a direct duedate.SolveContext call bit for
+// bit, on both problems and both a CPU and the GPU engine.
+func TestSolveRoundTripBitIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 2})
+	cases := []struct {
+		name string
+		req  SolveRequest
+	}{
+		{"cdd-cpu-serial", SolveRequest{
+			Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.SA,
+			Engine: duedate.EngineCPUSerial, Iterations: 60, Grid: 1, Block: 8,
+			Seed: 42, TempSamples: 50,
+		}},
+		{"ucddcp-gpu", SolveRequest{
+			Instance: duedate.PaperExample(duedate.UCDDCP), Algorithm: duedate.SA,
+			Engine: duedate.EngineGPU, Iterations: 40, Grid: 1, Block: 4,
+			Seed: 7, TempSamples: 50,
+		}},
+		{"cdd-dpso-cpu-parallel", SolveRequest{
+			Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.DPSO,
+			Engine: duedate.EngineCPUParallel, Iterations: 40, Grid: 1, Block: 8,
+			Seed: 3,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := postJSON(t, ts.URL+"/v1/solve", tc.req)
+			if status != http.StatusOK {
+				t.Fatalf("status %d, body %s", status, body)
+			}
+			var got SolveResponse
+			decodeInto(t, body, &got)
+
+			want, err := duedate.SolveContext(context.Background(), tc.req.Instance, tc.req.options())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cost != want.BestCost {
+				t.Errorf("cost %d, direct SolveContext %d", got.Cost, want.BestCost)
+			}
+			if fmt.Sprint(got.Sequence) != fmt.Sprint(want.BestSeq) {
+				t.Errorf("sequence %v, direct SolveContext %v", got.Sequence, want.BestSeq)
+			}
+			if got.Iterations != want.Iterations || got.Evaluations != want.Evaluations {
+				t.Errorf("accounting (%d it, %d evals), direct (%d, %d)",
+					got.Iterations, got.Evaluations, want.Iterations, want.Evaluations)
+			}
+			sched := want.Schedule(tc.req.Instance)
+			if got.Start != sched.Start || fmt.Sprint(got.Compressions) != fmt.Sprint(sched.X) {
+				t.Errorf("schedule (start %d, X %v), direct (start %d, X %v)",
+					got.Start, got.Compressions, sched.Start, sched.X)
+			}
+			if got.Cached || got.Interrupted {
+				t.Errorf("fresh full-budget solve reported cached=%t interrupted=%t", got.Cached, got.Interrupted)
+			}
+		})
+	}
+}
+
+// blockingSolve installs a fake solver that signals each start and
+// blocks until release is closed, returning the identity sequence.
+func blockingSolve(s *Server, started chan<- struct{}, release <-chan struct{}) {
+	s.solve = func(ctx context.Context, in *problem.Instance, opts duedate.Options) (duedate.Result, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return duedate.Result{BestSeq: problem.IdentitySequence(in.N()), BestCost: 1}, nil
+	}
+}
+
+// TestQueueSaturationReturns429 fills the single worker and the
+// zero-depth queue, then requires admission control to answer 429 — and
+// to admit again once the pool frees up.
+func TestQueueSaturationReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 1, QueueDepth: -1})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	blockingSolve(s, started, release)
+
+	req := SolveRequest{Instance: duedate.PaperExample(duedate.CDD), Engine: duedate.EngineCPUSerial, NoCache: true}
+	firstDone := make(chan int, 1)
+	go func() {
+		status, _ := postJSON(t, ts.URL+"/v1/solve", req)
+		firstDone <- status
+	}()
+	<-started // the worker is now occupied and the queue is empty
+
+	status, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue answered %d (want 429), body %s", status, body)
+	}
+	var er ErrorResponse
+	decodeInto(t, body, &er)
+	if er.Status != http.StatusTooManyRequests || er.Error == "" {
+		t.Errorf("error payload %+v", er)
+	}
+
+	close(release)
+	if st := <-firstDone; st != http.StatusOK {
+		t.Fatalf("admitted request finished with %d", st)
+	}
+	// The pool is free again: the same request is admitted now.
+	if status, body := postJSON(t, ts.URL+"/v1/solve", req); status != http.StatusOK {
+		t.Fatalf("post-saturation request answered %d, body %s", status, body)
+	}
+}
+
+// TestResultCacheHitAndMiss solves the same request twice and requires
+// the second answer to come from the cache, byte-identical modulo the
+// cached flag; noCache must bypass the lookup.
+func TestResultCacheHitAndMiss(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+	req := SolveRequest{
+		Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.SA,
+		Engine: duedate.EngineCPUSerial, Iterations: 40, Grid: 1, Block: 4,
+		Seed: 9, TempSamples: 50,
+	}
+	status, body1 := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("first solve: %d %s", status, body1)
+	}
+	var first, second SolveResponse
+	decodeInto(t, body1, &first)
+	if first.Cached {
+		t.Fatal("first solve reported cached")
+	}
+
+	status, body2 := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("second solve: %d %s", status, body2)
+	}
+	decodeInto(t, body2, &second)
+	if !second.Cached {
+		t.Fatal("identical resubmission was not served from the cache")
+	}
+	second.Cached = false
+	if fmt.Sprintf("%+v", first) != fmt.Sprintf("%+v", second) {
+		t.Errorf("cached response differs:\nfirst  %+v\nsecond %+v", first, second)
+	}
+
+	// A different seed is a different trajectory: must miss.
+	req.Seed = 10
+	var third SolveResponse
+	_, body3 := postJSON(t, ts.URL+"/v1/solve", req)
+	decodeInto(t, body3, &third)
+	if third.Cached {
+		t.Error("different seed hit the cache")
+	}
+
+	// noCache bypasses the lookup even for a cached key.
+	req.Seed = 9
+	req.NoCache = true
+	var fourth SolveResponse
+	_, body4 := postJSON(t, ts.URL+"/v1/solve", req)
+	decodeInto(t, body4, &fourth)
+	if fourth.Cached {
+		t.Error("noCache request was served from the cache")
+	}
+
+	var m MetricsResponse
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Server.CacheHits != 1 || m.Server.CacheMisses != 2 {
+		t.Errorf("metrics counted %d hits / %d misses (want 1 / 2)", m.Server.CacheHits, m.Server.CacheMisses)
+	}
+	if m.CacheEntries != 2 || m.Server.Completed != 3 {
+		t.Errorf("metrics: %d cache entries (want 2), %d completed (want 3)", m.CacheEntries, m.Server.Completed)
+	}
+	if m.Solver.Runs != 3 || m.Solver.Totals.Evaluations == 0 {
+		t.Errorf("solver registry observed %d runs with %d evaluations", m.Solver.Runs, m.Solver.Totals.Evaluations)
+	}
+}
+
+// TestDeadlineExpiredReturnsInterrupted sends a request whose budget
+// cannot complete within its deadline and requires a 200 with the valid
+// best-so-far marked interrupted — and that the partial result is not
+// cached.
+func TestDeadlineExpiredReturnsInterrupted(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+	inst, err := duedate.GenerateCDDBenchmark(100, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SolveRequest{
+		Instance: inst[0], Algorithm: duedate.SA, Engine: duedate.EngineCPUSerial,
+		Iterations: 200000, Grid: 8, Block: 8, Seed: 5, TempSamples: 10,
+		TimeoutMs: 60,
+	}
+	status, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	var got SolveResponse
+	decodeInto(t, body, &got)
+	if !got.Interrupted {
+		t.Fatal("deadline-bounded request was not interrupted (budget too small?)")
+	}
+	if len(got.Sequence) != inst[0].N() || !problem.IsPermutation(got.Sequence) {
+		t.Fatalf("interrupted best-so-far is not a valid permutation: %v", got.Sequence)
+	}
+	if _, c, err := duedate.OptimizeSequence(inst[0], got.Sequence); err != nil || c != got.Cost {
+		t.Fatalf("interrupted cost %d dishonest (re-evaluated %d, err %v)", got.Cost, c, err)
+	}
+
+	// The partial result must not shadow a full-budget answer.
+	status, body = postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("second request: %d %s", status, body)
+	}
+	var again SolveResponse
+	decodeInto(t, body, &again)
+	if again.Cached {
+		t.Error("interrupted result was cached")
+	}
+}
+
+// TestErrorStatusMapping table-tests the HTTP translation of the facade
+// sentinels and malformed bodies: ErrInvalidOptions → 400,
+// ErrUnsupportedPairing → 422, never an opaque 500 for caller mistakes.
+func TestErrorStatusMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+	valid := duedate.PaperExample(duedate.CDD)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unsupported-pairing-ta-gpu",
+			reqBody(t, SolveRequest{Instance: valid, Algorithm: duedate.TA, Engine: duedate.EngineGPU}),
+			http.StatusUnprocessableEntity},
+		{"unsupported-pairing-es-gpu",
+			reqBody(t, SolveRequest{Instance: valid, Algorithm: duedate.ES, Engine: duedate.EngineGPU}),
+			http.StatusUnprocessableEntity},
+		{"invalid-options-negative-grid",
+			reqBody(t, SolveRequest{Instance: valid, Engine: duedate.EngineCPUSerial, Grid: -1}),
+			http.StatusBadRequest},
+		{"invalid-options-negative-workers",
+			reqBody(t, SolveRequest{Instance: valid, Engine: duedate.EngineCPUParallel, Workers: -2}),
+			http.StatusBadRequest},
+		{"unknown-algorithm-name",
+			`{"instance":` + instJSON(t, valid) + `,"algorithm":"XX"}`,
+			http.StatusBadRequest},
+		{"unknown-engine-name",
+			`{"instance":` + instJSON(t, valid) + `,"engine":"tpu"}`,
+			http.StatusBadRequest},
+		{"invalid-instance-kind",
+			`{"instance":{"name":"x","kind":"nope","dueDate":5,"jobs":[{"p":1,"alpha":1,"beta":1}]}}`,
+			http.StatusBadRequest},
+		{"invalid-instance-no-jobs",
+			`{"instance":{"name":"x","kind":"CDD","dueDate":5,"jobs":[]}}`,
+			http.StatusBadRequest},
+		{"missing-instance", `{}`, http.StatusBadRequest},
+		{"unknown-field", `{"instance":` + instJSON(t, valid) + `,"bogus":1}`, http.StatusBadRequest},
+		{"malformed-json", `{"instance":`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var er ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatalf("non-JSON error body: %v", err)
+			}
+			if resp.StatusCode != tc.want {
+				t.Errorf("status %d (want %d), error %q", resp.StatusCode, tc.want, er.Error)
+			}
+			if er.Status != resp.StatusCode || er.Error == "" {
+				t.Errorf("error payload %+v does not echo status %d", er, resp.StatusCode)
+			}
+		})
+	}
+}
+
+// reqBody marshals a SolveRequest for the table tests.
+func reqBody(t *testing.T, r SolveRequest) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// instJSON marshals an instance for hand-assembled request bodies.
+func instJSON(t *testing.T, in *problem.Instance) string {
+	t.Helper()
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestBatchMixedOutcomes posts a batch whose slots succeed, lack an
+// instance, and name an unsupported pairing — each slot must carry its
+// own status and the good slot must match a direct solve.
+func TestBatchMixedOutcomes(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 2})
+	good := SolveRequest{
+		Instance: duedate.PaperExample(duedate.UCDDCP), Algorithm: duedate.SA,
+		Engine: duedate.EngineCPUSerial, Iterations: 40, Grid: 1, Block: 4, Seed: 11, TempSamples: 50,
+	}
+	batch := BatchRequest{Requests: []SolveRequest{
+		good,
+		{}, // missing instance
+		{Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.TA, Engine: duedate.EngineGPU},
+	}}
+	status, body := postJSON(t, ts.URL+"/v1/batch", batch)
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d, body %s", status, body)
+	}
+	var resp BatchResponse
+	decodeInto(t, body, &resp)
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Status != http.StatusOK || resp.Results[0].Response == nil {
+		t.Fatalf("good slot: %+v", resp.Results[0])
+	}
+	want, err := duedate.SolveContext(context.Background(), good.Instance, good.options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Results[0].Response; got.Cost != want.BestCost || fmt.Sprint(got.Sequence) != fmt.Sprint(want.BestSeq) {
+		t.Errorf("batch slot (%d, %v) differs from direct solve (%d, %v)",
+			got.Cost, got.Sequence, want.BestCost, want.BestSeq)
+	}
+	if resp.Results[1].Status != http.StatusBadRequest || resp.Results[1].Error == "" {
+		t.Errorf("missing-instance slot: %+v", resp.Results[1])
+	}
+	if resp.Results[2].Status != http.StatusUnprocessableEntity {
+		t.Errorf("unsupported-pairing slot: %+v", resp.Results[2])
+	}
+}
+
+// TestPairingsEndpoint requires /v1/pairings to mirror the live driver
+// registry exactly.
+func TestPairingsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+	resp, err := http.Get(ts.URL + "/v1/pairings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got PairingsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := duedate.Pairings()
+	if len(got.Pairings) != len(want) {
+		t.Fatalf("%d pairings served, registry has %d", len(got.Pairings), len(want))
+	}
+	for i, p := range want {
+		if got.Pairings[i].Algorithm != p.Algorithm || got.Pairings[i].Engine != p.Engine {
+			t.Errorf("pairing %d: served %v/%v, registry %v/%v",
+				i, got.Pairings[i].Algorithm, got.Pairings[i].Engine, p.Algorithm, p.Engine)
+		}
+	}
+}
+
+// TestGracefulDrain exercises the SIGTERM drain semantics under -race:
+// with solves running and queued, Drain must flip healthz to 503, turn
+// new work away with 503, complete every admitted solve, and return.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 2, QueueDepth: 2})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	blockingSolve(s, started, release)
+
+	req := SolveRequest{Instance: duedate.PaperExample(duedate.CDD), Engine: duedate.EngineCPUSerial, NoCache: true}
+	const inflight = 3 // 2 running + 1 queued
+	statuses := make(chan int, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, _ := postJSON(t, ts.URL+"/v1/solve", req)
+			statuses <- status
+		}()
+	}
+	<-started
+	<-started // both workers busy
+	// Wait until the third request is admitted to the queue — draining
+	// must complete queued work, not reject it.
+	waitFor(t, func() bool { return s.stats.requests.Load() == inflight })
+
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- s.Drain(ctx)
+	}()
+	waitFor(t, func() bool { return s.draining.Load() })
+
+	// Draining: health answers 503 and new solves are turned away.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: %d (want 503)", hr.StatusCode)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/solve", req); status != http.StatusServiceUnavailable {
+		t.Errorf("new solve during drain: %d (want 503)", status)
+	}
+
+	close(release)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	close(statuses)
+	for status := range statuses {
+		if status != http.StatusOK {
+			t.Errorf("in-flight request finished with %d during drain (want 200)", status)
+		}
+	}
+	// Drain is idempotent.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+// TestRunServesAndDrainsOnContextCancel drives the daemon entry point
+// end to end: serve on a real listener, answer a request, then cancel
+// the context (the SIGTERM path of cmd/duedated) and require a clean
+// drain.
+func TestRunServesAndDrainsOnContextCancel(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- Run(ctx, l, Config{Pool: 2}, 10*time.Second)
+	}()
+	base := "http://" + l.Addr().String()
+	waitFor(t, func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	req := SolveRequest{
+		Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.SA,
+		Engine: duedate.EngineCPUSerial, Iterations: 40, Grid: 1, Block: 4, Seed: 2, TempSamples: 50,
+	}
+	status, body := postJSON(t, base+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("solve via Run: %d %s", status, body)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run returned %v (want clean drain)", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Run did not drain after context cancellation")
+	}
+}
+
+// TestCacheLRUEviction pins the bound: capacity 2 must evict the least
+// recently used key.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	put := func(k string) { c.put(k, &SolveResponse{Instance: k}) }
+	put("a")
+	put("b")
+	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	put("c") // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived past capacity")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s evicted wrongly", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Errorf("len %d, want 2", c.len())
+	}
+	// Interrupted responses never enter.
+	c.put("d", &SolveResponse{Interrupted: true})
+	if _, ok := c.get("d"); ok {
+		t.Error("interrupted response was cached")
+	}
+}
+
+// waitFor polls cond for up to 5 s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

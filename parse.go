@@ -65,3 +65,21 @@ func (e *Engine) Set(s string) error {
 	*e = v
 	return nil
 }
+
+// MarshalText implements encoding.TextMarshaler, so Algorithm fields
+// encode as their names ("SA") in JSON wire types such as the server's
+// SolveRequest/SolveResponse.
+func (a Algorithm) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseAlgorithm;
+// unknown names report ErrInvalidOptions.
+func (a *Algorithm) UnmarshalText(text []byte) error { return a.Set(string(text)) }
+
+// MarshalText implements encoding.TextMarshaler, so Engine fields encode
+// as their names ("gpu", "cpu-parallel", "cpu-serial") in JSON wire
+// types.
+func (e Engine) MarshalText() ([]byte, error) { return []byte(e.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseEngine;
+// unknown names report ErrInvalidOptions.
+func (e *Engine) UnmarshalText(text []byte) error { return e.Set(string(text)) }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Smoke-test the duedated daemon end to end: build it, start it on an
+# ephemeral port, post one CDD and one UCDDCP request from testdata/,
+# assert 200 + a finite cost (and a cache hit on resubmission), then
+# SIGTERM it and require a clean graceful drain (exit 0).
+set -eu
+
+cd "$(dirname "$0")/.."
+ADDR="127.0.0.1:${DUEDATED_PORT:-8337}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/duedated"
+
+go build -o "$BIN" ./cmd/duedated
+"$BIN" -addr "$ADDR" -pool 2 -queue 16 &
+PID=$!
+cleanup() { kill "$PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# Wait for the listener.
+for _ in $(seq 1 100); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "FAIL: healthz never came up"; exit 1; }
+
+# The pairings endpoint must enumerate the registry.
+curl -sf "$BASE/v1/pairings" | grep -q '"algorithm": "SA"' \
+  || { echo "FAIL: /v1/pairings missing SA"; exit 1; }
+
+for f in testdata/server/solve_cdd.json testdata/server/solve_ucddcp.json; do
+  body=$(curl -sf -X POST -H 'Content-Type: application/json' --data-binary "@$f" "$BASE/v1/solve") \
+    || { echo "FAIL: POST $f returned non-200"; exit 1; }
+  # A finite cost is a plain JSON integer (json.Marshal rejects NaN/Inf).
+  echo "$body" | grep -Eq '"cost": -?[0-9]+' \
+    || { echo "FAIL: no finite cost for $f: $body"; exit 1; }
+  echo "OK: $f -> $(echo "$body" | grep -E '"cost"' | head -1 | tr -d ' ,')"
+done
+
+# Resubmitting the CDD request must hit the result cache.
+curl -sf -X POST --data-binary @testdata/server/solve_cdd.json "$BASE/v1/solve" \
+  | grep -Eq '"cached": true' || { echo "FAIL: resubmission missed the cache"; exit 1; }
+curl -sf "$BASE/metrics" | grep -Eq '"cacheHits": [1-9]' \
+  || { echo "FAIL: /metrics shows no cache hit"; exit 1; }
+
+# Graceful drain: SIGTERM must exit 0 after completing in-flight work.
+kill -TERM "$PID"
+if ! wait "$PID"; then
+  echo "FAIL: duedated did not drain cleanly on SIGTERM"
+  exit 1
+fi
+trap - EXIT
+echo "server-smoke: PASS"
