@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hotpath experiments examples clean verify-diff fuzz serve docs-lint server-smoke
+.PHONY: all build vet test race cover bench bench-hotpath experiments examples clean verify-diff fuzz serve docs-lint server-smoke serve-allocs
 
 all: build vet test
 
@@ -28,7 +28,8 @@ bench:
 # Time the metaheuristic hot path (full fused evaluators and the
 # incremental delta path) and record the numbers as JSON.
 bench-hotpath:
-	$(GO) test -run '^$$' -bench 'BenchmarkEvaluator(CDD|CDDDelta|UCDDCP)' -benchmem -benchtime 1s . \
+	( $(GO) test -run '^$$' -bench 'BenchmarkEvaluator(CDD|CDDDelta|UCDDCP)|BenchmarkBatchEvaluator' -benchmem -benchtime 1s . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkServe(Solve|Batch)Allocs' -benchmem -benchtime 2000x ./internal/server/ ) \
 		| $(GO) run ./cmd/benchjson -out BENCH_evaluator.json
 
 # Cross-engine differential verification: every generator family through
@@ -43,6 +44,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzCDDDeltaVsFull$$' -fuzztime $(FUZZTIME) ./internal/cdd
 	$(GO) test -run '^$$' -fuzz '^FuzzUCDDCPDeltaVsFull$$' -fuzztime $(FUZZTIME) ./internal/ucddcp
 	$(GO) test -run '^$$' -fuzz '^FuzzParseInstance$$' -fuzztime $(FUZZTIME) ./internal/problem
+	$(GO) test -run '^$$' -fuzz '^FuzzBatchEvaluator$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzSolveFacade$$' -fuzztime $(FUZZTIME) .
 
 # Run the batch-solving daemon locally on its default address (:8337).
@@ -53,6 +55,12 @@ serve:
 # exported rule, stdlib-only). Fails on any missing doc comment.
 docs-lint:
 	$(GO) run ./cmd/docslint . ./cmd/* ./examples/* ./internal/*
+
+# Serve-path allocation guard: benchmark the steady-state POST /v1/solve
+# and /v1/batch paths and fail if allocs/op exceeds the checked-in
+# threshold (scripts/serve-allocs-threshold).
+serve-allocs:
+	scripts/serve-allocs-guard.sh
 
 # End-to-end smoke test of the daemon: build, serve, post one CDD and
 # one UCDDCP instance from testdata/server/, assert a cache hit, then

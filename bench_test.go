@@ -311,6 +311,69 @@ func BenchmarkEvaluatorUCDDCP(b *testing.B) {
 	}
 }
 
+// batchBenchRows builds batch random permutation rows of length size.
+// The generator is seeded per (kind, size) only, so the single-mode
+// baseline and every batch mode of one sub-benchmark family score a
+// prefix of the exact same row set — the reported ns/seq values are
+// same-workload comparable.
+func batchBenchRows(batch, size int) []int {
+	rng := xrand.New(5)
+	rows := make([]int, batch*size)
+	for t := 0; t < batch; t++ {
+		row := rows[t*size : (t+1)*size]
+		for i := range row {
+			row[i] = i
+		}
+		for i := size - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			row[i], row[j] = row[j], row[i]
+		}
+	}
+	return rows
+}
+
+// BenchmarkBatchEvaluator times the batch evaluation core on row-major
+// populations: B sequences per CostRows call through the
+// pair-interleaved kernels, reporting ns/seq (per-sequence cost). The
+// "single" mode scores the same rows one at a time through the
+// per-sequence Evaluator — the like-for-like baseline the batch modes
+// are judged against. The benchjson post-processor derives the
+// batch-vs-single speedup from the two.
+func BenchmarkBatchEvaluator(b *testing.B) {
+	const baseRows = 16
+	for _, kind := range []problem.Kind{problem.CDD, problem.UCDDCP} {
+		for _, size := range []int{10, 100, 1000} {
+			b.Run(fmt.Sprintf("%s/n%d/single", kind, size), func(b *testing.B) {
+				in := benchInstance(b, kind, size)
+				eval := core.NewEvaluator(in)
+				rows := batchBenchRows(baseRows, size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for t := 0; t < baseRows; t++ {
+						eval.Cost(rows[t*size : (t+1)*size])
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*baseRows), "ns/seq")
+			})
+			for _, batch := range []int{16, 256} {
+				b.Run(fmt.Sprintf("%s/n%d/B%d", kind, size, batch), func(b *testing.B) {
+					in := benchInstance(b, kind, size)
+					be := core.NewBatchEvaluator(in)
+					rows := batchBenchRows(batch, size)
+					costs := make([]int64, batch)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						be.CostRows(rows, costs)
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(batch)), "ns/seq")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkSolvePublicAPI times the end-to-end public entry point with
 // the (scaled-down) paper defaults, the number a library user sees.
 func BenchmarkSolvePublicAPI(b *testing.B) {

@@ -120,20 +120,37 @@ func parseBench(line string) (Bench, bool) {
 }
 
 // speedups derives "<base>/<size>: full ns / delta ns" ratios for every
-// benchmark pair named <base>Delta/<size> and <base>/<size>.
+// benchmark pair named <base>Delta/<size> and <base>/<size>, plus
+// batch-vs-single per-sequence ratios for every
+// BenchmarkBatchEvaluator/<kind>/<n>/B<batch> row against its same-row
+// /single baseline (both report the ns/seq metric; a ratio above 1
+// means the batch call scores a sequence faster than single calls on
+// the identical workload).
 func speedups(benches []Bench) map[string]float64 {
 	byName := map[string]float64{}
+	singleSeq := map[string]float64{}
 	for _, b := range benches {
 		byName[b.Name] = b.NsPerOp
+		if family, mode, ok := strings.Cut(strings.TrimPrefix(b.Name, "BenchmarkBatchEvaluator/"), "/single"); ok && mode == "" {
+			singleSeq[family] = b.Metrics["ns/seq"]
+		}
 	}
 	out := map[string]float64{}
 	for _, b := range benches {
-		base, size, ok := strings.Cut(b.Name, "Delta/")
-		if !ok {
+		if base, size, ok := strings.Cut(b.Name, "Delta/"); ok {
+			if full, exists := byName[base+"/"+size]; exists && b.NsPerOp > 0 {
+				out[strings.TrimPrefix(base, "Benchmark")+"/"+size] = full / b.NsPerOp
+			}
 			continue
 		}
-		if full, exists := byName[base+"/"+size]; exists && b.NsPerOp > 0 {
-			out[strings.TrimPrefix(base, "Benchmark")+"/"+size] = full / b.NsPerOp
+		rest := strings.TrimPrefix(b.Name, "BenchmarkBatchEvaluator/")
+		if rest == b.Name {
+			continue
+		}
+		if family, mode, ok := strings.Cut(rest, "/B"); ok && mode != "" {
+			if single, perSeq := singleSeq[family], b.Metrics["ns/seq"]; single > 0 && perSeq > 0 {
+				out["BatchEvaluator/"+rest] = single / perSeq
+			}
 		}
 	}
 	if len(out) == 0 {

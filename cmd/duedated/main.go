@@ -17,6 +17,8 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +40,7 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 0, "clamp on every request deadline (0 = no clamp)")
 		grace      = flag.Duration("grace", 30*time.Second, "drain budget after SIGINT/SIGTERM")
 		metrics    = flag.String("metrics", "counters", "solver instrumentation aggregated into /metrics: counters or kernels")
+		pprofAddr  = flag.String("pprof", "", "expose net/http/pprof on this side address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
 
@@ -55,6 +58,23 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s (pool %d, queue %d, cache %d)", l.Addr(), *pool, *queue, *cache)
+
+	// The profiling listener is strictly separate from the API listener:
+	// the API is served from the server package's own mux, so the
+	// DefaultServeMux this side listener serves carries only the pprof
+	// handlers and is bound (typically to localhost) only on request.
+	if *pprofAddr != "" {
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pl.Addr())
+		go func() {
+			if err := http.Serve(pl, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	// The signal context is the shutdown trigger: server.Run serves until
 	// it is cancelled, then drains the pool within -grace.

@@ -1,0 +1,136 @@
+package cdd
+
+import "unsafe"
+
+// This file holds the batched forms of the fused CDD evaluation core: B
+// sequences stored as rows of one flat matrix scored per call. The cost
+// rows run through an unchecked-gather clone of CostArrays — the batch
+// entry points validate every row index up front (one predictable sweep
+// per row, re-establishing memory safety) and the kernel then gathers
+// p/α/β without per-access bounds checks, which the branchy
+// data-dependent indices otherwise force on every iteration. The
+// arithmetic is statement-for-statement CostArrays, so batch costs are
+// bit-identical to the per-sequence path; keeping the safe CostArrays
+// untouched preserves an independent reference the verify oracle chain
+// and FuzzBatchEvaluator cross-check against. The fitness rows run the
+// safe single-row OptimizeArrays unchanged, so the abstract op counts
+// the simulated device charges are identical by construction. (A
+// pair-interleaved two-rows-per-sweep variant was measured and lost:
+// the sweep is uop-throughput-bound, so doubling the live accumulator
+// state spills registers without hiding any latency.)
+
+// BatchCostArrays scores B = len(costs) sequences stored row-major in
+// rows (len(rows) ≥ B·n) into costs. The cost core keeps its whole
+// state in registers (no completion-time stores), so the call is
+// allocation-free and touches no scratch memory. Rows holding indices
+// outside [0, n) panic, exactly like the bounds-checked path.
+func BatchCostArrays[S Index](rows []S, n int, p, alpha, beta []int64, d int64, costs []int64) {
+	for i := range costs {
+		costs[i] = CostRowArrays(rows[i*n:(i+1)*n], p, alpha, beta, d)
+	}
+}
+
+// CostRowArrays is the batch-path row core: CostArrays arithmetic with
+// a single fused index check per element (one comparison covers the
+// two or three data-dependent gathers of an iteration, which the
+// bounds-checked path pays for separately) followed by unchecked
+// loads. Bit-identical to CostArrays; panics on indices outside
+// [0, len(seq)) before any unchecked access, exactly like the safe
+// path panics out of range.
+func CostRowArrays[S Index](seq []S, p, alpha, beta []int64, d int64) int64 {
+	n := len(seq)
+	if n == 0 {
+		return 0
+	}
+	p, alpha, beta = p[:n], alpha[:n], beta[:n]
+	return costRow(seq, &p[0], &alpha[0], &beta[0], d)
+}
+
+// gather loads base[j] without a bounds check; callers must have
+// validated j against the column length.
+func gather[S Index](base *int64, j S) int64 {
+	return *(*int64)(unsafe.Add(unsafe.Pointer(base), uintptr(int64(j))<<3))
+}
+
+// checkIdx panics unless 0 ≤ j < n; the uint comparison folds the
+// negative and too-large cases into one predictable branch.
+func checkIdx[S Index](j S, n int) {
+	if uint64(int64(j)) >= uint64(n) {
+		panic("cdd: sequence index out of range")
+	}
+}
+
+// costRow is CostArrays with each iteration's gathers (p[j], alpha[j],
+// beta[j]) guarded by one fused index check and then loaded unchecked;
+// see CostArrays for the algorithm commentary. Sequence loads stay
+// bounds-checked — the compiler proves them away from the loop shapes.
+func costRow[S Index](seq []S, p0, alpha0, beta0 *int64, d int64) int64 {
+	n := len(seq)
+	var t, a, b, ac, bc int64
+	i := 0
+	for ; i < n; i++ {
+		j := seq[i]
+		checkIdx(j, n)
+		t += gather(p0, j)
+		if t > d {
+			break
+		}
+		aj := gather(alpha0, j)
+		a += aj
+		ac += aj * t
+	}
+	tau := i
+	cm := t
+	if i < n {
+		j := seq[i]
+		cm = t - gather(p0, j)
+		bj := gather(beta0, j)
+		b += bj
+		bc += bj * t
+		for i++; i < n; i++ {
+			j = seq[i]
+			checkIdx(j, n)
+			t += gather(p0, j)
+			bj = gather(beta0, j)
+			b += bj
+			bc += bj * t
+		}
+	}
+	if tau == 0 {
+		return bc - d*b
+	}
+	if cm < d && b >= a {
+		return a*d - ac + bc - b*d
+	}
+	r := tau
+	jb := seq[r-1]
+	aj := gather(alpha0, jb)
+	bj := gather(beta0, jb)
+	a -= aj
+	ac -= aj * cm
+	b += bj
+	bc += bj * cm
+	for r > 1 && a > b {
+		cm -= gather(p0, jb)
+		r--
+		jb = seq[r-1]
+		aj = gather(alpha0, jb)
+		bj = gather(beta0, jb)
+		a -= aj
+		ac -= aj * cm
+		b += bj
+		bc += bj * cm
+	}
+	return a*cm - ac + bc - b*cm
+}
+
+// BatchFitnessArrays is the device-kernel form of BatchCostArrays: it
+// additionally records each row's abstract operation count (the value
+// OptimizeArrays returns, which the simulated device converts into
+// cycle charges) into ops, index-aligned with costs. comp (length ≥ n)
+// is the completion-time scratch row, reused across rows.
+func BatchFitnessArrays[S Index](rows []S, n int, p, alpha, beta []int64, d int64, comp, costs []int64, ops []int) {
+	for i := range costs {
+		costs[i], _, _, ops[i] = OptimizeArrays(rows[i*n:(i+1)*n], p, alpha, beta, d, comp[:n])
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"repro/internal/cdd"
+	"repro/internal/problem"
+	"repro/internal/ucddcp"
+)
+
+// This file is the batch evaluation layer: a structure-of-arrays
+// snapshot of the instance (SoAInstance) plus an evaluator that scores
+// whole populations of sequences per call (BatchEvaluator). The batch
+// kernels in internal/cdd and internal/ucddcp run each row through the
+// exact single-row array cores over hoisted SoA columns, so a batch
+// call beats B single Cost calls on throughput by amortizing per-call
+// dispatch, Result building and scratch setup while remaining
+// bit-identical by construction — the invariant every consumer (the
+// ensemble runtime's per-chain scoring, the cudasim fitness kernel,
+// DPSO's population evaluation) relies on and the verify oracle chain
+// enforces.
+
+// SoAInstance is a structure-of-arrays snapshot of one instance's job
+// parameters: every per-job column widened to int64 and packed into a
+// single contiguous backing array, hoisted once per solve so the batch
+// kernels sweep cache-dense columns instead of pointer-chasing
+// problem.Job structs. Columns are indexed by job id. M and Gamma are
+// nil for CDD instances.
+type SoAInstance struct {
+	// Kind is the problem kind the snapshot was taken for.
+	Kind problem.Kind
+	// N is the job count; D the common due date.
+	N int
+	D int64
+	// P, Alpha, Beta are the processing-time and penalty columns.
+	P, Alpha, Beta []int64
+	// M, Gamma are the minimum-processing-time and compression-penalty
+	// columns (UCDDCP only; nil for CDD).
+	M, Gamma []int64
+}
+
+// NewSoAInstance hoists the instance's job parameters into one
+// contiguous structure-of-arrays snapshot.
+func NewSoAInstance(in *problem.Instance) *SoAInstance {
+	n := in.N()
+	s := &SoAInstance{Kind: in.Kind, N: n, D: in.D}
+	cols := 3
+	if in.Kind == problem.UCDDCP {
+		cols = 5
+	}
+	back := make([]int64, cols*n)
+	s.P, s.Alpha, s.Beta = back[0:n:n], back[n:2*n:2*n], back[2*n:3*n:3*n]
+	for i, j := range in.Jobs {
+		s.P[i], s.Alpha[i], s.Beta[i] = int64(j.P), int64(j.Alpha), int64(j.Beta)
+	}
+	if in.Kind == problem.UCDDCP {
+		s.M, s.Gamma = back[3*n:4*n:4*n], back[4*n:5*n:5*n]
+		for i, j := range in.Jobs {
+			s.M[i], s.Gamma[i] = int64(j.M), int64(j.Gamma)
+		}
+	}
+	return s
+}
+
+// BatchEvaluator scores batches of sequences against one SoAInstance
+// snapshot: B sequences per call through the batch array kernels, with
+// costs bit-identical to Evaluator.Cost on each row. It
+// also implements Evaluator (Cost is the batch of one, on the same
+// kernels). A BatchEvaluator carries scratch and is not safe for
+// concurrent use; create one per goroutine.
+type BatchEvaluator struct {
+	in  *problem.Instance
+	soa *SoAInstance
+	// comp is the completion-time scratch row (n); aux is the UCDDCP
+	// compression phase's early-side buffer (n, nil for CDD).
+	comp, aux []int64
+}
+
+// NewBatchEvaluator snapshots the instance and returns a batch evaluator
+// for it.
+func NewBatchEvaluator(in *problem.Instance) *BatchEvaluator {
+	return NewBatchEvaluatorSoA(in, NewSoAInstance(in))
+}
+
+// NewBatchEvaluatorSoA returns a batch evaluator over an existing
+// snapshot, so many evaluators (one per goroutine) can share one hoisted
+// copy of the instance data.
+func NewBatchEvaluatorSoA(in *problem.Instance, soa *SoAInstance) *BatchEvaluator {
+	e := &BatchEvaluator{in: in, soa: soa, comp: make([]int64, soa.N)}
+	if soa.Kind == problem.UCDDCP {
+		e.aux = make([]int64, soa.N)
+	}
+	return e
+}
+
+// BatchEvaluatorFor adapts an existing evaluator to the batch API:
+// a BatchEvaluator passes through unchanged, anything else gets a fresh
+// snapshot of its instance.
+func BatchEvaluatorFor(eval Evaluator) *BatchEvaluator {
+	if be, ok := eval.(*BatchEvaluator); ok {
+		return be
+	}
+	return NewBatchEvaluator(eval.Instance())
+}
+
+// Instance implements Evaluator.
+func (e *BatchEvaluator) Instance() *problem.Instance { return e.in }
+
+// SoA returns the underlying snapshot (shared, read-only by convention).
+func (e *BatchEvaluator) SoA() *SoAInstance { return e.soa }
+
+// Cost implements Evaluator: the batch of one, evaluated on the same
+// array kernels (for UCDDCP this skips the per-call compression-vector
+// zeroing of the Result-building path).
+func (e *BatchEvaluator) Cost(seq []int) int64 {
+	s := e.soa
+	if s.Kind == problem.UCDDCP {
+		c, _, _, _ := ucddcp.OptimizeArrays(seq, s.P, s.M, s.Alpha, s.Beta, s.Gamma, s.D, e.comp, e.aux, nil)
+		return c
+	}
+	return cdd.CostRowArrays(seq, s.P, s.Alpha, s.Beta, s.D)
+}
+
+// CostRows scores B = len(costs) sequences stored row-major in rows
+// (len(rows) ≥ B·N) into costs — the flat layout the simulated GPU
+// pipeline keeps its population in.
+func (e *BatchEvaluator) CostRows(rows []int, costs []int64) {
+	s := e.soa
+	if s.Kind == problem.UCDDCP {
+		ucddcp.BatchCostArrays(rows, s.N, s.P, s.M, s.Alpha, s.Beta, s.Gamma, s.D, e.comp, e.aux, costs)
+		return
+	}
+	cdd.BatchCostArrays(rows, s.N, s.P, s.Alpha, s.Beta, s.D, costs)
+}
+
+// CostRows32 is CostRows for int32 rows (the device sequence layout).
+func (e *BatchEvaluator) CostRows32(rows []int32, costs []int64) {
+	s := e.soa
+	if s.Kind == problem.UCDDCP {
+		ucddcp.BatchCostArrays(rows, s.N, s.P, s.M, s.Alpha, s.Beta, s.Gamma, s.D, e.comp, e.aux, costs)
+		return
+	}
+	cdd.BatchCostArrays(rows, s.N, s.P, s.Alpha, s.Beta, s.D, costs)
+}
+
+// CostSeqs scores seqs[i] into costs[i] (len(costs) = len(seqs)) without
+// requiring the sequences to be materialized into one flat matrix — the
+// layout population metaheuristics like DPSO hold their particles in.
+func (e *BatchEvaluator) CostSeqs(seqs [][]int, costs []int64) {
+	for i := range costs {
+		costs[i] = e.Cost(seqs[i])
+	}
+}
+
+// FitnessRows32 scores B = len(costs) device rows and records each row's
+// abstract operation count into ops — the quantity the simulated GPU
+// converts into cycle charges, bit-identical to the per-thread
+// OptimizeArrays path it replaces.
+func (e *BatchEvaluator) FitnessRows32(rows []int32, costs []int64, ops []int) {
+	s := e.soa
+	if s.Kind == problem.UCDDCP {
+		ucddcp.BatchFitnessArrays(rows, s.N, s.P, s.M, s.Alpha, s.Beta, s.Gamma, s.D, e.comp, e.aux, costs, ops)
+		return
+	}
+	cdd.BatchFitnessArrays(rows, s.N, s.P, s.Alpha, s.Beta, s.D, e.comp, costs, ops)
+}

@@ -168,17 +168,22 @@ type Solver interface {
 // InitialTemperature estimates T₀ as the standard deviation of the
 // fitness values of `samples` uniformly random job sequences, the rule of
 // Salamon, Sibani and Frost adopted by the paper (with samples = 5000).
-// It is deterministic given the rng.
+// It is deterministic given the rng. The scoring runs on the batch
+// evaluation core (each sample is the previous one reshuffled in place,
+// so samples chain and cannot be scored as one flat batch); costs are
+// bit-identical to eval.Cost, and the float accumulation order is
+// unchanged, so T₀ is too.
 func InitialTemperature(eval Evaluator, rng *xrand.XORWOW, samples int) float64 {
 	if samples < 2 {
 		samples = 2
 	}
+	be := BatchEvaluatorFor(eval)
 	n := eval.Instance().N()
 	seq := problem.IdentitySequence(n)
 	var sum, sumSq float64
 	for i := 0; i < samples; i++ {
 		perm.FisherYates(rng, seq)
-		f := float64(eval.Cost(seq))
+		f := float64(be.Cost(seq))
 		sum += f
 		sumSq += f * f
 	}

@@ -124,6 +124,17 @@ func (p *Particle) Best() ([]int, int64) { return p.pbest, p.pbestCost }
 // the new position, refreshing the personal best. It returns the new
 // position's cost.
 func (p *Particle) Update(gbest []int, eval core.Evaluator) int64 {
+	p.Move(gbest)
+	return p.Adopt(eval.Cost(p.pos))
+}
+
+// Move applies the three operators of Equation (3) against the given
+// swarm best and installs the resulting position, returning it
+// (borrowed) without evaluating. Callers batch-score the positions of
+// many particles in one pass and feed each cost back through Adopt; the
+// split consumes the RNG stream exactly as Update does, so trajectories
+// are unchanged.
+func (p *Particle) Move(gbest []int) []int {
 	// Velocity: λ = w ⊕ F1(pos).
 	copy(p.buf1, p.pos)
 	if p.rng.Float64() < p.cfg.W {
@@ -147,20 +158,33 @@ func (p *Particle) Update(gbest []int, eval core.Evaluator) int64 {
 		next = dst
 	}
 	copy(p.pos, next)
-	p.posCost = eval.Cost(p.pos)
-	if p.posCost < p.pbestCost {
+	return p.pos
+}
+
+// Adopt records cost as the current position's fitness and refreshes the
+// personal best, completing a Move. It returns cost.
+func (p *Particle) Adopt(cost int64) int64 {
+	p.posCost = cost
+	if cost < p.pbestCost {
 		copy(p.pbest, p.pos)
-		p.pbestCost = p.posCost
+		p.pbestCost = cost
 	}
-	return p.posCost
+	return cost
 }
 
 // Swarm is the serial DPSO solver: Config.Swarm particles sharing one
-// evaluator, with a synchronous global best.
+// batch evaluator, with a synchronous global best. Each generation moves
+// every particle first and scores the whole population in one batched
+// pass — trajectory-identical to per-particle Update calls (particles
+// own their RNG streams and read only the previous generation's gbest),
+// only faster.
 type Swarm struct {
 	cfg       Config
 	eval      core.Evaluator
+	batch     *core.BatchEvaluator
 	particles []*Particle
+	seqs      [][]int
+	costs     []int64
 	gbest     []int
 	gbestCost int64
 	evals     int64
@@ -170,7 +194,13 @@ type Swarm struct {
 // RNG sub-streams of the given seed.
 func NewSwarm(cfg Config, eval core.Evaluator, seed uint64) *Swarm {
 	cfg = cfg.Normalized()
-	s := &Swarm{cfg: cfg, eval: eval}
+	s := &Swarm{
+		cfg:   cfg,
+		eval:  eval,
+		batch: core.BatchEvaluatorFor(eval),
+		seqs:  make([][]int, cfg.Swarm),
+		costs: make([]int64, cfg.Swarm),
+	}
 	n := eval.Instance().N()
 	s.gbest = make([]int, n)
 	s.gbestCost = int64(1) << 62
@@ -187,10 +217,17 @@ func NewSwarm(cfg Config, eval core.Evaluator, seed uint64) *Swarm {
 }
 
 // Step runs one generation: find particles' and swarm's bests, update
-// positions, evaluate (Algorithm 2 lines 4–7).
+// positions, evaluate (Algorithm 2 lines 4–7). Moves happen first, then
+// one batched fitness pass over the population, then the personal-best
+// refreshes — the same decomposition the paper's GPU implementation uses
+// (update kernel, fitness kernel, reduction).
 func (s *Swarm) Step() {
-	for _, p := range s.particles {
-		p.Update(s.gbest, s.eval)
+	for i, p := range s.particles {
+		s.seqs[i] = p.Move(s.gbest)
+	}
+	s.batch.CostSeqs(s.seqs, s.costs)
+	for i, p := range s.particles {
+		p.Adopt(s.costs[i])
 		s.evals++
 	}
 	for _, p := range s.particles {

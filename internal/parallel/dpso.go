@@ -79,6 +79,21 @@ func (d *ParallelDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.
 	})
 	col.AddFullEvals(int64(ens.Chains))
 
+	// The single-goroutine driver scores the whole population per
+	// generation in one batched pass over the SoA snapshot instead of
+	// ens.Chains interface calls; per-particle RNG streams and the
+	// snapshot/pbest reference rules make the reordering (all moves, then
+	// all evaluations, then all adoptions) trajectory-identical to the
+	// worker path.
+	var batch *core.BatchEvaluator
+	var seqs [][]int
+	var costs []int64
+	if !d.Parallel {
+		batch = core.NewBatchEvaluator(inst)
+		seqs = make([][]int, ens.Chains)
+		costs = make([]int64, ens.Chains)
+	}
+
 	red := newReducer(ens.Chains)
 	m := newMeter(d.Progress, start, red)
 	gbest := make([]int, n)
@@ -113,7 +128,33 @@ func (d *ParallelDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.
 		}
 		copy(gbestSnapshot, gbest)
 		phased(col, obs.PhaseUpdate, func() {
-			runOverWorkers(ens.Chains, ens.Workers, d.Parallel, func(i int) {
+			if !d.Parallel {
+				for i, p := range particles {
+					ref := gbestSnapshot
+					if !d.ShareSwarmBest {
+						ref, _ = p.Best()
+					}
+					seqs[i] = p.Move(ref)
+				}
+				batch.CostSeqs(seqs, costs)
+				for i, p := range particles {
+					if col.Enabled() {
+						_, before := p.Best()
+						p.Adopt(costs[i])
+						// A personal-best refresh is DPSO's acceptance
+						// analogue, and it always improves the particle's
+						// best-so-far.
+						if _, after := p.Best(); after < before {
+							col.AddAccepts(1)
+							col.AddImprovements(1)
+						}
+					} else {
+						p.Adopt(costs[i])
+					}
+				}
+				return
+			}
+			runOverWorkers(ens.Chains, ens.Workers, true, func(i int) {
 				ref := gbestSnapshot
 				if !d.ShareSwarmBest {
 					ref, _ = particles[i].Best()

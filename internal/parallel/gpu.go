@@ -131,6 +131,14 @@ type pipeline struct {
 	// fitness step prices each candidate by Propose over the perturbed
 	// positions and the accept step advances the cache by Commit.
 	deltas []*cdd.Delta[int32]
+
+	// batch precomputes the full-pass fitness of all rows host-side in
+	// one batch pass (lazily built on first fitnessKernel
+	// launch); batchCost/batchOps carry the per-row results into the
+	// kernel closure, which keeps every cycle charge.
+	batch     *core.BatchEvaluator
+	batchCost []int64
+	batchOps  []int
 }
 
 func newPipeline(dev *cudasim.Device, inst *problem.Instance, grid, block int, coop bool, seed uint64) *pipeline {
@@ -318,27 +326,43 @@ func (pl *pipeline) stagePenalties(c *cudasim.Ctx) (shA, shB []int64) {
 	return shA, shB
 }
 
-// fitnessKernel evaluates every thread's row of target into out.
+// batchFitness scores every thread's row of rows host-side in one
+// batch pass over the SoA snapshot, returning the per-row
+// costs and abstract op counts. Results are bit-identical to the
+// per-thread OptimizeArrays calls they replace (the verify oracle chain
+// asserts it), so the kernel's cycle charges — which consume the same
+// ops — are unchanged too.
+func (pl *pipeline) batchFitness(rows []int32) ([]int64, []int) {
+	if pl.batch == nil {
+		pl.batch = core.NewBatchEvaluator(pl.inst)
+		pl.batchCost = make([]int64, pl.threads)
+		pl.batchOps = make([]int, pl.threads)
+	}
+	pl.batch.FitnessRows32(rows, pl.batchCost, pl.batchOps)
+	return pl.batchCost, pl.batchOps
+}
+
+// fitnessKernel evaluates every thread's row of target into out. The
+// costs and op counts are precomputed in one batched host pass; the
+// launch closure models the device exactly as before — shared-memory
+// staging, the configured processing-time access mode, and the per-row
+// arithmetic charge all stay inside the kernel.
 func (pl *pipeline) fitnessKernel(target *cudasim.Buffer[int32], out *cudasim.Buffer[int64]) error {
+	costs, ops := pl.batchFitness(target.Raw())
 	return pl.dev.Launch(pl.launchCfg("fitness"), func(c *cudasim.Ctx) {
-		shA, shB := pl.stagePenalties(c)
+		pl.stagePenalties(c)
 		tid := c.GlobalThreadID()
 		n := pl.n
 		row := target.Raw()[tid*n : (tid+1)*n]
-		d := c.ConstInt("d")
+		c.ConstInt("d")         // due-date read from constant memory
 		c.ChargeGlobal(n, true) // sequence row
 		c.ChargeShared(2 * n)   // α/β reads from shared memory
-		pArr := pl.loadProcessingTimes(c, tid, row)
-		var cost int64
-		var ops int
+		pl.loadProcessingTimes(c, tid, row)
 		if pl.inst.Kind == problem.UCDDCP {
-			cost, ops = fitnessUCDDCPArrays(row, pArr, pl.mBuf.Raw(), shA, shB, pl.gammaBuf.Raw(), d, pl.comp[tid], pl.aux[tid])
 			c.ChargeGlobal(2*n, true) // M and γ reads
-		} else {
-			cost, ops = fitnessCDDArrays(row, pArr, shA, shB, d, pl.comp[tid])
 		}
-		c.ChargeArith(ops)
-		out.Store(c, tid, cost)
+		c.ChargeArith(ops[tid])
+		out.Store(c, tid, costs[tid])
 	})
 }
 

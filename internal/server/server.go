@@ -33,6 +33,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -123,6 +124,7 @@ type Server struct {
 	closeMu  sync.RWMutex
 	draining atomic.Bool
 	cache    *resultCache
+	wire     *wireCache
 	registry *obs.Registry
 	stats    serverStats
 	solve    solveFunc
@@ -137,6 +139,7 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		queue:    make(chan *task, cfg.QueueDepth),
 		cache:    newResultCache(cfg.CacheSize),
+		wire:     newWireCache(cfg.CacheSize),
 		registry: &obs.Registry{},
 		solve:    duedate.SolveContext,
 		started:  time.Now(),
@@ -190,6 +193,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeRaw writes a pre-encoded JSON body — the wire-hit fast path. The
+// Content-Type is only set when absent so a reused header map (the
+// steady-state benchmark harness, keep-alive serving) costs no
+// allocation.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	h := w.Header()
+	if _, ok := h["Content-Type"]; !ok {
+		h.Set("Content-Type", "application/json")
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
 // writeError writes an ErrorResponse.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...), Status: status})
@@ -197,16 +213,22 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // decodeSolveRequest decodes and structurally validates one request
 // body's worth of JSON into req.
-func decodeSolveRequest(r *http.Request, req *SolveRequest) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(req); err != nil {
+func decodeSolveRequest(body []byte, req *SolveRequest) error {
+	if err := decodeStrict(body, req); err != nil {
 		return err
 	}
 	if req.Instance == nil {
 		return errors.New(`missing "instance"`)
 	}
 	return nil
+}
+
+// decodeStrict decodes body into v, rejecting unknown fields (the
+// service's long-standing contract for typo'd option names).
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
 }
 
 // solveOne runs one request through cache → admission → pool and returns
@@ -224,38 +246,66 @@ func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (*SolveRespons
 	opts := req.options()
 	opts.Metrics = s.cfg.Metrics
 	opts.Deadline = s.deadlineFor(req)
-	t := &task{ctx: ctx, req: req, opts: opts, key: key, done: make(chan taskResult, 1)}
+	t := getTask()
+	t.ctx, t.req, t.opts, t.key = ctx, req, opts, key
 	if !s.submit(t) {
+		putTask(t)
 		if s.draining.Load() {
 			return nil, http.StatusServiceUnavailable, errors.New("server is draining")
 		}
 		return nil, http.StatusTooManyRequests,
 			fmt.Errorf("queue full (%d waiting, %d running)", s.cfg.QueueDepth, s.cfg.Pool)
 	}
+	// The worker sends exactly one result, so after this receive the task
+	// (and its drained done channel) can carry the next request.
 	res := <-t.done
+	putTask(t)
 	if res.err != nil {
 		return nil, statusFor(res.err), res.err
 	}
 	return res.resp, http.StatusOK, nil
 }
 
-// handleSolve is POST /v1/solve.
+// handleSolve is POST /v1/solve. The steady-state path is the wire
+// cache: an exact byte-level resubmission is answered from the stored
+// encoding without decoding, solving or re-encoding anything — zero
+// allocations end to end (guarded by BenchmarkServeSolveAllocs and the
+// CI threshold). Misses decode into pooled request structs and, when the
+// solve completes clean, store the response's cached-form encoding for
+// the next resubmission.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var req SolveRequest
-	if err := decodeSolveRequest(r, &req); err != nil {
+	buf := bodyPool.Get().(*bodyBuf)
+	defer bodyPool.Put(buf)
+	if err := readBody(r, buf); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	resp, status, err := s.solveOne(r.Context(), &req)
+	if body, ok := s.wire.get(buf.b); ok {
+		s.stats.cacheHits.Add(1)
+		writeRaw(w, http.StatusOK, body)
+		return
+	}
+	req := solveReqPool.Get().(*SolveRequest)
+	defer putSolveRequest(req)
+	if err := decodeSolveRequest(buf.b, req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	resp, status, err := s.solveOne(r.Context(), req)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, status, resp)
+	// Only complete, cache-eligible answers enter the wire layer — the
+	// same rule the result cache applies, so the two can never disagree.
+	if status == http.StatusOK && !resp.Interrupted && !req.NoCache {
+		s.wire.put(buf.b, encodeCachedResponse(resp))
+	}
 }
 
 // handleBatch is POST /v1/batch: every job goes through the same
@@ -267,10 +317,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var batch BatchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&batch); err != nil {
+	buf := bodyPool.Get().(*bodyBuf)
+	defer bodyPool.Put(buf)
+	if err := readBody(r, buf); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if body, ok := s.wire.get(buf.b); ok {
+		s.stats.cacheHits.Add(1)
+		writeRaw(w, http.StatusOK, body)
+		return
+	}
+	batch := getBatchRequest()
+	defer putBatchRequest(batch)
+	if err := decodeStrict(buf.b, batch); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
@@ -278,7 +338,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `empty "requests"`)
 		return
 	}
-	results := make([]BatchResult, len(batch.Requests))
+	br := getBatchResults(len(batch.Requests))
+	defer putBatchResults(br)
+	results := br.rs
 	var wg sync.WaitGroup
 	for i := range batch.Requests {
 		req := &batch.Requests[i]
@@ -299,6 +361,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	s.wirePutBatch(buf.b, batch, results)
+}
+
+// wirePutBatch stores the batch response's cached-form encoding when
+// every slot completed clean and cache-eligible — the all-or-nothing
+// analogue of the solve path's rule (a single 429 or interrupted slot
+// must be retried, not replayed).
+func (s *Server) wirePutBatch(body []byte, batch *BatchRequest, results []BatchResult) {
+	for i := range batch.Requests {
+		if batch.Requests[i].NoCache {
+			return
+		}
+	}
+	for i := range results {
+		if results[i].Status != http.StatusOK || results[i].Response == nil || results[i].Response.Interrupted {
+			return
+		}
+	}
+	cached := make([]BatchResult, len(results))
+	for i := range results {
+		c := *results[i].Response
+		c.Cached = true
+		cached[i] = BatchResult{Response: &c, Status: results[i].Status}
+	}
+	s.wire.put(body, encodeJSON(BatchResponse{Results: cached}))
 }
 
 // handlePairings is GET /v1/pairings.

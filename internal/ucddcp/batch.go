@@ -1,0 +1,38 @@
+package ucddcp
+
+import "repro/internal/cdd"
+
+// This file holds the batched form of the two-phase UCDDCP core: B
+// sequences stored as rows of one flat matrix scored per call, each row
+// through the exact single-row OptimizeArrays — so costs and abstract
+// op counts are bit-identical to the per-sequence path by construction
+// (the verify oracle chain and FuzzBatchEvaluator enforce it anyway).
+// The batch win is amortization, not a different kernel: one call
+// reuses one set of hoisted SoA columns and scratch rows across B
+// evaluations, and always evaluates with x = nil, so the per-call
+// n-element compression-vector zeroing of Evaluator.Cost (which must
+// keep its Result contract) disappears. A pair-interleaved variant
+// (two rows per sweep, independent running-sum chains) was measured
+// against this loop and won nothing: the sweep is throughput-bound,
+// not latency-bound, so the extra live state only costs registers.
+
+// BatchCostArrays scores B = len(costs) sequences stored row-major in
+// rows (len(rows) ≥ B·n) into costs. comp (length ≥ n) is the
+// completion-time scratch row and scratch (length ≥ n) the compression
+// phase's early-side buffer; both are reused across rows, so the call
+// is allocation-free.
+func BatchCostArrays[S cdd.Index](rows []S, n int, p, m, alpha, beta, gamma []int64, d int64, comp, scratch, costs []int64) {
+	for i := range costs {
+		costs[i], _, _, _ = OptimizeArrays(rows[i*n:(i+1)*n], p, m, alpha, beta, gamma, d, comp[:n], scratch[:n], nil)
+	}
+}
+
+// BatchFitnessArrays is the device-kernel form of BatchCostArrays: it
+// additionally records each row's abstract operation count (the value
+// OptimizeArrays returns, which the simulated device converts into cycle
+// charges) into ops, index-aligned with costs.
+func BatchFitnessArrays[S cdd.Index](rows []S, n int, p, m, alpha, beta, gamma []int64, d int64, comp, scratch, costs []int64, ops []int) {
+	for i := range costs {
+		costs[i], _, _, ops[i] = OptimizeArrays(rows[i*n:(i+1)*n], p, m, alpha, beta, gamma, d, comp[:n], scratch[:n], nil)
+	}
+}

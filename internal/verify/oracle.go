@@ -63,6 +63,10 @@ func cddEvaluators() []NamedCost {
 			return cdd.NewDeltaEvaluator(in).Reset(seq), nil
 		}},
 		{Name: "cdd.Delta.Propose", Cost: deltaProposeCost},
+		{Name: "core.BatchEvaluator.Cost", Cost: batchCost},
+		{Name: "batch.CostRows", Cost: batchRowsCost},
+		{Name: "batch.CostSeqs", Cost: batchSeqsCost},
+		{Name: "batch.FitnessRows32", Cost: batchFitness32Cost},
 		{Name: "schedule.Cost", Cost: scheduleCost},
 		{Name: "lpref", Cost: lpCost},
 	}
@@ -83,9 +87,97 @@ func ucddcpEvaluators() []NamedCost {
 			return ucddcp.NewDeltaEvaluator(in).Reset(seq), nil
 		}},
 		{Name: "ucddcp.Delta.Propose", Cost: deltaProposeCost},
+		{Name: "core.BatchEvaluator.Cost", Cost: batchCost},
+		{Name: "batch.CostRows", Cost: batchRowsCost},
+		{Name: "batch.CostSeqs", Cost: batchSeqsCost},
+		{Name: "batch.FitnessRows32", Cost: batchFitness32Cost},
 		{Name: "schedule.Cost", Cost: scheduleCost},
 		{Name: "lpref", Cost: lpCost},
 	}
+}
+
+// The batch evaluators under differential test. Each prices seq through
+// the batch evaluation core as multiple rows of one batch (with a
+// rotated decoy row between two copies), so every batch face
+// cross-checks itself for row independence on every trial before the
+// cost joins the agreement chain.
+
+// batchCost is the batch of one: BatchEvaluator's Evaluator face.
+func batchCost(in *problem.Instance, seq []int) (int64, error) {
+	return core.NewBatchEvaluator(in).Cost(seq), nil
+}
+
+// batchTriple lays out [seq, rotate(seq), seq]: the rotated middle row
+// checks that batch rows are scored independently (rows 0 and 2 must
+// agree with each other and with the single-row evaluators).
+func batchTriple(seq []int) ([]int, [][]int) {
+	n := len(seq)
+	rows := make([]int, 3*n)
+	copy(rows[:n], seq)
+	for i := range seq {
+		rows[n+i] = seq[(i+1)%n]
+	}
+	copy(rows[2*n:], seq)
+	return rows, [][]int{rows[:n], rows[n : 2*n], rows[2*n:]}
+}
+
+// batchRowsCost prices seq through the row-major batch kernel.
+func batchRowsCost(in *problem.Instance, seq []int) (int64, error) {
+	rows, _ := batchTriple(seq)
+	costs := make([]int64, 3)
+	core.NewBatchEvaluator(in).CostRows(rows, costs)
+	if costs[0] != costs[2] {
+		return 0, fmt.Errorf("pair-path cost %d != tail-path cost %d on seq %v", costs[0], costs[2], seq)
+	}
+	return costs[0], nil
+}
+
+// batchSeqsCost prices seq through the slice-of-sequences batch kernel.
+func batchSeqsCost(in *problem.Instance, seq []int) (int64, error) {
+	_, seqs := batchTriple(seq)
+	costs := make([]int64, 3)
+	core.NewBatchEvaluator(in).CostSeqs(seqs, costs)
+	if costs[0] != costs[2] {
+		return 0, fmt.Errorf("pair-path cost %d != tail-path cost %d on seq %v", costs[0], costs[2], seq)
+	}
+	return costs[0], nil
+}
+
+// batchFitness32Cost prices seq through the device-row fitness kernel
+// and additionally pins its abstract op counts to the single-row core —
+// the quantity the simulated GPU converts into cycle charges, so a
+// mismatch would silently shift every engine's SimSeconds.
+func batchFitness32Cost(in *problem.Instance, seq []int) (int64, error) {
+	n := len(seq)
+	rows := make([]int32, 3*n)
+	for i, v := range seq {
+		rows[i] = int32(v)
+		rows[n+i] = int32(seq[(i+1)%n])
+		rows[2*n+i] = int32(v)
+	}
+	costs := make([]int64, 3)
+	ops := make([]int, 3)
+	be := core.NewBatchEvaluator(in)
+	be.FitnessRows32(rows, costs, ops)
+	if costs[0] != costs[2] || ops[0] != ops[2] {
+		return 0, fmt.Errorf("pair path (cost %d, ops %d) != tail path (cost %d, ops %d) on seq %v",
+			costs[0], ops[0], costs[2], ops[2], seq)
+	}
+	s := be.SoA()
+	comp := make([]int64, n)
+	var wantCost int64
+	var wantOps int
+	if in.Kind == problem.UCDDCP {
+		scratch := make([]int64, n)
+		wantCost, _, _, wantOps = ucddcp.OptimizeArrays(seq, s.P, s.M, s.Alpha, s.Beta, s.Gamma, s.D, comp, scratch, nil)
+	} else {
+		wantCost, _, _, wantOps = cdd.OptimizeArrays(seq, s.P, s.Alpha, s.Beta, s.D, comp)
+	}
+	if costs[0] != wantCost || wantOps != ops[0] {
+		return 0, fmt.Errorf("batch (cost %d, ops %d) != single-row core (cost %d, ops %d) on seq %v",
+			costs[0], ops[0], wantCost, wantOps, seq)
+	}
+	return costs[0], nil
 }
 
 // deltaProposeCost prices seq through the incremental Propose path from a

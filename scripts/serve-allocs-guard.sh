@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Serve-path allocation guard: run the steady-state serve benchmarks
+# (BenchmarkServeSolveAllocs / BenchmarkServeBatchAllocs) with -benchmem
+# and fail if any reports more allocs/op than the checked-in threshold
+# in scripts/serve-allocs-threshold. The benchmarks drive identical
+# resubmissions through ServeHTTP, so they measure exactly the wire-hit
+# fast path the pools and the wire cache are meant to keep
+# allocation-free; a regression here means a pooled buffer stopped being
+# reused or a new per-request allocation crept into the handlers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+THRESHOLD="$(cat scripts/serve-allocs-threshold)"
+OUT="$(go test -run '^$' -bench 'BenchmarkServe(Solve|Batch)Allocs' \
+	-benchmem -benchtime 2000x ./internal/server/)"
+echo "$OUT"
+
+echo "$OUT" | awk -v max="$THRESHOLD" '
+	/allocs\/op/ {
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "allocs/op" && $i + 0 > max + 0) {
+				printf "FAIL: %s reports %s allocs/op (threshold %s)\n", $1, $i, max
+				bad = 1
+			}
+		}
+	}
+	END { exit bad }
+' || { echo "serve-allocs-guard: allocation regression detected" >&2; exit 1; }
+
+echo "serve-allocs-guard: all serve benchmarks within $THRESHOLD allocs/op"
