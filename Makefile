@@ -25,18 +25,25 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Time the metaheuristic hot path (full fused evaluators and the
-# incremental delta path) and record the numbers as JSON.
+# Time the metaheuristic hot path (full fused evaluators, the
+# incremental delta paths — single-machine and the parallel genome
+# variant — and the batch core) and record the numbers as JSON.
 bench-hotpath:
-	( $(GO) test -run '^$$' -bench 'BenchmarkEvaluator(CDD|CDDDelta|UCDDCP)|BenchmarkBatchEvaluator' -benchmem -benchtime 1s . && \
+	( $(GO) test -run '^$$' -bench 'BenchmarkEvaluator(CDD|CDDDelta|UCDDCP|Genome)|BenchmarkBatchEvaluator' -benchmem -benchtime 1s . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkServe(Solve|Batch)Allocs' -benchmem -benchtime 2000x ./internal/server/ ) \
 		| $(GO) run ./cmd/benchjson -out BENCH_evaluator.json
 
 # Cross-engine differential verification: every generator family through
 # the evaluator-agreement chain, the exact oracles, the metamorphic
-# properties and all registered drivers. Exits nonzero on any discrepancy.
+# properties and all registered drivers, then a reduced-trial machine
+# matrix forcing every family onto 1, 2 and 3 machines (the parallel
+# generalization must hold on every landscape, not just the dedicated
+# parallel families). Exits nonzero on any discrepancy.
 verify-diff:
 	$(GO) run ./cmd/verify -trials 200 -out verify-report.json
+	$(GO) run ./cmd/verify -trials 40 -machines 1
+	$(GO) run ./cmd/verify -trials 40 -machines 2
+	$(GO) run ./cmd/verify -trials 40 -machines 3
 
 # Run each native fuzz target briefly (go test runs one target at a time).
 FUZZTIME ?= 30s

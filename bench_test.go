@@ -374,6 +374,90 @@ func BenchmarkBatchEvaluator(b *testing.B) {
 	}
 }
 
+// benchGenomeInstance lifts a single-machine benchmark instance onto m
+// machines (EARLYWORK is built directly: d = 0.6·ΣP/m, the generator's
+// default restrictive band).
+func benchGenomeInstance(b *testing.B, kind problem.Kind, size, m int) *problem.Instance {
+	b.Helper()
+	if kind == problem.EARLYWORK {
+		base := benchInstance(b, problem.CDD, size)
+		p := make([]int, size)
+		var sum int64
+		for i, j := range base.Jobs {
+			p[i] = j.P
+			sum += int64(j.P)
+		}
+		in, err := problem.NewEarlyWork(fmt.Sprintf("bench-ew-n%d-m%d", size, m), p, m, sum*6/int64(10*m))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return in
+	}
+	in := benchInstance(b, kind, size).Clone()
+	in.Machines = m
+	return in
+}
+
+// BenchmarkEvaluatorGenome times the generalized full-evaluation path on
+// parallel-machine instances: one delimiter genome of length n + m − 1
+// split and scored per machine segment per Cost call. The m1 rows are
+// the like-for-like single-machine baseline (plain sequence path for
+// CDD, the late-work closed form for EARLYWORK), so the per-call price
+// of the genome generalization is read directly off the table.
+func BenchmarkEvaluatorGenome(b *testing.B) {
+	for _, kind := range []problem.Kind{problem.CDD, problem.EARLYWORK} {
+		for _, m := range []int{1, 2, 4} {
+			for _, size := range []int{100, 1000} {
+				b.Run(fmt.Sprintf("%s/m%d/n%d", kind, m, size), func(b *testing.B) {
+					in := benchGenomeInstance(b, kind, size, m)
+					eval := core.NewEvaluator(in)
+					genome := problem.IdentitySequence(in.GenomeLen())
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						eval.Cost(genome)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkEvaluatorGenomeDelta times the machine-aware incremental
+// path: each iteration swaps two adjacent genome positions (the
+// worst case touches two machine segments) and prices the move with
+// Propose, which rescores only the machines intersecting the window.
+func BenchmarkEvaluatorGenomeDelta(b *testing.B) {
+	for _, m := range []int{2, 4} {
+		for _, size := range []int{100, 1000} {
+			b.Run(fmt.Sprintf("CDD/m%d/n%d", m, size), func(b *testing.B) {
+				in := benchGenomeInstance(b, problem.CDD, size, m)
+				de := core.NewMachineDeltaEvaluator(in)
+				L := in.GenomeLen()
+				genome := problem.IdentitySequence(L)
+				de.Reset(genome)
+				cand := append([]int(nil), genome...)
+				rng := xrand.New(7)
+				const moves = 512
+				pos := make([]int, moves)
+				for i := range pos {
+					pos[i] = rng.Intn(L - 1)
+				}
+				window := make([]int, 2)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					q := pos[i%moves]
+					cand[q], cand[q+1] = cand[q+1], cand[q]
+					window[0], window[1] = q, q+1
+					de.Propose(cand, window)
+					cand[q], cand[q+1] = cand[q+1], cand[q]
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSolvePublicAPI times the end-to-end public entry point with
 // the (scaled-down) paper defaults, the number a library user sees.
 func BenchmarkSolvePublicAPI(b *testing.B) {

@@ -1,9 +1,14 @@
-// Command genbench writes OR-library-style benchmark files for the CDD
-// and UCDDCP problems, reproducing the Biskup–Feldmann distributions
-// deterministically (see internal/orlib).
+// Command genbench writes OR-library-style benchmark files for the CDD,
+// UCDDCP and parallel-machine early-work problems, reproducing the
+// Biskup–Feldmann distributions deterministically (see internal/orlib).
 //
-//	genbench -out bench/                 # full paper suite, both problems
+//	genbench -out bench/                 # full paper suite, all problems
 //	genbench -kind cdd -sizes 10,50 -records 10 -out bench/
+//	genbench -kind earlywork -sizes 10 -records 4 -out bench/
+//
+// Early-work records carry processing times only; the machine count and
+// the restrictive-h due date are applied at load time
+// (orlib.EarlyWorkInstance), like the h sweep of the CDD files.
 package main
 
 import (
@@ -22,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("genbench: ")
 	var (
-		kind    = flag.String("kind", "both", "cdd, ucddcp or both")
+		kind    = flag.String("kind", "all", "cdd, ucddcp, earlywork, both (cdd+ucddcp) or all")
 		sizes   = flag.String("sizes", "10,20,50,100,200,500,1000", "comma-separated job counts")
 		records = flag.Int("records", orlib.InstancesPerSize, "records per size")
 		seed    = flag.Uint64("seed", orlib.DefaultSeed, "generator seed")
@@ -38,7 +43,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, n := range sizeList {
-		if *kind == "cdd" || *kind == "both" {
+		if *kind == "cdd" || *kind == "both" || *kind == "all" {
 			path := filepath.Join(*out, fmt.Sprintf("sch%d.txt", n))
 			if err := writeFile(path, func(f *os.File) error {
 				return orlib.WriteCDD(f, orlib.GenerateCDD(n, *records, *seed))
@@ -47,7 +52,7 @@ func main() {
 			}
 			fmt.Printf("wrote %s (%d records, h applied at load time)\n", path, *records)
 		}
-		if *kind == "ucddcp" || *kind == "both" {
+		if *kind == "ucddcp" || *kind == "both" || *kind == "all" {
 			path := filepath.Join(*out, fmt.Sprintf("ucddcp%d.txt", n))
 			if err := writeFile(path, func(f *os.File) error {
 				return orlib.WriteUCDDCP(f, orlib.GenerateUCDDCP(n, *records, *seed))
@@ -55,6 +60,15 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("wrote %s (%d records)\n", path, *records)
+		}
+		if *kind == "earlywork" || *kind == "all" {
+			path := filepath.Join(*out, fmt.Sprintf("ew%d.txt", n))
+			if err := writeFile(path, func(f *os.File) error {
+				return orlib.WriteEarlyWork(f, orlib.GenerateEarlyWork(n, *records, *seed))
+			}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d records, m and h applied at load time)\n", path, *records)
 		}
 	}
 }

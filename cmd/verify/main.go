@@ -8,6 +8,7 @@
 //	verify -trials 200
 //	verify -trials 50 -families uniform-cdd,d-zero -out report.json
 //	verify -trials 20 -no-drivers          # evaluator/oracle layers only
+//	verify -trials 30 -machines 3          # force every family onto 3 machines
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		maxN      = flag.Int("maxn", 8, "job-count bound for size-randomized families")
 		seqs      = flag.Int("seqs", 4, "random sequences cross-checked per instance")
 		families  = flag.String("families", "", "comma-separated family filter (default: all)")
+		machines  = flag.Int("machines", 0, "force every generated instance onto this many machines (0: family default)")
 		noDrivers = flag.Bool("no-drivers", false, "skip the engine drivers (evaluator/oracle layers only)")
 		iters     = flag.Int("iters", 60, "driver iterations per chain")
 		grid      = flag.Int("grid", 1, "driver ensemble grid")
@@ -48,6 +50,7 @@ func main() {
 		Seed:       *seed,
 		MaxN:       *maxN,
 		SeqSamples: *seqs,
+		Machines:   *machines,
 	}
 	if *families != "" {
 		cfg.Families = strings.Split(*families, ",")

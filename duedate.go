@@ -29,13 +29,20 @@ import (
 	"repro/internal/problem"
 )
 
-// Kind selects the problem: CDD or UCDDCP.
+// Kind selects the problem: CDD, UCDDCP or EARLYWORK.
 type Kind = problem.Kind
 
-// The two problems of the paper.
+// The two problems of the paper, plus the parallel-machine early-work
+// generalization.
 const (
 	CDD    = problem.CDD
 	UCDDCP = problem.UCDDCP
+	// EARLYWORK maximizes the total early work on m identical parallel
+	// machines against a common due date (internally minimized as total
+	// late work; see internal/earlywork). Set Instance.Machines to choose
+	// the machine count; solutions are delimiter genomes of length
+	// Instance.GenomeLen.
+	EARLYWORK = problem.EARLYWORK
 )
 
 // Job is one job: processing time, minimum processing time, and the
@@ -94,6 +101,12 @@ func NewUCDDCPInstance(name string, p, m, alpha, beta, gamma []int, d int64) (*I
 	return problem.NewUCDDCP(name, p, m, alpha, beta, gamma, d)
 }
 
+// NewEarlyWorkInstance builds a validated m-machine early-work instance
+// from processing times and a common due date.
+func NewEarlyWorkInstance(name string, p []int, machines int, d int64) (*Instance, error) {
+	return problem.NewEarlyWork(name, p, machines, d)
+}
+
 // PaperExample returns the worked 5-job example of the paper's Table I
 // (optimal penalty 81 for CDD with d = 16, and 77 for UCDDCP with d = 22,
 // both under the identity sequence).
@@ -111,4 +124,12 @@ func GenerateCDDBenchmark(size, records int, seed uint64) ([]*Instance, error) {
 // job size (`records` unrestricted instances).
 func GenerateUCDDCPBenchmark(size, records int, seed uint64) ([]*Instance, error) {
 	return orlib.BenchmarkUCDDCP(size, records, seed)
+}
+
+// GenerateEarlyWorkBenchmark generates the parallel-machine early-work
+// benchmark for one job size and machine count: `records` records × the
+// four restrictive h factors, with the per-machine due date
+// d = max(1, ⌊h·Σp/m⌋).
+func GenerateEarlyWorkBenchmark(size, machines, records int, seed uint64) ([]*Instance, error) {
+	return orlib.BenchmarkEarlyWork(size, machines, records, seed)
 }

@@ -30,6 +30,10 @@ type SoAInstance struct {
 	// N is the job count; D the common due date.
 	N int
 	D int64
+	// Machines is the normalized machine count and L the genome length
+	// N + Machines − 1 (the row stride of batch layouts; L == N on
+	// single-machine instances).
+	Machines, L int
 	// P, Alpha, Beta are the processing-time and penalty columns.
 	P, Alpha, Beta []int64
 	// M, Gamma are the minimum-processing-time and compression-penalty
@@ -41,7 +45,7 @@ type SoAInstance struct {
 // contiguous structure-of-arrays snapshot.
 func NewSoAInstance(in *problem.Instance) *SoAInstance {
 	n := in.N()
-	s := &SoAInstance{Kind: in.Kind, N: n, D: in.D}
+	s := &SoAInstance{Kind: in.Kind, N: n, D: in.D, Machines: in.MachineCount(), L: in.GenomeLen()}
 	cols := 3
 	if in.Kind == problem.UCDDCP {
 		cols = 5
@@ -58,6 +62,15 @@ func NewSoAInstance(in *problem.Instance) *SoAInstance {
 		}
 	}
 	return s
+}
+
+// genomeCoded reports whether solutions for this snapshot are delimiter
+// genomes scored machine-by-machine instead of single sequences on the
+// pre-generalization kernels: any multi-machine instance, plus EARLYWORK
+// (whose per-job columns carry no E/T penalties and whose cost is the
+// late-work closed form even on one machine).
+func (s *SoAInstance) genomeCoded() bool {
+	return s.Machines > 1 || s.Kind == problem.EARLYWORK
 }
 
 // BatchEvaluator scores batches of sequences against one SoAInstance
@@ -109,9 +122,14 @@ func (e *BatchEvaluator) SoA() *SoAInstance { return e.soa }
 
 // Cost implements Evaluator: the batch of one, evaluated on the same
 // array kernels (for UCDDCP this skips the per-call compression-vector
-// zeroing of the Result-building path).
+// zeroing of the Result-building path). On genome-coded snapshots seq is
+// a delimiter genome and the cost is the sum of per-machine segment
+// costs.
 func (e *BatchEvaluator) Cost(seq []int) int64 {
 	s := e.soa
+	if s.genomeCoded() {
+		return GenomeCostArrays(seq, s, e.comp, e.aux)
+	}
 	if s.Kind == problem.UCDDCP {
 		c, _, _, _ := ucddcp.OptimizeArrays(seq, s.P, s.M, s.Alpha, s.Beta, s.Gamma, s.D, e.comp, e.aux, nil)
 		return c
@@ -120,10 +138,17 @@ func (e *BatchEvaluator) Cost(seq []int) int64 {
 }
 
 // CostRows scores B = len(costs) sequences stored row-major in rows
-// (len(rows) ≥ B·N) into costs — the flat layout the simulated GPU
-// pipeline keeps its population in.
+// (len(rows) ≥ B·L) into costs — the flat layout the simulated GPU
+// pipeline keeps its population in. The row stride is the genome length
+// L (equal to N on single-machine instances).
 func (e *BatchEvaluator) CostRows(rows []int, costs []int64) {
 	s := e.soa
+	if s.genomeCoded() {
+		for i := range costs {
+			costs[i] = GenomeCostArrays(rows[i*s.L:(i+1)*s.L], s, e.comp, e.aux)
+		}
+		return
+	}
 	if s.Kind == problem.UCDDCP {
 		ucddcp.BatchCostArrays(rows, s.N, s.P, s.M, s.Alpha, s.Beta, s.Gamma, s.D, e.comp, e.aux, costs)
 		return
@@ -134,6 +159,12 @@ func (e *BatchEvaluator) CostRows(rows []int, costs []int64) {
 // CostRows32 is CostRows for int32 rows (the device sequence layout).
 func (e *BatchEvaluator) CostRows32(rows []int32, costs []int64) {
 	s := e.soa
+	if s.genomeCoded() {
+		for i := range costs {
+			costs[i] = GenomeCostArrays(rows[i*s.L:(i+1)*s.L], s, e.comp, e.aux)
+		}
+		return
+	}
 	if s.Kind == problem.UCDDCP {
 		ucddcp.BatchCostArrays(rows, s.N, s.P, s.M, s.Alpha, s.Beta, s.Gamma, s.D, e.comp, e.aux, costs)
 		return
@@ -156,6 +187,12 @@ func (e *BatchEvaluator) CostSeqs(seqs [][]int, costs []int64) {
 // OptimizeArrays path it replaces.
 func (e *BatchEvaluator) FitnessRows32(rows []int32, costs []int64, ops []int) {
 	s := e.soa
+	if s.genomeCoded() {
+		for i := range costs {
+			costs[i], ops[i] = GenomeFitnessArrays(rows[i*s.L:(i+1)*s.L], s, e.comp, e.aux)
+		}
+		return
+	}
 	if s.Kind == problem.UCDDCP {
 		ucddcp.BatchFitnessArrays(rows, s.N, s.P, s.M, s.Alpha, s.Beta, s.Gamma, s.D, e.comp, e.aux, costs, ops)
 		return

@@ -29,9 +29,15 @@ type Evaluator interface {
 	Instance() *problem.Instance
 }
 
-// NewEvaluator returns the appropriate linear-algorithm evaluator for the
-// instance's problem kind.
+// NewEvaluator returns the appropriate exact evaluator for the
+// instance's problem kind and machine count: the single-machine linear
+// algorithms for the paper's problems, or the machine-aware genome
+// scorer (a BatchEvaluator over the delimiter encoding) for
+// parallel-machine and early-work instances.
 func NewEvaluator(in *problem.Instance) Evaluator {
+	if in.GenomeCoded() {
+		return NewBatchEvaluator(in)
+	}
 	switch in.Kind {
 	case problem.UCDDCP:
 		return ucddcp.NewEvaluator(in)
@@ -65,8 +71,13 @@ type DeltaEvaluator interface {
 }
 
 // NewDeltaEvaluator returns the appropriate incremental evaluator for the
-// instance's problem kind.
+// instance's problem kind and machine count: the single-machine delta
+// evaluators for the paper's problems, or the machine-granular
+// MachineDeltaEvaluator over the delimiter genome otherwise.
 func NewDeltaEvaluator(in *problem.Instance) DeltaEvaluator {
+	if in.GenomeCoded() {
+		return NewMachineDeltaEvaluator(in)
+	}
 	switch in.Kind {
 	case problem.UCDDCP:
 		return ucddcp.NewDeltaEvaluator(in)
@@ -102,15 +113,12 @@ type Result struct {
 	Metrics *Metrics
 }
 
-// Schedule materializes the result's sequence into a fully timed schedule
-// (with compressions for UCDDCP instances).
+// Schedule materializes the result's genome into a fully timed schedule:
+// machine assignment and per-machine starts on parallel-machine
+// instances, compressions for UCDDCP, and the plain optimally timed
+// sequence on the single-machine paper problems.
 func (r *Result) Schedule(in *problem.Instance) problem.Schedule {
-	if in.Kind == problem.UCDDCP {
-		opt := ucddcp.OptimizeSequence(in, r.BestSeq)
-		return problem.Schedule{Seq: r.BestSeq, Start: opt.Start, X: opt.X}
-	}
-	opt := cdd.OptimizeSequence(in, r.BestSeq)
-	return problem.Schedule{Seq: r.BestSeq, Start: opt.Start}
+	return GenomeSchedule(in, r.BestSeq)
 }
 
 // Budget bounds a solver run beyond the algorithm's own configuration.
@@ -178,7 +186,7 @@ func InitialTemperature(eval Evaluator, rng *xrand.XORWOW, samples int) float64 
 		samples = 2
 	}
 	be := BatchEvaluatorFor(eval)
-	n := eval.Instance().N()
+	n := eval.Instance().GenomeLen()
 	seq := problem.IdentitySequence(n)
 	var sum, sumSq float64
 	for i := 0; i < samples; i++ {
@@ -204,7 +212,7 @@ func InitialTemperature(eval Evaluator, rng *xrand.XORWOW, samples int) float64 
 // RandomSolution evaluates one uniformly random sequence; solvers use it
 // for initialization and tests for baselines.
 func RandomSolution(eval Evaluator, rng *xrand.XORWOW) ([]int, int64) {
-	seq := perm.Random(rng, eval.Instance().N())
+	seq := perm.Random(rng, eval.Instance().GenomeLen())
 	return seq, eval.Cost(seq)
 }
 

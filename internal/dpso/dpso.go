@@ -98,7 +98,7 @@ type Particle struct {
 // NewParticle creates a particle with a uniformly random position,
 // evaluated with eval.
 func NewParticle(cfg Config, eval core.Evaluator, rng *xrand.XORWOW) *Particle {
-	n := eval.Instance().N()
+	n := eval.Instance().GenomeLen()
 	p := &Particle{
 		cfg:   cfg.Normalized(),
 		rng:   rng,
@@ -201,7 +201,7 @@ func NewSwarm(cfg Config, eval core.Evaluator, seed uint64) *Swarm {
 		seqs:  make([][]int, cfg.Swarm),
 		costs: make([]int64, cfg.Swarm),
 	}
-	n := eval.Instance().N()
+	n := eval.Instance().GenomeLen()
 	s.gbest = make([]int, n)
 	s.gbestCost = int64(1) << 62
 	for i := 0; i < cfg.Swarm; i++ {

@@ -80,7 +80,7 @@ type Strategy struct {
 
 // New creates and evaluates the initial random population.
 func New(cfg Config, eval core.Evaluator, rng *xrand.XORWOW) *Strategy {
-	n := eval.Instance().N()
+	n := eval.Instance().GenomeLen()
 	cfg = cfg.normalized(n)
 	s := &Strategy{cfg: cfg, eval: eval, rng: rng, ops: perm.NewOps(n)}
 	s.pop = make([]individual, cfg.Mu+cfg.Lambda)

@@ -50,12 +50,16 @@ const MaxBruteN = 10
 // MaxSubsetN bounds the subset enumeration (2ⁿ partitions).
 const MaxSubsetN = 22
 
-// Brute enumerates every sequence and returns the global optimum. It
-// errors for n > MaxBruteN.
+// Brute enumerates every solution and returns the global optimum. For
+// single-machine instances that is every job sequence; for genome-coded
+// instances (parallel machines, EARLYWORK) it is every delimiter genome —
+// every assignment of jobs to machines crossed with every per-machine
+// sequence — so Brute stays the universal oracle of the generalized
+// stack. It errors when the genome length n + m − 1 exceeds MaxBruteN.
 func Brute(in *problem.Instance) (Result, error) {
-	n := in.N()
+	n := in.GenomeLen()
 	if n > MaxBruteN {
-		return Result{}, fmt.Errorf("%w: n=%d exceeds brute-force limit %d", ErrTooLarge, n, MaxBruteN)
+		return Result{}, fmt.Errorf("%w: genome length %d exceeds brute-force limit %d", ErrTooLarge, n, MaxBruteN)
 	}
 	eval := core.NewEvaluator(in)
 	seq := problem.IdentitySequence(n)
@@ -90,6 +94,9 @@ func SubsetCDD(in *problem.Instance) (Result, error) {
 	}
 	if in.Kind != problem.CDD {
 		return Result{}, fmt.Errorf("exact: SubsetCDD requires a CDD instance, got %v", in.Kind)
+	}
+	if in.MachineCount() > 1 {
+		return Result{}, fmt.Errorf("exact: SubsetCDD requires a single machine, got %d", in.MachineCount())
 	}
 	if in.Restrictive() {
 		return Result{}, fmt.Errorf("exact: SubsetCDD requires an unrestricted due date (d=%d < ΣP=%d)", in.D, in.SumP())
@@ -143,9 +150,10 @@ func SubsetCDD(in *problem.Instance) (Result, error) {
 }
 
 // Solve dispatches to the best applicable exact method: SubsetCDD for
-// unrestricted CDD instances within its size limit, Brute otherwise.
+// single-machine unrestricted CDD instances within its size limit, Brute
+// otherwise.
 func Solve(in *problem.Instance) (Result, error) {
-	if in.Kind == problem.CDD && !in.Restrictive() && in.N() <= MaxSubsetN {
+	if in.Kind == problem.CDD && in.MachineCount() == 1 && !in.Restrictive() && in.N() <= MaxSubsetN {
 		return SubsetCDD(in)
 	}
 	return Brute(in)

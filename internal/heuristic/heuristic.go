@@ -53,7 +53,34 @@ func VShape(in *problem.Instance) []int {
 			copy(best, seq)
 		}
 	}
-	return best
+	return asGenome(in, best)
+}
+
+// asGenome lifts a single-machine sequence to the instance's solution
+// encoding: unchanged for single-machine kinds, and a delimiter genome
+// splitting the sequence into m contiguous near-equal-count chunks (one
+// per machine) otherwise — a valid, assignment-balanced warm start that
+// LocalSearch and the metaheuristics can refine.
+func asGenome(in *problem.Instance, seq []int) []int {
+	if !in.GenomeCoded() || in.MachineCount() == 1 {
+		return seq
+	}
+	n, m := in.N(), in.MachineCount()
+	genome := make([]int, 0, in.GenomeLen())
+	base, rem := n/m, n%m
+	at := 0
+	for k := 0; k < m; k++ {
+		size := base
+		if k < rem {
+			size++
+		}
+		genome = append(genome, seq[at:at+size]...)
+		at += size
+		if k < m-1 {
+			genome = append(genome, n+k)
+		}
+	}
+	return genome
 }
 
 // LocalSearch polishes a sequence with deterministic first-improvement

@@ -111,6 +111,56 @@ func GenerateUCDDCP(size, k int, seed uint64) []*Raw {
 	return raws
 }
 
+// GenerateEarlyWork deterministically generates k early-work records of
+// the given size: processing times p_i ~ U[1,20] only (the objective has
+// no penalty rates). The same (size, k, seed) always yields the same
+// records.
+func GenerateEarlyWork(size, k int, seed uint64) []*Raw {
+	raws := make([]*Raw, k)
+	for i := range raws {
+		rng := xrand.NewStream(seed^0xEA871, uint64(size)<<20|uint64(i))
+		r := &Raw{P: make([]int, size)}
+		for j := 0; j < size; j++ {
+			r.P[j] = 1 + rng.Intn(20)
+		}
+		raws[i] = r
+	}
+	return raws
+}
+
+// EarlyWorkInstance builds the m-machine early-work instance of a record
+// with the restrictive per-machine due date d = max(1, ⌊h·Σp/m⌋): each
+// machine carries ≈ Σp/m load, so h < 1 keeps the due date binding the
+// same way the OR-library h factors do on one machine.
+func EarlyWorkInstance(raw *Raw, size, k, machines int, h float64) (*problem.Instance, error) {
+	d := int64(h * float64(raw.SumP()) / float64(machines))
+	if d < 1 {
+		d = 1
+	}
+	in, err := problem.NewEarlyWork(fmt.Sprintf("ew%d/m%d/k%d/h%.1f", size, machines, k, h), raw.P, machines, d)
+	if err != nil {
+		return nil, fmt.Errorf("orlib: building ew%d m=%d k=%d h=%.1f: %w", size, machines, k, h, err)
+	}
+	return in, nil
+}
+
+// BenchmarkEarlyWork returns the early-work benchmark slice for one job
+// size and machine count: k records × the four h factors = 4k instances.
+func BenchmarkEarlyWork(size, machines, k int, seed uint64) ([]*problem.Instance, error) {
+	raws := GenerateEarlyWork(size, k, seed)
+	out := make([]*problem.Instance, 0, len(raws)*len(Hs))
+	for ki, raw := range raws {
+		for _, h := range Hs {
+			in, err := EarlyWorkInstance(raw, size, ki, machines, h)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, in)
+		}
+	}
+	return out, nil
+}
+
 // CDDInstance applies due-date factor h to record k of the given size,
 // producing a named problem instance (the OR-library convention
 // "schN/k/h").
@@ -226,6 +276,45 @@ func WriteUCDDCP(w io.Writer, raws []*Raw) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// WriteEarlyWork emits early-work records: a header line with the count,
+// then n lines of "p" per record.
+func WriteEarlyWork(w io.Writer, raws []*Raw) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", len(raws))
+	for _, r := range raws {
+		if r.Alpha != nil || r.M != nil {
+			return fmt.Errorf("orlib: WriteEarlyWork given a penalized record; use WriteCDD or WriteUCDDCP")
+		}
+		for j := range r.P {
+			fmt.Fprintf(bw, "%d\n", r.P[j])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEarlyWork parses the early-work record format of WriteEarlyWork.
+func ReadEarlyWork(r io.Reader, n int) ([]*Raw, error) {
+	br := bufio.NewReader(r)
+	var k int
+	if _, err := fmt.Fscan(br, &k); err != nil {
+		return nil, fmt.Errorf("orlib: reading record count: %w", err)
+	}
+	if k < 0 || k > MaxRecords {
+		return nil, fmt.Errorf("orlib: record count %d outside [0,%d]", k, MaxRecords)
+	}
+	raws := make([]*Raw, k)
+	for i := 0; i < k; i++ {
+		raw := &Raw{P: make([]int, n)}
+		for j := 0; j < n; j++ {
+			if _, err := fmt.Fscan(br, &raw.P[j]); err != nil {
+				return nil, fmt.Errorf("orlib: record %d job %d: %w", i, j, err)
+			}
+		}
+		raws[i] = raw
+	}
+	return raws, nil
 }
 
 // ReadUCDDCP parses the controllable record format of WriteUCDDCP.

@@ -2,6 +2,7 @@ package orlib
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -245,5 +246,95 @@ func TestReadErrorPathsTable(t *testing.T) {
 	}
 	if _, err := ReadUCDDCP(strings.NewReader("1\n5 3 2 3 4\n"), 1); err != nil {
 		t.Errorf("minimal valid UCDDCP file rejected: %v", err)
+	}
+}
+
+// TestEarlyWorkGeneratorDeterminism pins the early-work stream: the same
+// (size, k, seed) must reproduce identical records, a different seed must
+// diverge, and processing times stay in the U[1,20] band with no penalty
+// vectors attached.
+func TestEarlyWorkGeneratorDeterminism(t *testing.T) {
+	a := GenerateEarlyWork(40, 3, 42)
+	b := GenerateEarlyWork(40, 3, 42)
+	for i := range a {
+		if a[i].M != nil || a[i].Alpha != nil || a[i].Beta != nil || a[i].Gamma != nil {
+			t.Fatalf("record %d carries penalty vectors", i)
+		}
+		for j := range a[i].P {
+			if a[i].P[j] != b[i].P[j] {
+				t.Fatalf("record %d job %d differs across identical seeds", i, j)
+			}
+			if a[i].P[j] < 1 || a[i].P[j] > 20 {
+				t.Fatalf("record %d job %d processing time %d outside [1,20]", i, j, a[i].P[j])
+			}
+		}
+	}
+	c := GenerateEarlyWork(40, 3, 43)
+	same := true
+	for i := range a {
+		for j := range a[i].P {
+			if a[i].P[j] != c[i].P[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical records")
+	}
+}
+
+// TestEarlyWorkRoundtripAndFixture round-trips generated records through
+// the on-disk format and pins the checked-in fixture to the generator:
+// testdata/orlib/ew10.txt is WriteEarlyWork(GenerateEarlyWork(10, 2,
+// DefaultSeed)) byte for byte, so regenerating benchmarks can never
+// silently drift from the archived data.
+func TestEarlyWorkRoundtripAndFixture(t *testing.T) {
+	raws := GenerateEarlyWork(10, 2, DefaultSeed)
+	var buf bytes.Buffer
+	if err := WriteEarlyWork(&buf, raws); err != nil {
+		t.Fatal(err)
+	}
+	fixture, err := os.ReadFile("../../testdata/orlib/ew10.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), fixture) {
+		t.Errorf("fixture ew10.txt does not match the seeded generator output:\n%s\nvs\n%s", fixture, buf.Bytes())
+	}
+	back, err := ReadEarlyWork(bytes.NewReader(fixture), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("read %d records, want 2", len(back))
+	}
+	for i := range raws {
+		for j := 0; j < 10; j++ {
+			if raws[i].P[j] != back[i].P[j] {
+				t.Fatalf("record %d job %d mismatch after fixture read", i, j)
+			}
+		}
+	}
+	// The instances built from the fixture are valid parallel-machine
+	// early-work instances with the documented restrictive due date.
+	for k, raw := range back {
+		in, err := EarlyWorkInstance(raw, 10, k, 3, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Kind != problem.EARLYWORK || in.MachineCount() != 3 {
+			t.Fatalf("instance %d: kind %v machines %d", k, in.Kind, in.MachineCount())
+		}
+		want := int64(0.6 * float64(raw.SumP()) / 3)
+		if want < 1 {
+			want = 1
+		}
+		if in.D != want {
+			t.Errorf("instance %d: d = %d, want %d", k, in.D, want)
+		}
+	}
+	// WriteEarlyWork rejects penalized records, like the other writers.
+	if err := WriteEarlyWork(&buf, GenerateCDD(5, 1, 1)); err == nil {
+		t.Error("WriteEarlyWork accepted a penalized record")
 	}
 }

@@ -66,7 +66,7 @@ func (d *ParallelDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.
 	ctx, cancel := d.Budget.Apply(ctx)
 	defer cancel()
 	start := time.Now()
-	n := inst.N()
+	n := inst.GenomeLen()
 
 	col := obs.NewCollector(d.Metrics)
 	particles := make([]*dpso.Particle, ens.Chains)

@@ -190,7 +190,7 @@ func (r *reducer) best() (seq []int, cost int64, ok bool) {
 func (r *reducer) result(inst *problem.Instance) core.Result {
 	seq, cost, ok := r.best()
 	if !ok {
-		seq = problem.IdentitySequence(inst.N())
+		seq = problem.IdentitySequence(inst.GenomeLen())
 		cost = core.NewEvaluator(inst).Cost(seq)
 		r.evals.Add(1)
 	}

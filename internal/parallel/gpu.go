@@ -132,6 +132,14 @@ type pipeline struct {
 	// positions and the accept step advances the cache by Commit.
 	deltas []*cdd.Delta[int32]
 
+	// soa, when non-nil, is the genome-coded snapshot: the instance has
+	// parallel machines or the early-work objective, rows are delimiter
+	// genomes of length GenomeLen, and the persistent kernel scores them
+	// through core.GenomeFitnessArrays. The device job arrays above are
+	// zero-padded to the genome length so separator ids stay in-bounds
+	// for every access mode.
+	soa *core.SoAInstance
+
 	// batch precomputes the full-pass fitness of all rows host-side in
 	// one batch pass (lazily built on first fitnessKernel
 	// launch); batchCost/batchOps carry the per-row results into the
@@ -142,7 +150,7 @@ type pipeline struct {
 }
 
 func newPipeline(dev *cudasim.Device, inst *problem.Instance, grid, block int, coop bool, seed uint64) *pipeline {
-	n := inst.N()
+	n := inst.GenomeLen()
 	pl := &pipeline{
 		dev: dev, inst: inst, n: n,
 		grid: grid, block: block, threads: grid * block,
@@ -157,6 +165,9 @@ func newPipeline(dev *cudasim.Device, inst *problem.Instance, grid, block int, c
 	pl.pBuf = cudasim.NewBufferFrom(dev, p)
 	pl.alphaBuf = cudasim.NewBufferFrom(dev, a)
 	pl.betaBuf = cudasim.NewBufferFrom(dev, b)
+	if inst.GenomeCoded() {
+		pl.soa = core.NewSoAInstance(inst)
+	}
 	if inst.Kind == problem.UCDDCP {
 		m := make([]int64, n)
 		gm := make([]int64, n)
@@ -197,7 +208,8 @@ func (pl *pipeline) setPAccess(mode PAccess) {
 }
 
 // enableDelta builds the per-thread incremental CDD evaluators. Only the
-// CDD kernels adopt the delta path, and only in the default coalesced
+// single-machine CDD kernels adopt the delta path (cdd.Delta prices plain
+// sequences, not delimiter genomes), and only in the default coalesced
 // access mode — the scattered/texture ablations exist to time the full
 // pass's processing-time read pattern, so they keep it.
 func (pl *pipeline) enableDelta() {
@@ -439,13 +451,13 @@ func (g *GPUSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result,
 	}
 	ctx, cancel := g.Budget.Apply(ctx)
 	defer cancel()
-	n := inst.N()
+	n := inst.GenomeLen()
 	start := time.Now()
 	simStart := dev.SimTime()
 
 	pl := newPipeline(dev, inst, grid, block, g.Cooperative, g.Seed)
 	pl.setPAccess(g.PTimeAccess)
-	if inst.Kind != problem.UCDDCP && g.PTimeAccess == PAccessCoalesced {
+	if inst.Kind == problem.CDD && !inst.GenomeCoded() && g.PTimeAccess == PAccessCoalesced {
 		pl.enableDelta()
 	}
 	N := pl.threads

@@ -103,7 +103,7 @@ func (g *GPUDPSO) Solve(ctx context.Context, inst *problem.Instance) (core.Resul
 	}
 	ctx, cancel := g.Budget.Apply(ctx)
 	defer cancel()
-	n := inst.N()
+	n := inst.GenomeLen()
 	start := time.Now()
 	simStart := dev.SimTime()
 

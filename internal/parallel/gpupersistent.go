@@ -89,12 +89,12 @@ func (g *PersistentGPUSA) Solve(ctx context.Context, inst *problem.Instance) (co
 	}
 	ctx, cancel := g.Budget.Apply(ctx)
 	defer cancel()
-	n := inst.N()
+	n := inst.GenomeLen()
 	start := time.Now()
 	simStart := dev.SimTime()
 
 	pl := newPipeline(dev, inst, grid, block, false, g.Seed)
-	if inst.Kind != problem.UCDDCP {
+	if inst.Kind == problem.CDD && !inst.GenomeCoded() {
 		// Same delta adoption as the four-kernel pipeline's default mode,
 		// so both engines price candidates identically.
 		pl.enableDelta()
@@ -169,10 +169,19 @@ func (g *PersistentGPUSA) Solve(ctx context.Context, inst *problem.Instance) (co
 				pArr := pl.loadProcessingTimes(c, tid, row)
 				var cost int64
 				var ops int
-				if pl.inst.Kind == problem.UCDDCP {
+				switch {
+				case pl.soa != nil:
+					// Genome-coded row: machine-aware scoring through the
+					// shared genome core (bit-identical to the four-kernel
+					// pipeline's batch path on the same row).
+					cost, ops = core.GenomeFitnessArrays(row, pl.soa, pl.comp[tid], pl.aux[tid])
+					if pl.inst.Kind == problem.UCDDCP {
+						c.ChargeGlobal(2*n, true)
+					}
+				case pl.inst.Kind == problem.UCDDCP:
 					cost, ops = fitnessUCDDCPArrays(row, pArr, pl.mBuf.Raw(), shA, shB, pl.gammaBuf.Raw(), d, pl.comp[tid], pl.aux[tid])
 					c.ChargeGlobal(2*n, true)
-				} else {
+				default:
 					cost, ops = fitnessCDDArrays(row, pArr, shA, shB, d, pl.comp[tid])
 				}
 				c.ChargeArith(ops)

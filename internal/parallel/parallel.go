@@ -220,7 +220,7 @@ func (s *SyncSA) Solve(ctx context.Context, inst *problem.Instance) (core.Result
 
 	red := newReducer(ens.Chains)
 	m := newMeter(s.Progress, start, red)
-	bestSeq := make([]int, inst.N())
+	bestSeq := make([]int, inst.GenomeLen())
 	bestCost := int64(1) << 62
 	interrupted := false
 	for level := 0; level < levels; level++ {

@@ -1,0 +1,100 @@
+package perm
+
+// Assignment moves for delimiter genomes (see problem.GenomeLen): a
+// genome is a permutation of nJobs job values (< nJobs) and machine
+// separators (≥ nJobs), and the maximal runs of job values map in order
+// to machines. Because both moves below permute genome values in place,
+// they are closed over genomes like every other operator in this package
+// — but they target the assignment structure directly: JobReassign moves
+// one job into a different slot (typically another machine's segment) and
+// CrossMachineSwap exchanges two jobs that are guaranteed to sit on
+// different machines. Both report the touched window so incremental
+// evaluators (core.MachineDeltaEvaluator) price the move in O(Δ) instead
+// of a full genome pass.
+
+// JobReassign removes one random job value (never a separator) and
+// reinserts it at another random position, shifting the values in
+// between — on a multi-machine genome this reassigns the job to whatever
+// machine owns the destination slot while preserving every machine's
+// internal order. It returns the inclusive window [lo, hi] of positions
+// the move may have changed; for genomes with fewer than 2 positions or
+// no job values both are 0 (nothing changed).
+func JobReassign(r Rand, genome []int, nJobs int) (lo, hi int) {
+	n := len(genome)
+	if n < 2 || nJobs < 1 {
+		return 0, 0
+	}
+	var from int
+	for {
+		from = r.Intn(n)
+		if genome[from] < nJobs {
+			break
+		}
+	}
+	to := r.Intn(n - 1)
+	if to >= from {
+		to++
+	}
+	v := genome[from]
+	if from < to {
+		copy(genome[from:to], genome[from+1:to+1])
+	} else {
+		copy(genome[to+1:from+1], genome[to:from])
+	}
+	genome[to] = v
+	if from < to {
+		return from, to
+	}
+	return to, from
+}
+
+// CrossMachineSwap exchanges two random job values that sit on different
+// machines of the genome, leaving all segment lengths unchanged — the
+// pure assignment exchange move. It returns the two touched positions
+// (i < j is not guaranteed, matching Swap). When the genome has no two
+// jobs on distinct machines (single machine, or all jobs on one
+// machine), it returns (0, 0) and changes nothing.
+func (o *Ops) CrossMachineSwap(r Rand, genome []int, nJobs int) (i, j int) {
+	n := len(genome)
+	if n != o.n {
+		panic("perm: sequence length differs from Ops size")
+	}
+	if nJobs >= n || nJobs < 1 {
+		return 0, 0 // no separators: a single machine owns every job
+	}
+	// Label each position with its machine (separators get -1), tracking
+	// whether at least two machines hold jobs.
+	lab := o.vals[:n]
+	mach, firstMach := 0, -1
+	multi := false
+	for p, v := range genome {
+		if v >= nJobs {
+			mach++
+			lab[p] = -1
+			continue
+		}
+		lab[p] = mach
+		if firstMach < 0 {
+			firstMach = mach
+		} else if mach != firstMach {
+			multi = true
+		}
+	}
+	if !multi {
+		return 0, 0
+	}
+	for {
+		i = r.Intn(n)
+		if genome[i] < nJobs {
+			break
+		}
+	}
+	for {
+		j = r.Intn(n)
+		if genome[j] < nJobs && lab[j] != lab[i] {
+			break
+		}
+	}
+	genome[i], genome[j] = genome[j], genome[i]
+	return i, j
+}

@@ -1,0 +1,132 @@
+package perm
+
+import (
+	"testing"
+
+	"repro/internal/problem"
+	"repro/internal/xrand"
+)
+
+// machineOf labels every genome position with its machine index
+// (separators get -1), mirroring the delimiter decoding.
+func machineOf(genome []int, nJobs int) []int {
+	lab := make([]int, len(genome))
+	k := 0
+	for p, v := range genome {
+		if v >= nJobs {
+			k++
+			lab[p] = -1
+			continue
+		}
+		lab[p] = k
+	}
+	return lab
+}
+
+// TestJobReassignWindowAndClosure drives the insert-shift move across
+// random genomes: the result stays a permutation, the moved value is
+// always a job, and every position outside the reported window is
+// untouched — the contract the O(Δ) delta evaluator prices against.
+func TestJobReassignWindowAndClosure(t *testing.T) {
+	r := xrand.New(17)
+	for trial := 0; trial < 500; trial++ {
+		nJobs := 1 + r.Intn(8)
+		m := 1 + r.Intn(4)
+		L := nJobs + m - 1
+		genome := Random(r, L)
+		orig := append([]int(nil), genome...)
+		lo, hi := JobReassign(r, genome, nJobs)
+		if !problem.IsPermutation(genome) {
+			t.Fatalf("JobReassign broke the permutation: %v", genome)
+		}
+		if lo < 0 || hi >= L || lo > hi {
+			t.Fatalf("window [%d,%d] outside genome of length %d", lo, hi, L)
+		}
+		for p := 0; p < L; p++ {
+			if (p < lo || p > hi) && genome[p] != orig[p] {
+				t.Fatalf("position %d outside window [%d,%d] changed: %v → %v", p, lo, hi, orig, genome)
+			}
+		}
+		// The multiset inside the window is preserved (an insert-shift
+		// permutes window values only), so separator prefix counts outside
+		// the window are pinned — the machine-range bound the delta
+		// evaluator relies on.
+		seps := func(g []int, a, b int) int {
+			c := 0
+			for _, v := range g[a : b+1] {
+				if v >= nJobs {
+					c++
+				}
+			}
+			return c
+		}
+		if seps(genome, lo, hi) != seps(orig, lo, hi) {
+			t.Fatalf("separator count inside window changed: %v → %v", orig, genome)
+		}
+	}
+	// Degenerate genomes: nothing to move.
+	g := []int{0}
+	if lo, hi := JobReassign(r, g, 1); lo != 0 || hi != 0 || g[0] != 0 {
+		t.Errorf("length-1 genome moved: %v (window %d,%d)", g, lo, hi)
+	}
+}
+
+// TestCrossMachineSwapDistinctMachines pins the exchange move: the two
+// reported positions always hold jobs on different machines of the base
+// genome, segment boundaries never move, and genomes with fewer than two
+// occupied machines are left untouched.
+func TestCrossMachineSwapDistinctMachines(t *testing.T) {
+	r := xrand.New(19)
+	for trial := 0; trial < 500; trial++ {
+		nJobs := 1 + r.Intn(8)
+		m := 1 + r.Intn(4)
+		L := nJobs + m - 1
+		ops := NewOps(L)
+		genome := Random(r, L)
+		orig := append([]int(nil), genome...)
+		lab := machineOf(orig, nJobs)
+		i, j := ops.CrossMachineSwap(r, genome, nJobs)
+		if !problem.IsPermutation(genome) {
+			t.Fatalf("CrossMachineSwap broke the permutation: %v", genome)
+		}
+		if i == j {
+			// No-op: either a single machine owns every job or only one
+			// machine is occupied. Verify the claim and the untouched genome.
+			occupied := map[int]bool{}
+			for p, v := range orig {
+				if v < nJobs {
+					occupied[lab[p]] = true
+				}
+			}
+			if len(occupied) > 1 {
+				t.Fatalf("no-op reported but %d machines hold jobs: %v", len(occupied), orig)
+			}
+			for p := range genome {
+				if genome[p] != orig[p] {
+					t.Fatalf("no-op changed the genome: %v → %v", orig, genome)
+				}
+			}
+			continue
+		}
+		if orig[i] >= nJobs || orig[j] >= nJobs {
+			t.Fatalf("swap touched a separator: positions %d,%d of %v", i, j, orig)
+		}
+		if lab[i] == lab[j] {
+			t.Fatalf("swapped jobs share machine %d: %v", lab[i], orig)
+		}
+		if genome[i] != orig[j] || genome[j] != orig[i] {
+			t.Fatalf("positions %d,%d not exchanged: %v → %v", i, j, orig, genome)
+		}
+		for p := range genome {
+			if p != i && p != j && genome[p] != orig[p] {
+				t.Fatalf("position %d changed beyond the swap: %v → %v", p, orig, genome)
+			}
+		}
+	}
+	// Single machine: always a no-op.
+	ops := NewOps(4)
+	g := []int{2, 0, 1, 3}
+	if i, j := ops.CrossMachineSwap(r, g, 4); i != 0 || j != 0 {
+		t.Errorf("single-machine genome swapped (%d,%d)", i, j)
+	}
+}

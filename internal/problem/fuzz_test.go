@@ -23,6 +23,14 @@ func FuzzParseInstance(f *testing.F) {
 	f.Add([]byte("1\n6 5 7 9 5\n5 5 9 5 4\n"), uint64(2))
 	f.Add([]byte("999999999999999999\n1 1 1\n"), uint64(3))
 	f.Add([]byte("-5\n"), uint64(1))
+	// Parallel-machine and early-work seeds: a 3-machine CDD, a 2-machine
+	// EARLYWORK, a negative machine count (must fail closed), an unknown
+	// kind, and a processing-times-only early-work record.
+	f.Add([]byte(`{"name":"pm","kind":"CDD","dueDate":8,"machines":3,"jobs":[{"p":6,"alpha":7,"beta":9},{"p":5,"alpha":9,"beta":5}]}`), uint64(2))
+	f.Add([]byte(`{"name":"ew","kind":"EARLYWORK","dueDate":7,"machines":2,"jobs":[{"p":6,"alpha":0,"beta":0},{"p":5,"alpha":0,"beta":0},{"p":4,"alpha":0,"beta":0}]}`), uint64(3))
+	f.Add([]byte(`{"name":"bad","kind":"CDD","dueDate":8,"machines":-1,"jobs":[{"p":6,"alpha":7,"beta":9}]}`), uint64(1))
+	f.Add([]byte(`{"name":"bad","kind":"LATEWORK","dueDate":8,"jobs":[{"p":6,"alpha":7,"beta":9}]}`), uint64(1))
+	f.Add([]byte("1\n6\n5\n4\n"), uint64(3))
 	f.Fuzz(func(t *testing.T, data []byte, nRaw uint64) {
 		if in, err := problem.ReadInstanceJSON(bytes.NewReader(data)); err == nil {
 			if verr := in.Validate(); verr != nil {
@@ -56,6 +64,16 @@ func FuzzParseInstance(f *testing.F) {
 				if in, ierr := orlib.UCDDCPInstance(raw, n, k); ierr == nil {
 					if verr := in.Validate(); verr != nil {
 						t.Fatalf("UCDDCPInstance built an invalid instance: %v", verr)
+					}
+				}
+			}
+		}
+		if raws, err := orlib.ReadEarlyWork(bytes.NewReader(data), n); err == nil {
+			machines := 1 + int(nRaw%4)
+			for k, raw := range raws {
+				if in, ierr := orlib.EarlyWorkInstance(raw, n, k, machines, 0.6); ierr == nil {
+					if verr := in.Validate(); verr != nil {
+						t.Fatalf("EarlyWorkInstance built an invalid instance: %v", verr)
 					}
 				}
 			}

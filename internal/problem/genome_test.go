@@ -1,0 +1,214 @@
+package problem_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/problem"
+	"repro/internal/xrand"
+)
+
+// parallelCDD builds a small valid CDD instance on m machines.
+func parallelCDD(t *testing.T, n, m int) *problem.Instance {
+	t.Helper()
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + (i*7)%9
+		alpha[i] = 1 + i%5
+		beta[i] = 1 + i%7
+		sum += int64(p[i])
+	}
+	in, err := problem.NewCDD(fmt.Sprintf("codec-n%d-m%d", n, m), p, alpha, beta, sum/2+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Machines = m
+	return in
+}
+
+// shuffled returns a random permutation of 0..n-1.
+func shuffled(r *xrand.XORWOW, n int) []int {
+	seq := problem.IdentitySequence(n)
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		seq[i], seq[j] = seq[j], seq[i]
+	}
+	return seq
+}
+
+// TestGenomeCodecRoundTrip pins the delimiter codec: SplitGenome and
+// EncodeGenome are inverses, and GenomeAssignment agrees with the split
+// on both the machine-major order and the per-job machine.
+func TestGenomeCodecRoundTrip(t *testing.T) {
+	r := xrand.New(5)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(8)
+		m := 1 + r.Intn(4)
+		in := parallelCDD(t, n, m)
+		genome := shuffled(r, in.GenomeLen())
+		if !in.IsGenome(genome) {
+			t.Fatalf("IsGenome rejected a permutation of 0..%d", in.GenomeLen()-1)
+		}
+
+		segs := in.SplitGenome(genome)
+		if len(segs) != m {
+			t.Fatalf("SplitGenome returned %d segments, want %d", len(segs), m)
+		}
+		back, err := in.EncodeGenome(segs)
+		if err != nil {
+			t.Fatalf("EncodeGenome(SplitGenome(g)): %v", err)
+		}
+		// Separator identities may differ after re-encoding (they carry
+		// position, not identity), but job placement must be preserved:
+		// the job runs of both genomes are identical.
+		if fmt.Sprint(in.SplitGenome(back)) != fmt.Sprint(segs) {
+			t.Fatalf("round trip moved jobs:\ngenome %v → %v\nre-encoded %v → %v",
+				genome, segs, back, in.SplitGenome(back))
+		}
+
+		order, assign := in.GenomeAssignment(genome)
+		if m == 1 {
+			if assign != nil {
+				t.Fatalf("single-machine assignment not nil: %v", assign)
+			}
+			if fmt.Sprint(order) != fmt.Sprint(genome) {
+				t.Fatalf("single-machine order %v != genome %v", order, genome)
+			}
+			continue
+		}
+		if len(order) != n || len(assign) != n {
+			t.Fatalf("order %v / assign %v wrong length for n=%d", order, assign, n)
+		}
+		at := 0
+		for k, seg := range segs {
+			for _, job := range seg {
+				if order[at] != job {
+					t.Fatalf("order[%d] = %d, want %d (machine-major)", at, order[at], job)
+				}
+				if assign[job] != k {
+					t.Fatalf("job %d assigned to machine %d, split puts it on %d", job, assign[job], k)
+				}
+				at++
+			}
+		}
+	}
+}
+
+// TestGenomeStructureRejection pins the fail-closed side of the codec.
+func TestGenomeStructureRejection(t *testing.T) {
+	in := parallelCDD(t, 4, 3) // genome length 6
+	if in.GenomeLen() != 6 {
+		t.Fatalf("GenomeLen = %d, want 6", in.GenomeLen())
+	}
+	if in.IsGenome([]int{0, 1, 2, 3, 4}) {
+		t.Error("short genome accepted")
+	}
+	if in.IsGenome([]int{0, 1, 2, 3, 4, 4}) {
+		t.Error("duplicate value accepted")
+	}
+	if _, err := in.EncodeGenome([][]int{{0, 1}, {2, 3}}); err == nil {
+		t.Error("EncodeGenome accepted 2 segments for 3 machines")
+	}
+	if _, err := in.EncodeGenome([][]int{{0, 1}, {2}, {2}}); err == nil {
+		t.Error("EncodeGenome accepted a duplicated job")
+	}
+	if _, err := in.EncodeGenome([][]int{{0, 1}, {2}, {}}); err == nil {
+		t.Error("EncodeGenome accepted a dropped job")
+	}
+}
+
+// TestGenomeCoded pins the dispatch predicate: parallel instances and
+// EARLYWORK take the genome path, single-machine CDD/UCDDCP stay on the
+// paper's kernels.
+func TestGenomeCoded(t *testing.T) {
+	cdd1 := parallelCDD(t, 3, 1)
+	if cdd1.GenomeCoded() {
+		t.Error("single-machine CDD reported genome-coded")
+	}
+	cdd2 := parallelCDD(t, 3, 2)
+	if !cdd2.GenomeCoded() {
+		t.Error("2-machine CDD not genome-coded")
+	}
+	ew, err := problem.NewEarlyWork("ew", []int{3, 2, 1}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ew.GenomeCoded() {
+		t.Error("single-machine EARLYWORK not genome-coded (its cost is the late-work closed form)")
+	}
+}
+
+// TestKindTextMarshaling is the fail-closed table for the Kind codec:
+// both directions reject everything outside the three canonical names,
+// with ErrUnknownKind identity preserved for errors.Is callers.
+func TestKindTextMarshaling(t *testing.T) {
+	valid := []struct {
+		kind problem.Kind
+		name string
+	}{
+		{problem.CDD, "CDD"},
+		{problem.UCDDCP, "UCDDCP"},
+		{problem.EARLYWORK, "EARLYWORK"},
+	}
+	for _, tc := range valid {
+		text, err := tc.kind.MarshalText()
+		if err != nil || string(text) != tc.name {
+			t.Errorf("MarshalText(%v) = %q, %v; want %q", tc.kind, text, err, tc.name)
+		}
+		var k problem.Kind
+		if err := k.UnmarshalText([]byte(tc.name)); err != nil || k != tc.kind {
+			t.Errorf("UnmarshalText(%q) = %v, %v; want %v", tc.name, k, err, tc.kind)
+		}
+		if parsed, err := problem.ParseKind(tc.name); err != nil || parsed != tc.kind {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", tc.name, parsed, err, tc.kind)
+		}
+	}
+
+	rejected := []string{
+		"", "cdd", "Cdd", "ucddcp", "earlywork", "EarlyWork",
+		"LATEWORK", "CDD ", " CDD", "CDD\n", "Kind(0)", "3", "UCDDCP2",
+	}
+	for _, name := range rejected {
+		var k problem.Kind
+		err := k.UnmarshalText([]byte(name))
+		if err == nil {
+			t.Errorf("UnmarshalText(%q) accepted an unknown kind", name)
+			continue
+		}
+		if !errors.Is(err, problem.ErrUnknownKind) {
+			t.Errorf("UnmarshalText(%q) error %v is not ErrUnknownKind", name, err)
+		}
+		if _, err := problem.ParseKind(name); !errors.Is(err, problem.ErrUnknownKind) {
+			t.Errorf("ParseKind(%q) error %v is not ErrUnknownKind", name, err)
+		}
+	}
+
+	for _, k := range []problem.Kind{problem.Kind(-1), problem.Kind(3), problem.Kind(42)} {
+		if text, err := k.MarshalText(); err == nil {
+			t.Errorf("MarshalText(%d) leaked %q for an undefined kind", int(k), text)
+		} else if !errors.Is(err, problem.ErrUnknownKind) {
+			t.Errorf("MarshalText(%d) error %v is not ErrUnknownKind", int(k), err)
+		}
+	}
+}
+
+// TestCanonicalHashCoversMachines pins the cache-key contract: the
+// machine count participates in the hash, with the zero value and an
+// explicit 1 hashing identically (both mean the single-machine problem).
+func TestCanonicalHashCoversMachines(t *testing.T) {
+	base := parallelCDD(t, 5, 0)
+	one := base.Clone()
+	one.Machines = 1
+	if base.CanonicalHash() != one.CanonicalHash() {
+		t.Error("Machines 0 and 1 hash differently")
+	}
+	three := base.Clone()
+	three.Machines = 3
+	if base.CanonicalHash() == three.CanonicalHash() {
+		t.Error("machine count does not participate in the canonical hash")
+	}
+}

@@ -7,9 +7,11 @@ import (
 )
 
 // CanonicalHash returns the hex SHA-256 digest of the instance's semantic
-// content: kind, due date, job count, and every job's (P, M, Alpha, Beta,
-// Gamma) in sequence order. The display Name is excluded, so a renamed
-// copy of an instance hashes identically, and the encoding is
+// content: kind, machine count, due date, job count, and every job's
+// (P, M, Alpha, Beta, Gamma) in sequence order. The display Name is
+// excluded, so a renamed copy of an instance hashes identically; the
+// machine count is normalized through MachineCount, so Machines 0 and 1
+// (the same single-machine problem) hash identically; and the encoding is
 // length-prefixed fixed-width little-endian, so distinct instances cannot
 // collide by field concatenation. The digest is the instance component of
 // the result-cache key in the batch-solving service (internal/server).
@@ -21,6 +23,7 @@ func (in *Instance) CanonicalHash() string {
 		h.Write(buf[:])
 	}
 	put(int64(in.Kind))
+	put(int64(in.MachineCount()))
 	put(in.D)
 	put(int64(len(in.Jobs)))
 	for _, j := range in.Jobs {

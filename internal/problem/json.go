@@ -10,12 +10,15 @@ import (
 // the harness result archives. The format is self-describing (kind is a
 // string) and validated on load.
 
-// instanceJSON is the wire form of an Instance.
+// instanceJSON is the wire form of an Instance. Machines is omitted at
+// its default (single machine), so pre-generalization documents and
+// digests round-trip unchanged.
 type instanceJSON struct {
-	Name string    `json:"name"`
-	Kind string    `json:"kind"`
-	D    int64     `json:"dueDate"`
-	Jobs []jobJSON `json:"jobs"`
+	Name     string    `json:"name"`
+	Kind     string    `json:"kind"`
+	D        int64     `json:"dueDate"`
+	Machines int       `json:"machines,omitempty"`
+	Jobs     []jobJSON `json:"jobs"`
 }
 
 type jobJSON struct {
@@ -26,9 +29,18 @@ type jobJSON struct {
 	Gamma int `json:"gamma,omitempty"`
 }
 
-// MarshalJSON implements json.Marshaler with the stable wire form.
+// MarshalJSON implements json.Marshaler with the stable wire form. The
+// kind is rendered through MarshalText, so an out-of-range Kind fails
+// instead of leaking a debug string onto the wire.
 func (in *Instance) MarshalJSON() ([]byte, error) {
-	w := instanceJSON{Name: in.Name, Kind: in.Kind.String(), D: in.D}
+	kind, err := in.Kind.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	w := instanceJSON{Name: in.Name, Kind: string(kind), D: in.D}
+	if in.MachineCount() > 1 {
+		w.Machines = in.Machines
+	}
 	for _, j := range in.Jobs {
 		jj := jobJSON{P: j.P, Alpha: j.Alpha, Beta: j.Beta}
 		if in.Kind == UCDDCP {
@@ -40,20 +52,18 @@ func (in *Instance) MarshalJSON() ([]byte, error) {
 	return json.Marshal(w)
 }
 
-// UnmarshalJSON implements json.Unmarshaler, including validation.
+// UnmarshalJSON implements json.Unmarshaler, including validation. An
+// unknown kind or a negative machine count fails closed (ErrUnknownKind /
+// ErrMachines); an absent machines field means the single-machine
+// problem.
 func (in *Instance) UnmarshalJSON(data []byte) error {
 	var w instanceJSON
 	if err := json.Unmarshal(data, &w); err != nil {
 		return err
 	}
-	out := Instance{Name: w.Name, D: w.D}
-	switch w.Kind {
-	case "CDD":
-		out.Kind = CDD
-	case "UCDDCP":
-		out.Kind = UCDDCP
-	default:
-		return fmt.Errorf("problem: unknown kind %q", w.Kind)
+	out := Instance{Name: w.Name, D: w.D, Machines: w.Machines}
+	if err := out.Kind.UnmarshalText([]byte(w.Kind)); err != nil {
+		return err
 	}
 	for _, jj := range w.Jobs {
 		j := Job{P: jj.P, M: jj.M, Alpha: jj.Alpha, Beta: jj.Beta, Gamma: jj.Gamma}
@@ -88,12 +98,16 @@ func ReadInstanceJSON(r io.Reader) (*Instance, error) {
 	return &in, nil
 }
 
-// scheduleJSON is the wire form of a Schedule.
+// scheduleJSON is the wire form of a Schedule. The parallel-machine
+// fields are omitted when nil, keeping single-machine documents
+// byte-identical to the pre-generalization format.
 type scheduleJSON struct {
-	Seq   []int   `json:"sequence"`
-	Start int64   `json:"start"`
-	X     []int64 `json:"compressions,omitempty"`
-	Cost  int64   `json:"cost"`
+	Seq    []int   `json:"sequence"`
+	Start  int64   `json:"start"`
+	X      []int64 `json:"compressions,omitempty"`
+	Assign []int   `json:"assignment,omitempty"`
+	Starts []int64 `json:"machineStarts,omitempty"`
+	Cost   int64   `json:"cost"`
 }
 
 // MarshalScheduleJSON serializes a schedule with its exact cost for the
@@ -103,10 +117,12 @@ func MarshalScheduleJSON(in *Instance, s *Schedule) ([]byte, error) {
 		return nil, err
 	}
 	return json.MarshalIndent(scheduleJSON{
-		Seq:   s.Seq,
-		Start: s.Start,
-		X:     s.X,
-		Cost:  s.Cost(in),
+		Seq:    s.Seq,
+		Start:  s.Start,
+		X:      s.X,
+		Assign: s.Assign,
+		Starts: s.Starts,
+		Cost:   s.Cost(in),
 	}, "", "  ")
 }
 
@@ -117,7 +133,7 @@ func UnmarshalScheduleJSON(in *Instance, data []byte) (*Schedule, error) {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return nil, err
 	}
-	s := &Schedule{Seq: w.Seq, Start: w.Start, X: w.X}
+	s := &Schedule{Seq: w.Seq, Start: w.Start, X: w.X, Assign: w.Assign, Starts: w.Starts}
 	if err := s.Validate(in); err != nil {
 		return nil, err
 	}

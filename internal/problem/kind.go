@@ -1,0 +1,46 @@
+package problem
+
+import "fmt"
+
+// Text marshaling for Kind, used by the JSON wire forms and the CLI
+// flags. Unlike String — which renders unknown values as "Kind(%d)" for
+// debugging — both directions fail closed: an out-of-range Kind does not
+// serialize and an unrecognized name does not parse, so a malformed kind
+// can never round-trip through the server path.
+
+// MarshalText implements encoding.TextMarshaler. It errors on values
+// outside the defined kinds instead of leaking a debug rendering.
+func (k Kind) MarshalText() ([]byte, error) {
+	switch k {
+	case CDD, UCDDCP, EARLYWORK:
+		return []byte(k.String()), nil
+	default:
+		return nil, fmt.Errorf("problem: %w: Kind(%d)", ErrUnknownKind, int(k))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting exactly
+// the canonical upper-case names. Unknown names fail closed with
+// ErrUnknownKind.
+func (k *Kind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "CDD":
+		*k = CDD
+	case "UCDDCP":
+		*k = UCDDCP
+	case "EARLYWORK":
+		*k = EARLYWORK
+	default:
+		return fmt.Errorf("problem: %w: %q", ErrUnknownKind, string(text))
+	}
+	return nil
+}
+
+// ParseKind parses a canonical kind name ("CDD", "UCDDCP", "EARLYWORK").
+func ParseKind(s string) (Kind, error) {
+	var k Kind
+	if err := k.UnmarshalText([]byte(s)); err != nil {
+		return 0, err
+	}
+	return k, nil
+}

@@ -51,6 +51,14 @@ const (
 	// Processing Times: minimize Σ α_i·E_i + β_i·T_i + γ_i·X_i subject to
 	// d ≥ Σ P_i.
 	UCDDCP
+	// EARLYWORK is early-work maximization on identical parallel machines
+	// against a common due date (Li, arXiv:2007.12388): maximize the total
+	// work executed before d. It is expressed internally as minimization
+	// of the complementary total late work Σ_k max(0, load_k − d), so the
+	// solver stack's cost budgets and atomic-min reductions apply
+	// unchanged; maximal early work and minimal late work coincide because
+	// their sum is the constant ΣP.
+	EARLYWORK
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +68,8 @@ func (k Kind) String() string {
 		return "CDD"
 	case UCDDCP:
 		return "UCDDCP"
+	case EARLYWORK:
+		return "EARLYWORK"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -69,16 +79,47 @@ func (k Kind) String() string {
 type Instance struct {
 	// Name identifies the instance (e.g. "cdd_n50_k3_h0.6").
 	Name string
-	// Kind selects the objective (CDD or UCDDCP).
+	// Kind selects the objective (CDD, UCDDCP or EARLYWORK).
 	Kind Kind
 	// Jobs are the jobs to schedule; len(Jobs) == n.
 	Jobs []Job
 	// D is the common due date.
 	D int64
+	// Machines is the number of identical parallel machines. Zero and one
+	// both mean the single-machine problem of the paper (the zero value
+	// keeps every pre-existing literal valid); use MachineCount for the
+	// normalized count.
+	Machines int
 }
 
 // N returns the number of jobs.
 func (in *Instance) N() int { return len(in.Jobs) }
+
+// MachineCount returns the normalized machine count: Machines, with the
+// zero value reading as 1 (the single-machine problem).
+func (in *Instance) MachineCount() int {
+	if in.Machines < 1 {
+		return 1
+	}
+	return in.Machines
+}
+
+// GenomeLen returns the length of the delimiter-encoded solution genome:
+// a permutation of n jobs plus m−1 machine separators (values ≥ n), whose
+// maximal runs of job values map in order to machines 0..m−1. For
+// single-machine instances this is exactly N(), so a genome degenerates
+// to the plain job sequence of the paper.
+func (in *Instance) GenomeLen() int { return in.N() + in.MachineCount() - 1 }
+
+// GenomeCoded reports whether solutions for this instance are delimiter
+// genomes scored machine-by-machine rather than single sequences on the
+// paper's original kernels: any multi-machine instance, plus EARLYWORK
+// (whose cost is the late-work closed form even on one machine). When
+// false, solutions are plain job permutations and every evaluator takes
+// the pre-generalization path, bit-identical to the single-machine stack.
+func (in *Instance) GenomeCoded() bool {
+	return in.MachineCount() > 1 || in.Kind == EARLYWORK
+}
 
 // SumP returns the sum of all uncompressed processing times.
 func (in *Instance) SumP() int64 {
@@ -103,9 +144,26 @@ func (in *Instance) SumM() int64 {
 // restrictive due dates d = ⌊h·ΣP⌋ with h < 1; UCDDCP requires d ≥ ΣP.
 func (in *Instance) Restrictive() bool { return in.D < in.SumP() }
 
+// Sentinel errors of instance validation and parsing; callers branch
+// with errors.Is (the batch service maps them to 422 responses).
+var (
+	// ErrUnknownKind reports a Kind value or name outside the three
+	// defined problems. Parsing fails closed on it.
+	ErrUnknownKind = errors.New("unknown problem kind")
+	// ErrMachines reports an invalid machine count (< 1 when explicitly
+	// set; the zero value is read as 1).
+	ErrMachines = errors.New("invalid machine count")
+)
+
 // Validate checks structural invariants of the instance. It returns a
 // descriptive error for the first violated invariant, or nil.
 func (in *Instance) Validate() error {
+	if in.Kind != CDD && in.Kind != UCDDCP && in.Kind != EARLYWORK {
+		return fmt.Errorf("problem: %w: Kind(%d)", ErrUnknownKind, int(in.Kind))
+	}
+	if in.Machines < 0 {
+		return fmt.Errorf("problem: %w: %d machines", ErrMachines, in.Machines)
+	}
 	if len(in.Jobs) == 0 {
 		return errors.New("problem: instance has no jobs")
 	}
@@ -134,7 +192,7 @@ func (in *Instance) Validate() error {
 
 // Clone returns a deep copy of the instance.
 func (in *Instance) Clone() *Instance {
-	out := &Instance{Name: in.Name, Kind: in.Kind, D: in.D}
+	out := &Instance{Name: in.Name, Kind: in.Kind, D: in.D, Machines: in.Machines}
 	out.Jobs = make([]Job, len(in.Jobs))
 	copy(out.Jobs, in.Jobs)
 	return out
@@ -166,6 +224,25 @@ func NewUCDDCP(name string, p, m, alpha, beta, gamma []int, d int64) (*Instance,
 	in := &Instance{Name: name, Kind: UCDDCP, D: d, Jobs: make([]Job, n)}
 	for i := range p {
 		in.Jobs[i] = Job{P: p[i], M: m[i], Alpha: alpha[i], Beta: beta[i], Gamma: gamma[i]}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// NewEarlyWork builds an early-work-maximization instance: n jobs with
+// processing times p on machines identical parallel machines against the
+// common due date d. Early-work instances carry no earliness/tardiness
+// penalties (the objective is the work itself), so α and β are zero and
+// M = P.
+func NewEarlyWork(name string, p []int, machines int, d int64) (*Instance, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("problem: %w: %d machines", ErrMachines, machines)
+	}
+	in := &Instance{Name: name, Kind: EARLYWORK, D: d, Machines: machines, Jobs: make([]Job, len(p))}
+	for i := range p {
+		in.Jobs[i] = Job{P: p[i], M: p[i]}
 	}
 	if err := in.Validate(); err != nil {
 		return nil, err

@@ -6,63 +6,132 @@ import (
 	"strings"
 )
 
-// Schedule is a fully specified solution of a CDD/UCDDCP instance for some
-// job sequence: the processing order, the start time of the first job, and
+// Schedule is a fully specified solution of an instance for some job
+// sequence: the processing order, the start time of the first job, and
 // (for UCDDCP) the per-job compressions. Jobs are processed back to back
-// with no machine idle time, which is optimal for both problems
-// (Cheng–Kahlbacher).
+// with no machine idle time, which is optimal for all three objectives
+// (Cheng–Kahlbacher for CDD/UCDDCP; for early work any idle time only
+// pushes work past the due date). On parallel-machine instances Assign
+// and Starts additionally record the machine of every job and the start
+// time of every machine; both stay nil on single-machine schedules, whose
+// wire form is therefore unchanged.
 type Schedule struct {
 	// Seq holds job indices (0-based into Instance.Jobs) in processing
-	// order.
+	// order. On parallel-machine schedules the order is machine-major:
+	// machine 0's jobs first, each machine's jobs in processing order.
 	Seq []int
-	// Start is the start time of the first job in Seq.
+	// Start is the start time of the first job in Seq (machine 0's start
+	// when Starts is nil).
 	Start int64
 	// X holds the compression of each job, indexed by job id (not by
 	// position). nil means "no compression anywhere" and is the normal
 	// state for CDD schedules.
 	X []int64
+	// Assign holds the machine of each job, indexed by job id. nil means
+	// every job runs on machine 0 (the single-machine case).
+	Assign []int
+	// Starts holds the start time of each machine, indexed by machine id.
+	// nil means machine 0 starts at Start.
+	Starts []int64
+}
+
+// machineTimes returns the per-machine running clock initialized from
+// Starts (or Start on every machine when Starts is nil).
+func (s *Schedule) machineTimes(in *Instance) []int64 {
+	t := make([]int64, in.MachineCount())
+	for k := range t {
+		t[k] = s.Start
+	}
+	if s.Starts != nil {
+		copy(t, s.Starts)
+	}
+	return t
 }
 
 // Completions returns the completion time of every job in processing order
-// (indexed by position). The result has length len(s.Seq).
+// (indexed by position). The result has length len(s.Seq). On
+// parallel-machine schedules each job completes on its assigned machine's
+// clock.
 func (s *Schedule) Completions(in *Instance) []int64 {
 	out := make([]int64, len(s.Seq))
-	t := s.Start
+	if s.Assign == nil {
+		t := s.Start
+		for pos, job := range s.Seq {
+			p := int64(in.Jobs[job].P)
+			if s.X != nil {
+				p -= s.X[job]
+			}
+			t += p
+			out[pos] = t
+		}
+		return out
+	}
+	t := s.machineTimes(in)
 	for pos, job := range s.Seq {
 		p := int64(in.Jobs[job].P)
 		if s.X != nil {
 			p -= s.X[job]
 		}
-		t += p
-		out[pos] = t
+		k := s.Assign[job]
+		t[k] += p
+		out[pos] = t[k]
 	}
 	return out
+}
+
+// jobCost advances the clock *t past the job and returns its objective
+// contribution: α·E + β·T (+ γ·X) for CDD/UCDDCP, or the job's late work
+// min(p, max(0, C−d)) for EARLYWORK (minimizing total late work is
+// maximizing total early work).
+func (s *Schedule) jobCost(in *Instance, job int, t *int64) int64 {
+	j := in.Jobs[job]
+	p := int64(j.P)
+	var cost int64
+	if s.X != nil {
+		x := s.X[job]
+		p -= x
+		cost += int64(j.Gamma) * x
+	}
+	*t += p
+	d := in.D
+	if in.Kind == EARLYWORK {
+		late := *t - d
+		if late > p {
+			late = p
+		}
+		if late > 0 {
+			cost += late
+		}
+		return cost
+	}
+	if *t < d {
+		cost += int64(j.Alpha) * (d - *t)
+	} else {
+		cost += int64(j.Beta) * (*t - d)
+	}
+	return cost
 }
 
 // Cost evaluates the exact objective value of the schedule:
 //
 //	Σ α_i·E_i + β_i·T_i + γ_i·X_i
 //
-// with E_i = max(0, d−C_i) and T_i = max(0, C_i−d). For CDD schedules
-// (X == nil) the compression term vanishes.
+// with E_i = max(0, d−C_i) and T_i = max(0, C_i−d), or the total late
+// work for EARLYWORK instances. For CDD schedules (X == nil) the
+// compression term vanishes. Parallel-machine schedules sum the
+// per-machine objectives.
 func (s *Schedule) Cost(in *Instance) int64 {
 	var cost int64
-	t := s.Start
-	d := in.D
+	if s.Assign == nil {
+		t := s.Start
+		for _, job := range s.Seq {
+			cost += s.jobCost(in, job, &t)
+		}
+		return cost
+	}
+	t := s.machineTimes(in)
 	for _, job := range s.Seq {
-		j := in.Jobs[job]
-		p := int64(j.P)
-		if s.X != nil {
-			x := s.X[job]
-			p -= x
-			cost += int64(j.Gamma) * x
-		}
-		t += p
-		if t < d {
-			cost += int64(j.Alpha) * (d - t)
-		} else {
-			cost += int64(j.Beta) * (t - d)
-		}
+		cost += s.jobCost(in, job, &t[s.Assign[job]])
 	}
 	return cost
 }
@@ -88,6 +157,27 @@ func (s *Schedule) Validate(in *Instance) error {
 		for i, x := range s.X {
 			if x < 0 || x > int64(in.Jobs[i].MaxCompression()) {
 				return fmt.Errorf("problem: job %d compression %d outside [0,%d]", i, x, in.Jobs[i].MaxCompression())
+			}
+		}
+	}
+	m := in.MachineCount()
+	if s.Assign != nil {
+		if len(s.Assign) != n {
+			return fmt.Errorf("problem: assignment vector has length %d, want %d", len(s.Assign), n)
+		}
+		for i, k := range s.Assign {
+			if k < 0 || k >= m {
+				return fmt.Errorf("problem: job %d assigned to machine %d outside [0,%d)", i, k, m)
+			}
+		}
+	}
+	if s.Starts != nil {
+		if len(s.Starts) != m {
+			return fmt.Errorf("problem: start vector has length %d, want %d machines", len(s.Starts), m)
+		}
+		for k, t := range s.Starts {
+			if t < 0 {
+				return fmt.Errorf("problem: machine %d has negative start time %d", k, t)
 			}
 		}
 	}

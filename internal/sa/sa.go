@@ -142,7 +142,7 @@ type Chain struct {
 // through the propose/commit protocol — the costs (and therefore the
 // trajectory) are bit-identical to full evaluation, only cheaper.
 func NewChain(cfg Config, eval core.Evaluator, rng *xrand.XORWOW) *Chain {
-	n := eval.Instance().N()
+	n := eval.Instance().GenomeLen()
 	cfg = cfg.normalized(n)
 	c := &Chain{
 		cfg:     cfg,

@@ -14,8 +14,11 @@ import (
 // paper's GPU-SA configuration — so the minimal body is just
 // {"instance": {...}}.
 type SolveRequest struct {
-	// Instance is the CDD or UCDDCP instance to solve; it is validated
-	// while decoding (problem.Instance.UnmarshalJSON).
+	// Instance is the CDD, UCDDCP or EARLYWORK instance to solve — single-
+	// or parallel-machine (a "machines" field > 1 in the instance JSON);
+	// it is validated while decoding (problem.Instance.UnmarshalJSON), and
+	// semantic rejections (unknown kind, negative machine count) answer
+	// 422 instead of the generic 400 of malformed bodies.
 	Instance *problem.Instance `json:"instance"`
 	// Algorithm names the metaheuristic ("SA", "DPSO", "TA", "ES";
 	// default SA).
@@ -86,12 +89,16 @@ func (r *SolveRequest) cacheKey() string {
 // sequence are bit-identical to a direct duedate.SolveContext call — the
 // server adds queueing and caching, never a different trajectory.
 type SolveResponse struct {
-	// Instance echoes the instance name, Kind the problem ("CDD" or
-	// "UCDDCP"), N the job count and InstanceHash the canonical SHA-256
-	// digest used as the cache-key prefix.
+	// Instance echoes the instance name, Kind the problem ("CDD",
+	// "UCDDCP" or "EARLYWORK"), N the job count, Machines the machine
+	// count (omitted on single-machine instances, matching the instance
+	// wire form) and InstanceHash the canonical SHA-256 digest used as the
+	// cache-key prefix — it covers the machine count, so the same job set
+	// on a different machine count never collides in the cache.
 	Instance     string `json:"instance"`
 	Kind         string `json:"kind"`
 	N            int    `json:"n"`
+	Machines     int    `json:"machines,omitempty"`
 	InstanceHash string `json:"instanceHash"`
 	// Algorithm and Engine echo the (defaulted) solver selection; Seed
 	// the (defaulted) RNG seed.
@@ -102,10 +109,18 @@ type SolveResponse struct {
 	Iterations int `json:"iterations"`
 	// Cost is the exact objective of Sequence; Start the optimal first
 	// start time; Compressions the per-job compressions (UCDDCP only).
-	Cost         int64   `json:"cost"`
-	Sequence     []int   `json:"sequence"`
-	Start        int64   `json:"start"`
-	Compressions []int64 `json:"compressions,omitempty"`
+	// On parallel-machine instances Sequence is the solver's delimiter
+	// genome (values ≥ n are machine separators), Assignment records each
+	// job's machine (indexed by job id) and MachineStarts each machine's
+	// start time; on single-machine instances Sequence is the plain job
+	// order and both extra fields are omitted, keeping the wire form
+	// byte-identical to the pre-generalization service.
+	Cost          int64   `json:"cost"`
+	Sequence      []int   `json:"sequence"`
+	Start         int64   `json:"start"`
+	Compressions  []int64 `json:"compressions,omitempty"`
+	Assignment    []int   `json:"assignment,omitempty"`
+	MachineStarts []int64 `json:"machineStarts,omitempty"`
 	// Evaluations counts fitness evaluations across all chains; ElapsedNs
 	// is the solve's host wall time (the original solve's for cache
 	// hits); SimSeconds the simulated device time on the GPU engine.
@@ -127,24 +142,30 @@ func buildResponse(req *SolveRequest, opts duedate.Options, res duedate.Result) 
 	if seed == 0 {
 		seed = 1 // the facade's documented Seed-0 sentinel
 	}
-	return &SolveResponse{
-		Instance:     req.Instance.Name,
-		Kind:         req.Instance.Kind.String(),
-		N:            req.Instance.N(),
-		InstanceHash: req.Instance.CanonicalHash(),
-		Algorithm:    opts.Algorithm,
-		Engine:       opts.Engine,
-		Seed:         seed,
-		Iterations:   res.Iterations,
-		Cost:         res.BestCost,
-		Sequence:     res.BestSeq,
-		Start:        sched.Start,
-		Compressions: sched.X,
-		Evaluations:  res.Evaluations,
-		ElapsedNs:    int64(res.Elapsed),
-		SimSeconds:   res.SimSeconds,
-		Interrupted:  res.Interrupted,
+	resp := &SolveResponse{
+		Instance:      req.Instance.Name,
+		Kind:          req.Instance.Kind.String(),
+		N:             req.Instance.N(),
+		InstanceHash:  req.Instance.CanonicalHash(),
+		Algorithm:     opts.Algorithm,
+		Engine:        opts.Engine,
+		Seed:          seed,
+		Iterations:    res.Iterations,
+		Cost:          res.BestCost,
+		Sequence:      res.BestSeq,
+		Start:         sched.Start,
+		Compressions:  sched.X,
+		Assignment:    sched.Assign,
+		MachineStarts: sched.Starts,
+		Evaluations:   res.Evaluations,
+		ElapsedNs:     int64(res.Elapsed),
+		SimSeconds:    res.SimSeconds,
+		Interrupted:   res.Interrupted,
 	}
+	if m := req.Instance.MachineCount(); m > 1 {
+		resp.Machines = m
+	}
+	return resp
 }
 
 // BatchRequest is the wire form of POST /v1/batch: independent solve

@@ -1,7 +1,7 @@
 // Package server is the batch-solving service layer of the duedate
-// reproduction: an HTTP JSON API that accepts CDD/UCDDCP instances and
-// dispatches them onto a bounded worker pool of registry-resolved
-// solvers.
+// reproduction: an HTTP JSON API that accepts CDD, UCDDCP and EARLYWORK
+// instances — single- or parallel-machine — and dispatches them onto a
+// bounded worker pool of registry-resolved solvers.
 //
 // The design maps the paper's two-layer architecture onto a long-lived
 // serving path. Each request becomes one ensemble solve resolved through
@@ -169,7 +169,9 @@ const maxBodyBytes = 32 << 20
 // 500s, which are reserved for genuine internal failures.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, duedate.ErrUnsupportedPairing):
+	case errors.Is(err, duedate.ErrUnsupportedPairing),
+		errors.Is(err, problem.ErrUnknownKind),
+		errors.Is(err, problem.ErrMachines):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, duedate.ErrInvalidOptions),
 		errors.Is(err, duedate.ErrInvalidSequence),
@@ -229,6 +231,19 @@ func decodeStrict(body []byte, v any) error {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
+}
+
+// decodeStatus maps a request-decode failure onto its HTTP status. The
+// instance is validated while decoding, so semantic rejections surface
+// here: an unknown problem kind or an invalid machine count is a
+// well-formed request for something the service does not support (422,
+// keeping the sentinels' identity alongside ErrUnsupportedPairing),
+// while malformed JSON and structural mistakes stay 400.
+func decodeStatus(err error) int {
+	if errors.Is(err, problem.ErrUnknownKind) || errors.Is(err, problem.ErrMachines) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
 }
 
 // solveOne runs one request through cache → admission → pool and returns
@@ -292,7 +307,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	req := solveReqPool.Get().(*SolveRequest)
 	defer putSolveRequest(req)
 	if err := decodeSolveRequest(buf.b, req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		writeError(w, decodeStatus(err), "bad request: %v", err)
 		return
 	}
 	resp, status, err := s.solveOne(r.Context(), req)
@@ -331,7 +346,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	batch := getBatchRequest()
 	defer putBatchRequest(batch)
 	if err := decodeStrict(buf.b, batch); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		writeError(w, decodeStatus(err), "bad request: %v", err)
 		return
 	}
 	if len(batch.Requests) == 0 {

@@ -8,6 +8,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -288,7 +290,10 @@ func TestDeadlineExpiredReturnsInterrupted(t *testing.T) {
 
 // TestErrorStatusMapping table-tests the HTTP translation of the facade
 // sentinels and malformed bodies: ErrInvalidOptions → 400,
-// ErrUnsupportedPairing → 422, never an opaque 500 for caller mistakes.
+// ErrUnsupportedPairing → 422, and the instance-semantics sentinels
+// (problem.ErrUnknownKind, problem.ErrMachines) → 422 — a well-formed
+// request for something the service does not support — never an opaque
+// 500 for caller mistakes.
 func TestErrorStatusMapping(t *testing.T) {
 	_, ts := newTestServer(t, Config{Pool: 1})
 	valid := duedate.PaperExample(duedate.CDD)
@@ -315,9 +320,12 @@ func TestErrorStatusMapping(t *testing.T) {
 		{"unknown-engine-name",
 			`{"instance":` + instJSON(t, valid) + `,"engine":"tpu"}`,
 			http.StatusBadRequest},
-		{"invalid-instance-kind",
+		{"unknown-instance-kind",
 			`{"instance":{"name":"x","kind":"nope","dueDate":5,"jobs":[{"p":1,"alpha":1,"beta":1}]}}`,
-			http.StatusBadRequest},
+			http.StatusUnprocessableEntity},
+		{"negative-machine-count",
+			`{"instance":{"name":"x","kind":"CDD","dueDate":5,"machines":-2,"jobs":[{"p":1,"alpha":1,"beta":1}]}}`,
+			http.StatusUnprocessableEntity},
 		{"invalid-instance-no-jobs",
 			`{"instance":{"name":"x","kind":"CDD","dueDate":5,"jobs":[]}}`,
 			http.StatusBadRequest},
@@ -366,6 +374,85 @@ func instJSON(t *testing.T, in *problem.Instance) string {
 	return string(b)
 }
 
+// TestParallelEarlyWorkRoundTrip drives a 3-machine EARLYWORK instance
+// through /v1/solve and pins the generalized serving contract: the
+// response carries the machine count, a delimiter genome of length
+// n+m−1, a full job→machine assignment with per-machine starts, an
+// honest cost, and the instance's canonical hash — and an identical
+// resubmission is served from the cache byte-for-byte.
+func TestParallelEarlyWorkRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+	inst, err := duedate.NewEarlyWorkInstance("ew-rt", []int{6, 5, 2, 4, 4, 3, 7}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SolveRequest{
+		Instance: inst, Algorithm: duedate.SA, Engine: duedate.EngineCPUSerial,
+		Iterations: 60, Grid: 1, Block: 8, Seed: 13, TempSamples: 50,
+	}
+	status, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	var got SolveResponse
+	decodeInto(t, body, &got)
+	if got.Kind != "EARLYWORK" || got.Machines != 3 || got.N != inst.N() {
+		t.Errorf("echoed kind=%q machines=%d n=%d, want EARLYWORK/3/%d", got.Kind, got.Machines, got.N, inst.N())
+	}
+	if got.InstanceHash != inst.CanonicalHash() {
+		t.Errorf("instanceHash %q != CanonicalHash %q", got.InstanceHash, inst.CanonicalHash())
+	}
+	if len(got.Sequence) != inst.GenomeLen() || !problem.IsPermutation(got.Sequence) {
+		t.Fatalf("best genome %v is not a permutation of 0..%d", got.Sequence, inst.GenomeLen()-1)
+	}
+	if c, err := duedate.Cost(inst, got.Sequence); err != nil || c != got.Cost {
+		t.Errorf("reported cost %d dishonest (re-evaluated %d, err %v)", got.Cost, c, err)
+	}
+	if len(got.Assignment) != inst.N() || len(got.MachineStarts) != 3 {
+		t.Fatalf("assignment %v / machineStarts %v incomplete for n=%d m=3", got.Assignment, got.MachineStarts, inst.N())
+	}
+	for job, k := range got.Assignment {
+		if k < 0 || k >= 3 {
+			t.Errorf("job %d assigned to machine %d outside [0,3)", job, k)
+		}
+	}
+
+	// The canonical hash keys the cache: the identical resubmission must
+	// hit, differing only in the cached flag.
+	status, body2 := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("resubmission: %d %s", status, body2)
+	}
+	var again SolveResponse
+	decodeInto(t, body2, &again)
+	if !again.Cached {
+		t.Fatal("identical parallel-machine resubmission missed the cache")
+	}
+	again.Cached = false
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", again) {
+		t.Errorf("cached response differs:\nfirst  %+v\nsecond %+v", got, again)
+	}
+
+	// Same jobs on one machine is a different canonical hash — must miss.
+	single := inst.Clone()
+	single.Machines = 1
+	if single.CanonicalHash() == inst.CanonicalHash() {
+		t.Fatal("machine count does not participate in the canonical hash")
+	}
+	reqSingle := req
+	reqSingle.Instance = single
+	_, body3 := postJSON(t, ts.URL+"/v1/solve", reqSingle)
+	var fresh SolveResponse
+	decodeInto(t, body3, &fresh)
+	if fresh.Cached {
+		t.Error("single-machine variant hit the parallel instance's cache entry")
+	}
+	if fresh.Machines != 0 || fresh.Assignment != nil || fresh.MachineStarts != nil {
+		t.Errorf("single-machine response leaked parallel fields: machines=%d assign=%v starts=%v",
+			fresh.Machines, fresh.Assignment, fresh.MachineStarts)
+	}
+}
+
 // TestBatchMixedOutcomes posts a batch whose slots succeed, lack an
 // instance, and name an unsupported pairing — each slot must carry its
 // own status and the good slot must match a direct solve.
@@ -405,6 +492,42 @@ func TestBatchMixedOutcomes(t *testing.T) {
 	}
 	if resp.Results[2].Status != http.StatusUnprocessableEntity {
 		t.Errorf("unsupported-pairing slot: %+v", resp.Results[2])
+	}
+}
+
+// TestFixtureRequestsServe posts every checked-in example request body
+// (testdata/server/*.json — the bodies the daemon's docs curl) through
+// /v1/solve, so the fixtures can never drift from the wire format.
+func TestFixtureRequestsServe(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 2})
+	fixtures, err := filepath.Glob("../../testdata/server/*.json")
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no server fixtures found (err %v)", err)
+	}
+	for _, path := range fixtures {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			body, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var out bytes.Buffer
+			if _, err := out.ReadFrom(resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("fixture answered %d: %s", resp.StatusCode, out.Bytes())
+			}
+			var sr SolveResponse
+			decodeInto(t, out.Bytes(), &sr)
+			if sr.Interrupted || len(sr.Sequence) == 0 {
+				t.Errorf("fixture solve incomplete: %+v", sr)
+			}
+		})
 	}
 }
 

@@ -79,7 +79,7 @@ type Chain struct {
 
 // NewChain builds a chain with a random initial sequence.
 func NewChain(cfg Config, eval core.Evaluator, rng *xrand.XORWOW) *Chain {
-	n := eval.Instance().N()
+	n := eval.Instance().GenomeLen()
 	cfg = cfg.normalized(n)
 	c := &Chain{
 		cfg:  cfg,

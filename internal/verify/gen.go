@@ -42,6 +42,9 @@ func Families() []Family {
 		{Name: "max-compression", Gen: genMaxCompression},
 		{Name: "single-job", Gen: genSingleJob},
 		{Name: "exhaustive-sizes", Gen: genExhaustiveSizes},
+		{Name: "earlywork", Gen: genEarlyWork},
+		{Name: "parallel-cdd", Gen: genParallelCDD},
+		{Name: "parallel-ucddcp", Gen: genParallelUCDDCP},
 	}
 }
 
@@ -83,6 +86,22 @@ func mustUCDDCP(name string, p, m, alpha, beta, gamma []int, d int64) *problem.I
 		panic(fmt.Sprintf("verify: generator built an invalid instance: %v", err))
 	}
 	return in
+}
+
+// mustEarlyWork wraps problem.NewEarlyWork under the same contract.
+func mustEarlyWork(name string, p []int, machines int, d int64) *problem.Instance {
+	in, err := problem.NewEarlyWork(name, p, machines, d)
+	if err != nil {
+		panic(fmt.Sprintf("verify: generator built an invalid instance: %v", err))
+	}
+	return in
+}
+
+// genomeSize draws a job count keeping the genome length n + m − 1 within
+// maxN, so the brute oracle (which enumerates genomes) still applies to
+// the parallel families.
+func genomeSize(rng *xrand.XORWOW, maxN, machines int) int {
+	return size(rng, maxN-(machines-1))
 }
 
 // genUniformCDD mirrors the OR-library distribution: p ~ U[1,20],
@@ -261,6 +280,77 @@ func genSingleJob(rng *xrand.XORWOW, trial, _ int) *problem.Instance {
 		gamma := rng.Intn(10)
 		return mustUCDDCP(fmt.Sprintf("single-job/t%d/ucddcp", trial), []int{p}, []int{m}, []int{alpha}, []int{beta}, []int{gamma}, int64(p+rng.Intn(p+1)))
 	}
+}
+
+// genEarlyWork draws early-work instances cycling the machine count
+// through {1, 2, 3} and the restrictive factor through the OR-library h
+// set, with the per-machine due date d = max(1, ⌊h·Σp/m⌋).
+func genEarlyWork(rng *xrand.XORWOW, trial, maxN int) *problem.Instance {
+	m := 1 + trial%3
+	n := genomeSize(rng, maxN, m)
+	p := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(20)
+		sum += int64(p[i])
+	}
+	h := []float64{0.2, 0.4, 0.6, 0.8}[(trial/3)%4]
+	d := int64(h * float64(sum) / float64(m))
+	if d < 1 {
+		d = 1
+	}
+	return mustEarlyWork(fmt.Sprintf("earlywork/t%d/m%d/n%d", trial, m, n), p, m, d)
+}
+
+// genParallelCDD draws OR-library-style CDD data on 2 or 3 identical
+// machines, with the restrictive factor applied to the per-machine load
+// Σp/m. It exercises the delimiter-genome path of every evaluator with
+// the paper's own objective.
+func genParallelCDD(rng *xrand.XORWOW, trial, maxN int) *problem.Instance {
+	m := 2 + trial%2
+	n := genomeSize(rng, maxN, m)
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(20)
+		alpha[i] = 1 + rng.Intn(10)
+		beta[i] = 1 + rng.Intn(15)
+		sum += int64(p[i])
+	}
+	h := []float64{0.2, 0.4, 0.6, 0.8}[(trial/2)%4]
+	in := mustCDD(fmt.Sprintf("parallel-cdd/t%d/m%d/n%d", trial, m, n), p, alpha, beta, int64(h*float64(sum)/float64(m)))
+	in.Machines = m
+	return in
+}
+
+// genParallelUCDDCP draws controllable instances on 2 or 3 machines with
+// the due date in the unrestricted band [Σp, 1.5·Σp] — d ≥ Σp keeps every
+// possible machine segment unrestricted regardless of the assignment, the
+// precondition of the per-segment compression optimizer.
+func genParallelUCDDCP(rng *xrand.XORWOW, trial, maxN int) *problem.Instance {
+	m := 2 + trial%2
+	n := genomeSize(rng, maxN, m)
+	p := make([]int, n)
+	mm := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	gamma := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(20)
+		lo := (p[i] + 1) / 2
+		mm[i] = lo + rng.Intn(p[i]-lo+1)
+		alpha[i] = 1 + rng.Intn(10)
+		beta[i] = 1 + rng.Intn(15)
+		gamma[i] = 1 + rng.Intn(10)
+		sum += int64(p[i])
+	}
+	d := sum + int64(rng.Intn(int(sum/2)+1))
+	in := mustUCDDCP(fmt.Sprintf("parallel-ucddcp/t%d/m%d/n%d", trial, m, n), p, mm, alpha, beta, gamma, d)
+	in.Machines = m
+	return in
 }
 
 // genExhaustiveSizes ladders n through 1..12 (cycling by trial) on

@@ -23,6 +23,13 @@ import (
 //     UCDDCP optimum of a sequence is ≤ the CDD optimum of the same
 //     sequence with compression ignored; and a zero-capacity (M = P)
 //     controllable instance evaluates exactly like its CDD projection.
+//   - machine-relabel: machines are identical, so swapping two machine
+//     segments of a delimiter genome cannot change its cost.
+//   - single-machine-reduction: concentrating every job of a parallel
+//     instance on machine 0 must evaluate bit-identically to the same
+//     job order on the Machines = 1 clone — the proof that the
+//     generalized path collapses onto the paper's single-machine
+//     algorithms.
 //
 // The V-shape dominance property around d (every unrestricted CDD
 // instance has a V-shaped optimal sequence) is checked in the oracle
@@ -35,16 +42,22 @@ import (
 // instance with sequences drawn from rng and returns the discrepancies.
 func CheckMetamorphic(in *problem.Instance, rng *xrand.XORWOW, samples int) []Discrepancy {
 	var ds []Discrepancy
-	n := in.N()
 	eval := core.NewEvaluator(in)
-	seq := problem.IdentitySequence(n)
+	seq := problem.IdentitySequence(in.GenomeLen())
 	for s := 0; s < samples; s++ {
 		shuffle(rng, seq)
 		base := eval.Cost(seq)
 		ds = append(ds, checkRelabel(in, rng, seq, base)...)
-		ds = append(ds, checkScaling(in, rng, seq, base)...)
+		if in.Kind != problem.EARLYWORK {
+			// EARLYWORK carries no penalty weights to scale.
+			ds = append(ds, checkScaling(in, rng, seq, base)...)
+		}
 		if in.Kind == problem.UCDDCP {
 			ds = append(ds, checkCompressionMonotone(in, seq, base)...)
+		}
+		if in.MachineCount() > 1 {
+			ds = append(ds, checkMachineRelabel(in, rng, seq, base)...)
+			ds = append(ds, checkSingleMachineReduction(in, seq)...)
 		}
 	}
 	return ds
@@ -60,18 +73,24 @@ func shuffle(rng *xrand.XORWOW, seq []int) {
 
 // checkRelabel renames job ids through a random permutation π (job i of
 // the original becomes job π(i) of the relabeled instance) and asserts
-// cost invariance of the mapped sequence.
+// cost invariance of the mapped genome (separator values pass through
+// unmapped — they carry position, not identity).
 func checkRelabel(in *problem.Instance, rng *xrand.XORWOW, seq []int, base int64) []Discrepancy {
 	n := in.N()
 	pi := problem.IdentitySequence(n)
 	shuffle(rng, pi)
-	re := &problem.Instance{Name: in.Name + "/relabeled", Kind: in.Kind, D: in.D, Jobs: make([]problem.Job, n)}
+	re := in.Clone()
+	re.Name = in.Name + "/relabeled"
 	for i, j := range in.Jobs {
 		re.Jobs[pi[i]] = j
 	}
-	mapped := make([]int, n)
-	for pos, job := range seq {
-		mapped[pos] = pi[job]
+	mapped := make([]int, len(seq))
+	for pos, v := range seq {
+		if v < n {
+			mapped[pos] = pi[v]
+		} else {
+			mapped[pos] = v
+		}
 	}
 	if got := core.NewEvaluator(re).Cost(mapped); got != base {
 		return []Discrepancy{{
@@ -121,6 +140,9 @@ func checkCompressionMonotone(in *problem.Instance, seq []int, base int64) []Dis
 			Detail: fmt.Sprintf("CDD projection rejected: %v", err),
 		}}
 	}
+	// The projection keeps the machine count: compression never hurts on
+	// each machine independently, so the property holds per genome too.
+	proj.Machines = in.Machines
 	cddCost := core.NewEvaluator(proj).Cost(seq)
 	var ds []Discrepancy
 	if base > cddCost {
@@ -143,4 +165,64 @@ func checkCompressionMonotone(in *problem.Instance, seq []int, base int64) []Dis
 		})
 	}
 	return ds
+}
+
+// checkMachineRelabel swaps two random machine segments of the genome and
+// asserts cost invariance — the machines are identical, so the objective
+// cannot depend on which machine index a segment lands on.
+func checkMachineRelabel(in *problem.Instance, rng *xrand.XORWOW, seq []int, base int64) []Discrepancy {
+	segs := in.SplitGenome(seq)
+	m := len(segs)
+	a := rng.Intn(m)
+	b := rng.Intn(m - 1)
+	if b >= a {
+		b++
+	}
+	segs[a], segs[b] = segs[b], segs[a]
+	swapped, err := in.EncodeGenome(segs)
+	if err != nil {
+		return []Discrepancy{{
+			Check: "machine-relabel", Instance: in.Name,
+			Detail: fmt.Sprintf("re-encoding swapped segments failed: %v", err),
+		}}
+	}
+	if got := core.NewEvaluator(in).Cost(swapped); got != base {
+		return []Discrepancy{{
+			Check: "machine-relabel", Instance: in.Name,
+			Detail: fmt.Sprintf("segment-swapped cost %d != original %d (genome %v, swapped %d<->%d)", got, base, seq, a, b),
+		}}
+	}
+	return nil
+}
+
+// checkSingleMachineReduction concentrates every job on machine 0 (all
+// separators trailing) and asserts the cost bit-matches the same job
+// order evaluated on the Machines = 1 clone through the paper's
+// single-machine algorithms. Empty machines contribute zero, so the two
+// must agree exactly.
+func checkSingleMachineReduction(in *problem.Instance, seq []int) []Discrepancy {
+	n := in.N()
+	order := make([]int, 0, n)
+	for _, v := range seq {
+		if v < n {
+			order = append(order, v)
+		}
+	}
+	genome := make([]int, 0, in.GenomeLen())
+	genome = append(genome, order...)
+	for sep := n; sep < in.GenomeLen(); sep++ {
+		genome = append(genome, sep)
+	}
+	concentrated := core.NewEvaluator(in).Cost(genome)
+	single := in.Clone()
+	single.Name = in.Name + "/m1"
+	single.Machines = 1
+	want := core.NewEvaluator(single).Cost(order)
+	if concentrated != want {
+		return []Discrepancy{{
+			Check: "single-machine-reduction", Instance: in.Name,
+			Detail: fmt.Sprintf("all-on-machine-0 genome costs %d, single-machine path costs %d (order %v)", concentrated, want, order),
+		}}
+	}
+	return nil
 }

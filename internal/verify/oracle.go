@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/lpref"
+	"repro/internal/perm"
 	"repro/internal/problem"
 	"repro/internal/ucddcp"
 	"repro/internal/xrand"
@@ -35,13 +36,59 @@ type NamedCost struct {
 	Cost func(in *problem.Instance, seq []int) (int64, error)
 }
 
-// StandardEvaluators returns the evaluator chain for the instance's kind.
-// The first entry is the reference the others are compared against.
+// StandardEvaluators returns the evaluator chain for the instance's kind
+// and machine count. The first entry is the reference the others are
+// compared against. Genome-coded instances (parallel machines, EARLYWORK)
+// get the machine-aware chain; the single-machine paper problems keep
+// their original chains, LP reference included.
 func StandardEvaluators(in *problem.Instance) []NamedCost {
+	if in.GenomeCoded() {
+		return genomeEvaluators()
+	}
 	if in.Kind == problem.UCDDCP {
 		return ucddcpEvaluators()
 	}
 	return cddEvaluators()
+}
+
+// genomeEvaluators is the agreement chain over delimiter genomes: the
+// raw genome scorer as reference, the batch evaluator on all four faces,
+// the machine-granular delta evaluator via both Reset and Propose, and
+// the materialized multi-machine schedule re-evaluated from first
+// principles.
+func genomeEvaluators() []NamedCost {
+	return []NamedCost{
+		{Name: "core.GenomeCostArrays", Cost: func(in *problem.Instance, seq []int) (int64, error) {
+			s := core.NewSoAInstance(in)
+			comp := make([]int64, s.N)
+			aux := make([]int64, s.N)
+			return core.GenomeCostArrays(seq, s, comp, aux), nil
+		}},
+		{Name: "core.Evaluator", Cost: func(in *problem.Instance, seq []int) (int64, error) {
+			return core.NewEvaluator(in).Cost(seq), nil
+		}},
+		{Name: "machineDelta.Reset", Cost: func(in *problem.Instance, seq []int) (int64, error) {
+			return core.NewDeltaEvaluator(in).Reset(seq), nil
+		}},
+		{Name: "machineDelta.Propose", Cost: deltaProposeCost},
+		{Name: "core.BatchEvaluator.Cost", Cost: batchCost},
+		{Name: "batch.CostRows", Cost: batchRowsCost},
+		{Name: "batch.CostSeqs", Cost: batchSeqsCost},
+		{Name: "batch.FitnessRows32", Cost: batchFitness32Cost},
+		{Name: "genome-schedule.Cost", Cost: genomeScheduleCost},
+	}
+}
+
+// genomeScheduleCost materializes the genome into the fully timed
+// multi-machine schedule and re-evaluates it from first principles,
+// checking the structural invariants (assignment bounds, per-machine
+// starts) on the way.
+func genomeScheduleCost(in *problem.Instance, seq []int) (int64, error) {
+	s := core.GenomeSchedule(in, append([]int(nil), seq...))
+	if err := s.Validate(in); err != nil {
+		return 0, fmt.Errorf("genome schedule invalid: %w", err)
+	}
+	return s.Cost(in), nil
 }
 
 func cddEvaluators() []NamedCost {
@@ -167,10 +214,14 @@ func batchFitness32Cost(in *problem.Instance, seq []int) (int64, error) {
 	comp := make([]int64, n)
 	var wantCost int64
 	var wantOps int
-	if in.Kind == problem.UCDDCP {
+	switch {
+	case in.GenomeCoded():
+		aux := make([]int64, n)
+		wantCost, wantOps = core.GenomeFitnessArrays(seq, s, comp, aux)
+	case in.Kind == problem.UCDDCP:
 		scratch := make([]int64, n)
 		wantCost, _, _, wantOps = ucddcp.OptimizeArrays(seq, s.P, s.M, s.Alpha, s.Beta, s.Gamma, s.D, comp, scratch, nil)
-	} else {
+	default:
 		wantCost, _, _, wantOps = cdd.OptimizeArrays(seq, s.P, s.Alpha, s.Beta, s.D, comp)
 	}
 	if costs[0] != wantCost || wantOps != ops[0] {
@@ -277,29 +328,51 @@ func CheckSequenceAgreement(in *problem.Instance, seq []int, extra ...NamedCost)
 
 // deltaWalkCheck drives the propose/commit protocol through a random walk
 // of small moves (the metaheuristic hot path) and cross-checks every
-// proposal against a stateless full evaluation.
+// proposal against a stateless full evaluation. On genome-coded instances
+// the walk interleaves the assignment moves (perm.JobReassign,
+// perm.CrossMachineSwap) with the generic rotate move, so the
+// machine-granular delta evaluator is priced over exactly the windows
+// those operators report.
 func deltaWalkCheck(in *problem.Instance, rng *xrand.XORWOW, steps int) []Discrepancy {
-	n := in.N()
+	n := in.GenomeLen()
 	dl := core.NewDeltaEvaluator(in)
 	full := core.NewEvaluator(in)
 	base := problem.IdentitySequence(n)
 	dl.Reset(base)
 	cand := make([]int, n)
+	var ops *perm.Ops
+	if in.GenomeCoded() {
+		ops = perm.NewOps(n)
+	}
 	var ds []Discrepancy
 	for s := 0; s < steps; s++ {
 		copy(cand, base)
-		// k-position move: 2 (swap) or 3 (rotate) touched positions.
-		k := 2 + rng.Intn(2)
-		pos := make([]int, 0, k)
-		for len(pos) < k && len(pos) < n {
-			pos = append(pos, rng.Intn(n))
-		}
-		if len(pos) >= 2 {
-			first := cand[pos[0]]
-			for i := 0; i < len(pos)-1; i++ {
-				cand[pos[i]] = cand[pos[i+1]]
+		var pos []int
+		switch {
+		case ops != nil && s%3 == 1:
+			lo, hi := perm.JobReassign(rng, cand, in.N())
+			for p := lo; p <= hi; p++ {
+				pos = append(pos, p)
 			}
-			cand[pos[len(pos)-1]] = first
+		case ops != nil && s%3 == 2:
+			i, j := ops.CrossMachineSwap(rng, cand, in.N())
+			if i != j {
+				pos = []int{i, j}
+			}
+		default:
+			// k-position move: 2 (swap) or 3 (rotate) touched positions.
+			k := 2 + rng.Intn(2)
+			pos = make([]int, 0, k)
+			for len(pos) < k && len(pos) < n {
+				pos = append(pos, rng.Intn(n))
+			}
+			if len(pos) >= 2 {
+				first := cand[pos[0]]
+				for i := 0; i < len(pos)-1; i++ {
+					cand[pos[i]] = cand[pos[i+1]]
+				}
+				cand[pos[len(pos)-1]] = first
+			}
 		}
 		got := dl.Propose(cand, pos)
 		want := full.Cost(cand)
@@ -336,7 +409,10 @@ type ExactBounds struct {
 func CheckExactOracles(in *problem.Instance, bruteN, subsetN int) (ExactBounds, []Discrepancy) {
 	var eb ExactBounds
 	var ds []Discrepancy
-	n := in.N()
+	// Brute enumerates genomes, so its size gate is the genome length —
+	// on parallel-machine instances that enumeration covers every
+	// assignment of jobs to machines crossed with every per-machine order.
+	n := in.GenomeLen()
 
 	var bruteCost int64
 	if n <= bruteN {
@@ -361,7 +437,7 @@ func CheckExactOracles(in *problem.Instance, bruteN, subsetN int) (ExactBounds, 
 		}
 	}
 
-	if in.Kind == problem.CDD && !in.Restrictive() && n <= subsetN {
+	if in.Kind == problem.CDD && in.MachineCount() == 1 && !in.Restrictive() && n <= subsetN {
 		r, err := exact.SubsetCDD(in)
 		if err != nil {
 			ds = append(ds, Discrepancy{

@@ -50,6 +50,12 @@ type Config struct {
 	// DeltaSteps is the length of the propose/commit random walk per
 	// instance (default 12).
 	DeltaSteps int
+	// Machines, when positive, overrides the machine count of every
+	// generated instance — the CI matrix runs the full family set at
+	// machines ∈ {1, 2, 3}. Safe for all families: the UCDDCP
+	// unrestricted band is on the total ΣP, so forcing a split never
+	// invalidates an instance. Zero keeps each family's own choice.
+	Machines int
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +202,10 @@ func Run(ctx context.Context, cfg Config, drivers []Driver) (*Report, error) {
 			}
 			rng := xrand.NewStream(cfg.Seed, uint64(fi)<<32|uint64(trial))
 			in := fam.Gen(rng, trial, cfg.MaxN)
+			if cfg.Machines > 0 && in.MachineCount() != cfg.Machines {
+				in.Machines = cfg.Machines
+				in.Name = fmt.Sprintf("%s/m%d", in.Name, cfg.Machines)
+			}
 			rep.Instances++
 			if err := in.Validate(); err != nil {
 				rep.add(Discrepancy{
@@ -211,9 +221,12 @@ func Run(ctx context.Context, cfg Config, drivers []Driver) (*Report, error) {
 	return rep, nil
 }
 
-// checkInstance runs every layer on one instance.
+// checkInstance runs every layer on one instance. Solutions are genomes
+// of length GenomeLen — the plain job sequence on single-machine
+// instances, the delimiter encoding on parallel-machine ones — so every
+// layer below covers both regimes through the same code path.
 func (r *Report) checkInstance(ctx context.Context, cfg Config, family string, in *problem.Instance, rng *xrand.XORWOW, drivers []Driver) {
-	n := in.N()
+	n := in.GenomeLen()
 
 	// Layer 1: sequence-cost agreement across every evaluator.
 	seq := problem.IdentitySequence(n)
@@ -268,7 +281,7 @@ func (r *Report) checkInstance(ctx context.Context, cfg Config, family string, i
 		if len(res.BestSeq) != n || !problem.IsPermutation(res.BestSeq) {
 			r.add(Discrepancy{
 				Check: "driver-feasibility", Family: family, Instance: in.Name, Driver: drv.Name,
-				Detail: fmt.Sprintf("best sequence %v is not a permutation of 0..%d", res.BestSeq, n-1),
+				Detail: fmt.Sprintf("best genome %v is not a permutation of 0..%d", res.BestSeq, n-1),
 			})
 			continue
 		}

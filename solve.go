@@ -257,14 +257,21 @@ func Solve(in *Instance, opts Options) (Result, error) {
 
 // OptimizeSequence runs only the second layer: the exact O(n) linear
 // algorithm that optimally times (and, for UCDDCP, compresses) the given
-// fixed job sequence. It returns the resulting schedule and its exact
-// cost.
+// fixed solution. For single-machine instances seq is a job sequence; for
+// parallel-machine and early-work instances it is a delimiter genome of
+// length GenomeLen (jobs plus machine separators, see Instance.GenomeLen)
+// and the schedule carries the per-job machine assignment and per-machine
+// starts. It returns the resulting schedule and its exact cost.
 func OptimizeSequence(in *Instance, seq []int) (Schedule, int64, error) {
 	if err := in.Validate(); err != nil {
 		return Schedule{}, 0, err
 	}
-	if len(seq) != in.N() || !problem.IsPermutation(seq) {
-		return Schedule{}, 0, fmt.Errorf("duedate: %w: seq must be a permutation of 0..%d", ErrInvalidSequence, in.N()-1)
+	if len(seq) != in.GenomeLen() || !problem.IsPermutation(seq) {
+		return Schedule{}, 0, fmt.Errorf("duedate: %w: seq must be a permutation of 0..%d", ErrInvalidSequence, in.GenomeLen()-1)
+	}
+	if in.GenomeCoded() {
+		sched := core.GenomeSchedule(in, append([]int(nil), seq...))
+		return sched, core.NewEvaluator(in).Cost(seq), nil
 	}
 	if in.Kind == problem.UCDDCP {
 		r := ucddcp.OptimizeSequence(in, seq)
@@ -274,9 +281,14 @@ func OptimizeSequence(in *Instance, seq []int) (Schedule, int64, error) {
 	return Schedule{Seq: append([]int(nil), seq...), Start: r.Start}, r.Cost, nil
 }
 
-// Cost evaluates the optimal penalty of a sequence without materializing
+// Cost evaluates the optimal penalty of a solution without materializing
 // the schedule — the fitness function of the paper's metaheuristics.
 func Cost(in *Instance, seq []int) (int64, error) {
-	_, c, err := OptimizeSequence(in, seq)
-	return c, err
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if len(seq) != in.GenomeLen() || !problem.IsPermutation(seq) {
+		return 0, fmt.Errorf("duedate: %w: seq must be a permutation of 0..%d", ErrInvalidSequence, in.GenomeLen()-1)
+	}
+	return core.NewEvaluator(in).Cost(seq), nil
 }
