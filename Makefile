@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hotpath experiments examples clean verify-diff fuzz serve docs-lint server-smoke serve-allocs
+.PHONY: all build vet test race cover bench bench-hotpath experiments examples clean verify-diff fuzz serve docs-lint server-smoke jobs-smoke serve-allocs
 
 all: build vet test
 
@@ -74,6 +74,13 @@ serve-allocs:
 # SIGTERM and require a clean graceful drain.
 server-smoke:
 	scripts/server-smoke.sh
+
+# End-to-end smoke test of the async job API against a live daemon:
+# submit → poll → done, shared-cache agreement with /v1/solve, SSE to
+# the terminal result event, DELETE cancellation, job gauges in
+# /metrics, then a clean graceful drain.
+jobs-smoke:
+	scripts/jobs-smoke.sh
 
 # Regenerate the paper's tables and figures (scaled preset, ~minutes).
 experiments:

@@ -1,15 +1,21 @@
 // Command duedated is the batch-solving daemon: it serves the duedate
 // driver registry over an HTTP JSON API with a bounded worker pool,
 // queue admission control (429 when saturated), per-request deadlines,
-// and an LRU result cache. SIGINT/SIGTERM drain gracefully: queued and
-// running solves complete (bounded by -grace) before the process exits.
+// and an LRU result cache. Long solves can run asynchronously through
+// the job API: submit returns 202 with a job id; poll, stream progress
+// as SSE, or cancel. SIGINT/SIGTERM drain gracefully: queued and
+// running solves complete (bounded by -grace; running async jobs get
+// -job-grace before cancellation) before the process exits.
 //
-//	duedated -addr :8337 -pool 8 -queue 64 -cache 512
+//	duedated -addr :8337 -pool 8 -queue 64 -cache 512 -jobs 256
 //	curl -s localhost:8337/v1/pairings
 //	curl -s -X POST --data @testdata/server/solve_cdd.json localhost:8337/v1/solve
+//	curl -s -X POST --data @testdata/server/solve_cdd.json localhost:8337/v1/jobs
 //
-// Endpoints: POST /v1/solve, POST /v1/batch, GET /v1/pairings,
-// GET /healthz, GET /metrics. See internal/server for the wire formats.
+// Endpoints: POST /v1/solve, POST /v1/batch, POST /v1/jobs,
+// GET|DELETE /v1/jobs/{id}, GET /v1/jobs/{id}/events (SSE),
+// GET /v1/pairings, GET /healthz, GET /metrics. See internal/server for
+// the wire formats.
 package main
 
 import (
@@ -39,6 +45,9 @@ func main() {
 		defTimeout = flag.Duration("default-timeout", 0, "deadline for requests without timeoutMs (0 = none)")
 		maxTimeout = flag.Duration("max-timeout", 0, "clamp on every request deadline (0 = no clamp)")
 		grace      = flag.Duration("grace", 30*time.Second, "drain budget after SIGINT/SIGTERM")
+		jobs       = flag.Int("jobs", 256, "retained terminal async jobs before LRU eviction")
+		jobTTL     = flag.Duration("job-ttl", 15*time.Minute, "terminal async job retention (negative disables expiry)")
+		jobGrace   = flag.Duration("job-grace", 5*time.Second, "drain grace for running async jobs before cancellation (negative cancels immediately)")
 		metrics    = flag.String("metrics", "counters", "solver instrumentation aggregated into /metrics: counters or kernels")
 		pprofAddr  = flag.String("pprof", "", "expose net/http/pprof on this side address (e.g. localhost:6060; empty disables)")
 	)
@@ -94,6 +103,9 @@ func main() {
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		Metrics:        level,
+		Jobs:           *jobs,
+		JobTTL:         *jobTTL,
+		JobGrace:       *jobGrace,
 	}
 	if err := server.Run(ctx, l, cfg, *grace); err != nil {
 		log.Fatal(err)

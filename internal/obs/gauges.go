@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// GaugeSet is a named set of int64 gauges and counters: the lightweight
+// state-count companion to Registry for subsystems whose interesting
+// numbers are "how many are in state X right now" rather than per-run
+// metric snapshots (the duedated job store publishes its queued /
+// running / terminal / subscriber counts through one). The zero value is
+// ready to use; methods are safe for concurrent use. Updates take a
+// mutex, so a GaugeSet belongs on admission/transition paths, not inner
+// loops.
+type GaugeSet struct {
+	mu   sync.Mutex
+	vals map[string]int64
+}
+
+// Add adds delta (which may be negative) to the named gauge, creating
+// it at zero first.
+func (g *GaugeSet) Add(name string, delta int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.vals == nil {
+		g.vals = make(map[string]int64)
+	}
+	g.vals[name] += delta
+}
+
+// Set stores v as the named gauge's value.
+func (g *GaugeSet) Set(name string, v int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.vals == nil {
+		g.vals = make(map[string]int64)
+	}
+	g.vals[name] = v
+}
+
+// Get returns the named gauge's value (zero when never touched).
+func (g *GaugeSet) Get(name string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.vals[name]
+}
+
+// Snapshot returns a copy of every gauge, ready for JSON export. It is
+// never nil, so an empty set marshals as {}.
+func (g *GaugeSet) Snapshot() map[string]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]int64, len(g.vals))
+	for k, v := range g.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the gauge names observed so far, sorted.
+func (g *GaugeSet) Names() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	names := make([]string, 0, len(g.vals))
+	for k := range g.vals {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the snapshot as JSON; with it GaugeSet satisfies
+// expvar.Var, matching Registry.
+func (g *GaugeSet) String() string {
+	b, err := json.Marshal(g.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestGaugeSetBasics pins the zero-value contract and the accessor
+// semantics: Add creates at zero, Set overwrites, Get reads zero for
+// untouched names, Names sorts, and String/Snapshot agree.
+func TestGaugeSetBasics(t *testing.T) {
+	var g GaugeSet
+	if g.Get("missing") != 0 {
+		t.Error("untouched gauge not zero")
+	}
+	g.Add("queued", 2)
+	g.Add("queued", -1)
+	g.Set("running", 5)
+	if got := g.Get("queued"); got != 1 {
+		t.Errorf("queued = %d, want 1", got)
+	}
+	if got := g.Get("running"); got != 5 {
+		t.Errorf("running = %d, want 5", got)
+	}
+	if got := fmt.Sprint(g.Names()); got != "[queued running]" {
+		t.Errorf("names %s", got)
+	}
+	snap := g.Snapshot()
+	if snap["queued"] != 1 || snap["running"] != 5 {
+		t.Errorf("snapshot %v", snap)
+	}
+	// Snapshot is a copy: mutating it must not leak back.
+	snap["queued"] = 100
+	if g.Get("queued") != 1 {
+		t.Error("snapshot aliases the live map")
+	}
+	var decoded map[string]int64
+	if err := json.Unmarshal([]byte(g.String()), &decoded); err != nil {
+		t.Fatalf("String is not JSON: %v", err)
+	}
+	if decoded["running"] != 5 {
+		t.Errorf("String rendered %v", decoded)
+	}
+	// The empty set marshals as {} (never null), matching the /metrics
+	// wire contract.
+	var empty GaugeSet
+	if empty.String() != "{}" {
+		t.Errorf("empty set String %q", empty.String())
+	}
+	if empty.Snapshot() == nil {
+		t.Error("empty Snapshot is nil")
+	}
+}
+
+// TestGaugeSetConcurrent hammers one gauge from many goroutines under
+// -race; the final value must account for every delta.
+func TestGaugeSetConcurrent(t *testing.T) {
+	var g GaugeSet
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				g.Add("n", 1)
+				g.Get("n")
+				g.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Get("n"); got != workers*per {
+		t.Errorf("n = %d, want %d", got, workers*per)
+	}
+}

@@ -1,10 +1,14 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"net/http"
 	"time"
 
 	duedate "repro"
+	"repro/internal/core"
 	"repro/internal/problem"
 )
 
@@ -182,8 +186,10 @@ type BatchRequest struct {
 type BatchResult struct {
 	// Response is the solve outcome, nil when the slot errored.
 	Response *SolveResponse `json:"response,omitempty"`
-	// Error describes the failure, empty on success.
+	// Error describes the failure, empty on success; Code is its stable
+	// error code (the same table as top-level error envelopes).
 	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
 	// Status is the slot's HTTP-equivalent status code (200 on success).
 	Status int `json:"status"`
 }
@@ -196,12 +202,18 @@ type BatchResponse struct {
 }
 
 // PairingInfo is one registered algorithm×engine combination as reported
-// by GET /v1/pairings.
+// by GET /v1/pairings, including its capability surface so clients route
+// instances (problem kind, machine count) without trial-and-error 422s.
 type PairingInfo struct {
 	// Algorithm and Engine name the combination in the same spelling the
 	// solve endpoints accept.
 	Algorithm duedate.Algorithm `json:"algorithm"`
 	Engine    duedate.Engine    `json:"engine"`
+	// Kinds lists the problem kinds the pairing evaluates ("CDD",
+	// "UCDDCP", "EARLYWORK"), enumerated live from the driver registry.
+	Kinds []string `json:"kinds"`
+	// Machines reports parallel-machine (machines > 1) support.
+	Machines bool `json:"machines"`
 }
 
 // PairingsResponse is the wire form of GET /v1/pairings: the live driver
@@ -212,12 +224,168 @@ type PairingsResponse struct {
 	Pairings []PairingInfo `json:"pairings"`
 }
 
-// ErrorResponse is the wire form of any non-2xx response.
+// Stable error codes of the unified error envelope. Every non-2xx
+// response across every endpoint carries exactly one of these in
+// ErrorResponse.Error.Code; they are part of the wire contract (clients
+// and the smoke scripts branch on them), so existing codes never change
+// meaning.
+const (
+	// CodeInvalidRequest: malformed JSON, structural mistakes (missing
+	// or unknown fields), oversized bodies (400).
+	CodeInvalidRequest = "invalid_request"
+	// CodeInvalidOptions: well-formed options that fail facade
+	// validation — duedate.ErrInvalidOptions (400).
+	CodeInvalidOptions = "invalid_options"
+	// CodeInvalidSequence: duedate.ErrInvalidSequence (400).
+	CodeInvalidSequence = "invalid_sequence"
+	// CodeClientGone: the client vanished while the job was queued —
+	// context cancellation/expiry surfaced as the solve error (400).
+	CodeClientGone = "client_gone"
+	// CodeUnsupportedPairing: duedate.ErrUnsupportedPairing (422).
+	CodeUnsupportedPairing = "unsupported_pairing"
+	// CodeUnknownKind: problem.ErrUnknownKind — a well-formed instance
+	// of a kind the service does not know (422).
+	CodeUnknownKind = "unknown_kind"
+	// CodeInvalidMachines: problem.ErrMachines — an invalid machine
+	// count (422).
+	CodeInvalidMachines = "invalid_machines"
+	// CodeNotFound: unknown path or unknown/evicted job id (404).
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: wrong HTTP method on a known path (405).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeQueueFull: admission control turned the request away because
+	// the pool queue is saturated (429, with Retry-After).
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the server is shutting down (503, with Retry-After).
+	CodeDraining = "draining"
+	// CodeInternal: a genuine internal failure (500).
+	CodeInternal = "internal"
+)
+
+// sentinelCodes is THE sentinel→(status, code) table: every error a
+// solve can return is mapped here (first match wins), and everything
+// unmatched is an internal 500. Caller mistakes keep their PR 3 sentinel
+// identity instead of collapsing into opaque 500s; context errors
+// surface only for clients that vanished while queued, and 400 keeps
+// them out of the 5xx alerting bucket.
+var sentinelCodes = []struct {
+	err    error
+	status int
+	code   string
+}{
+	{duedate.ErrUnsupportedPairing, http.StatusUnprocessableEntity, CodeUnsupportedPairing},
+	{problem.ErrUnknownKind, http.StatusUnprocessableEntity, CodeUnknownKind},
+	{problem.ErrMachines, http.StatusUnprocessableEntity, CodeInvalidMachines},
+	{duedate.ErrInvalidOptions, http.StatusBadRequest, CodeInvalidOptions},
+	{duedate.ErrInvalidSequence, http.StatusBadRequest, CodeInvalidSequence},
+	{context.Canceled, http.StatusBadRequest, CodeClientGone},
+	{context.DeadlineExceeded, http.StatusBadRequest, CodeClientGone},
+}
+
+// errorCode maps a solve error onto its HTTP status and stable code via
+// the sentinelCodes table.
+func errorCode(err error) (int, string) {
+	for _, sc := range sentinelCodes {
+		if errors.Is(err, sc.err) {
+			return sc.status, sc.code
+		}
+	}
+	return http.StatusInternalServerError, CodeInternal
+}
+
+// ErrorDetail is the payload of the unified error envelope.
+type ErrorDetail struct {
+	// Code is the stable machine-readable error code (one of the Code*
+	// constants).
+	Code string `json:"code"`
+	// Message is the human-readable failure description.
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the wire form of every non-2xx response:
+// {"error":{"code":"...","message":"..."}}.
 type ErrorResponse struct {
-	// Error is the human-readable failure description.
-	Error string `json:"error"`
-	// Status echoes the HTTP status code.
-	Status int `json:"status"`
+	// Error carries the stable code and the description.
+	Error ErrorDetail `json:"error"`
+}
+
+// Job states as reported by the jobs API. A job is live in JobQueued
+// and JobRunning and terminal in the other three; terminal jobs are
+// immutable and subject to the store's capacity/TTL retention.
+const (
+	// JobQueued: admitted, waiting for a pool worker.
+	JobQueued = "queued"
+	// JobRunning: a pool worker is executing the solve.
+	JobRunning = "running"
+	// JobDone: the solve completed (possibly interrupted by its own
+	// deadline); Result is set.
+	JobDone = "done"
+	// JobFailed: the solve returned an error; Error is set.
+	JobFailed = "failed"
+	// JobCancelled: DELETE (or the drain grace) cancelled the job;
+	// Result carries the honest best-so-far when the solve had started.
+	JobCancelled = "cancelled"
+)
+
+// JobView is the wire form of one async job, returned by POST /v1/jobs
+// (202), GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, and as the data of
+// the terminal "result" SSE event.
+type JobView struct {
+	// ID is the job id: a monotonic submission counter joined with the
+	// instance's canonical-hash prefix (never wall clock, so ids are
+	// reproducible across identical daemon lifetimes).
+	ID string `json:"id"`
+	// State is one of queued|running|done|failed|cancelled.
+	State string `json:"state"`
+	// InstanceHash, Algorithm, Engine and Seed echo the admitted
+	// request, so a poll identifies the job without re-reading the body.
+	InstanceHash string            `json:"instanceHash"`
+	Algorithm    duedate.Algorithm `json:"algorithm"`
+	Engine       duedate.Engine    `json:"engine"`
+	Seed         uint64            `json:"seed"`
+	// Result is the final SolveResponse once done — bit-identical to a
+	// direct /v1/solve of the same request — or the honest best-so-far
+	// with interrupted=true on a mid-solve cancellation. Nil while live
+	// and on jobs cancelled before a worker picked them up.
+	Result *SolveResponse `json:"result,omitempty"`
+	// Error is set on failed jobs: the same stable-code envelope payload
+	// a synchronous solve would have answered with.
+	Error *ErrorDetail `json:"error,omitempty"`
+}
+
+// JobSubmitResponse is the wire form of POST /v1/jobs (HTTP 202): the
+// job view plus its polling location (also in the Location header).
+type JobSubmitResponse struct {
+	// Job is the admitted job (state queued, or already done on a result
+	// cache hit).
+	Job JobView `json:"job"`
+	// Location is the polling URL path for this job.
+	Location string `json:"location"`
+}
+
+// SnapshotEvent is the data payload of one SSE "snapshot" event on
+// GET /v1/jobs/{id}/events: the wire form of a core.Snapshot progress
+// report (best-so-far genome, exact cost, evaluation count, elapsed
+// host time).
+type SnapshotEvent struct {
+	// BestCost is the exact objective of BestSeq.
+	BestCost int64 `json:"bestCost"`
+	// BestSeq is the best genome found so far.
+	BestSeq []int `json:"bestSeq"`
+	// Evaluations counts fitness evaluations across all chains so far.
+	Evaluations int64 `json:"evaluations"`
+	// ElapsedNs is the host wall time since the solve started.
+	ElapsedNs int64 `json:"elapsedNs"`
+}
+
+// snapshotEvent translates an engine checkpoint into its wire form.
+func snapshotEvent(s core.Snapshot) SnapshotEvent {
+	return SnapshotEvent{
+		BestCost:    s.BestCost,
+		BestSeq:     s.BestSeq,
+		Evaluations: s.Evaluations,
+		ElapsedNs:   int64(s.Elapsed),
+	}
 }
 
 // HealthResponse is the wire form of GET /healthz.
@@ -245,6 +413,9 @@ type ServerStats struct {
 	// Errors counts solves that returned an error (invalid options,
 	// unsupported pairings, internal failures).
 	Errors int64 `json:"errors"`
+	// MeanSolveNs is the mean wall time of completed solves since
+	// process start — the base of the Retry-After estimate on 429/503.
+	MeanSolveNs int64 `json:"meanSolveNs"`
 	// Active is the number of solves executing right now, Queued the
 	// number waiting in the admission queue.
 	Active int64 `json:"active"`

@@ -1,0 +1,613 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	duedate "repro"
+	"repro/internal/problem"
+)
+
+// submitJob posts req to /v1/jobs and requires a 202 with a job view and
+// a Location header pointing at the poll URL.
+func submitJob(t *testing.T, ts *httptest.Server, req SolveRequest) JobSubmitResponse {
+	t.Helper()
+	status, body := postJSON(t, ts.URL+"/v1/jobs", req)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit answered %d (want 202), body %s", status, body)
+	}
+	var jr JobSubmitResponse
+	decodeInto(t, body, &jr)
+	if jr.Job.ID == "" || jr.Location != "/v1/jobs/"+jr.Job.ID {
+		t.Fatalf("submit payload %+v lacks a consistent id/location", jr)
+	}
+	return jr
+}
+
+// getJob polls one job and returns the status code and decoded view.
+func getJob(t *testing.T, ts *httptest.Server, id string) (int, JobView) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, JobView{}
+	}
+	var jv JobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		t.Fatalf("job view decode: %v", err)
+	}
+	return resp.StatusCode, jv
+}
+
+// waitJobTerminal polls until the job leaves the live states.
+func waitJobTerminal(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	var jv JobView
+	waitFor(t, func() bool {
+		status, v := getJob(t, ts, id)
+		if status != http.StatusOK {
+			t.Fatalf("poll answered %d", status)
+		}
+		jv = v
+		return v.State != JobQueued && v.State != JobRunning
+	})
+	return jv
+}
+
+// TestJobLifecycleBitIdentical pins the async serving contract: submit →
+// poll → done yields the same answer a synchronous /v1/solve (and a
+// direct duedate.SolveContext) produces for the same request, and the
+// completed async result populates the shared cache so the synchronous
+// resubmission is a hit.
+func TestJobLifecycleBitIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 2})
+	req := SolveRequest{
+		Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.SA,
+		Engine: duedate.EngineCPUSerial, Iterations: 60, Grid: 1, Block: 8,
+		Seed: 42, TempSamples: 50,
+	}
+	jr := submitJob(t, ts, req)
+	if jr.Job.State != JobQueued && jr.Job.State != JobRunning && jr.Job.State != JobDone {
+		t.Fatalf("submitted job in state %q", jr.Job.State)
+	}
+	if jr.Job.InstanceHash != req.Instance.CanonicalHash() || jr.Job.Seed != 42 {
+		t.Errorf("job echo %+v does not match the request", jr.Job)
+	}
+
+	jv := waitJobTerminal(t, ts, jr.Job.ID)
+	if jv.State != JobDone || jv.Result == nil || jv.Error != nil {
+		t.Fatalf("terminal job %+v (want done with a result)", jv)
+	}
+	want, err := duedate.SolveContext(context.Background(), req.Instance, req.options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jv.Result.Cost != want.BestCost || fmt.Sprint(jv.Result.Sequence) != fmt.Sprint(want.BestSeq) {
+		t.Errorf("async result (%d, %v) differs from direct solve (%d, %v)",
+			jv.Result.Cost, jv.Result.Sequence, want.BestCost, want.BestSeq)
+	}
+	if jv.Result.Interrupted || jv.Result.Cached {
+		t.Errorf("fresh full-budget async solve reported interrupted=%t cached=%t", jv.Result.Interrupted, jv.Result.Cached)
+	}
+
+	// The async result entered the shared cache: the synchronous
+	// resubmission must hit and match field for field modulo the flag.
+	status, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("sync resubmission: %d %s", status, body)
+	}
+	var sync SolveResponse
+	decodeInto(t, body, &sync)
+	if !sync.Cached {
+		t.Error("sync resubmission of a completed async job missed the cache")
+	}
+	sync.Cached = false
+	if fmt.Sprintf("%+v", *jv.Result) != fmt.Sprintf("%+v", sync) {
+		t.Errorf("async and sync responses differ:\nasync %+v\nsync  %+v", *jv.Result, sync)
+	}
+
+	// And the converse: submitting the same request as a job again is an
+	// instant cache-hit completion — done at 202 time.
+	jr2 := submitJob(t, ts, req)
+	if jr2.Job.State != JobDone || jr2.Job.Result == nil || !jr2.Job.Result.Cached {
+		t.Errorf("resubmitted job %+v (want instant done from cache)", jr2.Job)
+	}
+	if jr2.Job.ID == jr.Job.ID {
+		t.Error("distinct submissions shared a job id")
+	}
+}
+
+// progressSolve installs a fake solver that emits one progress snapshot,
+// signals its start, then blocks until release is closed or its context
+// is cancelled — returning the honest best-so-far with Interrupted set
+// on the cancel path, like the real engines.
+func progressSolve(s *Server, started chan<- struct{}, release <-chan struct{}) {
+	s.solve = func(ctx context.Context, in *problem.Instance, opts duedate.Options) (duedate.Result, error) {
+		seq := problem.IdentitySequence(in.N())
+		cost, err := duedate.Cost(in, seq)
+		if err != nil {
+			return duedate.Result{}, err
+		}
+		if opts.Progress != nil {
+			opts.Progress(duedate.Snapshot{BestCost: cost, BestSeq: seq, Evaluations: 1})
+		}
+		started <- struct{}{}
+		select {
+		case <-release:
+			return duedate.Result{BestSeq: seq, BestCost: cost, Iterations: 1, Evaluations: 1}, nil
+		case <-ctx.Done():
+			return duedate.Result{BestSeq: seq, BestCost: cost, Iterations: 1, Evaluations: 1, Interrupted: true}, nil
+		}
+	}
+}
+
+// sseEvent is one parsed server-sent event (heartbeat comments surface
+// with the name "heartbeat").
+type sseEvent struct {
+	name string
+	data string
+}
+
+// collectSSE parses events off an open stream into the channel until
+// the stream ends, then closes the channel.
+func collectSSE(body io.Reader, events chan<- sseEvent) {
+	defer close(events)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var ev sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = strings.TrimPrefix(line, "data: ")
+		case strings.HasPrefix(line, ":"):
+			events <- sseEvent{name: "heartbeat"}
+		case line == "":
+			if ev.name != "" {
+				events <- ev
+				ev = sseEvent{}
+			}
+		}
+	}
+}
+
+// openSSE opens the events stream of a job and returns the response and
+// a channel of parsed events.
+func openSSE(t *testing.T, ts *httptest.Server, id string) (*http.Response, <-chan sseEvent) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events stream answered %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type %q", ct)
+	}
+	events := make(chan sseEvent, 64)
+	go collectSSE(resp.Body, events)
+	return resp, events
+}
+
+// TestJobEventsStream drives the SSE contract: at least one snapshot
+// event (the mid-solve checkpoint, replayed to a subscriber that
+// attaches later), heartbeats while idle, then exactly one terminal
+// result event carrying the final view, after which the stream ends.
+func TestJobEventsStream(t *testing.T) {
+	old := sseHeartbeat
+	sseHeartbeat = 20 * time.Millisecond
+	t.Cleanup(func() { sseHeartbeat = old })
+
+	s, ts := newTestServer(t, Config{Pool: 1})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	progressSolve(s, started, release)
+
+	req := SolveRequest{Instance: duedate.PaperExample(duedate.CDD), Engine: duedate.EngineCPUSerial, NoCache: true}
+	jr := submitJob(t, ts, req)
+	<-started // the snapshot has been published
+
+	resp, events := openSSE(t, ts, jr.Job.ID)
+	defer resp.Body.Close()
+
+	var sawSnapshot, sawHeartbeat, released bool
+	var result sseEvent
+	deadline := time.After(10 * time.Second)
+collect:
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				break collect
+			}
+			switch ev.name {
+			case "snapshot":
+				sawSnapshot = true
+				var se SnapshotEvent
+				decodeInto(t, []byte(ev.data), &se)
+				if se.BestCost <= 0 || len(se.BestSeq) == 0 {
+					t.Errorf("snapshot payload %+v", se)
+				}
+			case "heartbeat":
+				sawHeartbeat = true
+			case "result":
+				result = ev
+			}
+			// The solve is released only once the replayed snapshot and a
+			// heartbeat both arrived, proving mid-solve streaming.
+			if sawSnapshot && sawHeartbeat && !released {
+				released = true
+				close(release)
+			}
+		case <-deadline:
+			t.Fatal("SSE stream did not terminate")
+		}
+	}
+	if !sawSnapshot || !sawHeartbeat {
+		t.Fatalf("stream saw snapshot=%t heartbeat=%t (want both)", sawSnapshot, sawHeartbeat)
+	}
+	if result.name != "result" {
+		t.Fatal("stream ended without a terminal result event")
+	}
+	var jv JobView
+	decodeInto(t, []byte(result.data), &jv)
+	if jv.State != JobDone || jv.Result == nil || jv.Result.Cost <= 0 {
+		t.Errorf("terminal event %+v (want done with a positive cost)", jv)
+	}
+
+	// A subscriber attaching after completion still gets the replayed
+	// snapshot and the result immediately.
+	resp2, events2 := openSSE(t, ts, jr.Job.ID)
+	defer resp2.Body.Close()
+	var names []string
+	for ev := range events2 {
+		if ev.name != "heartbeat" {
+			names = append(names, ev.name)
+		}
+	}
+	if fmt.Sprint(names) != "[snapshot result]" {
+		t.Errorf("late subscriber saw %v (want [snapshot result])", names)
+	}
+}
+
+// TestJobCancelMidSolve pins DELETE on a running job: the solve stops
+// cooperatively and the job turns cancelled with the honest best-so-far
+// (interrupted=true); a second DELETE is an idempotent no-op.
+func TestJobCancelMidSolve(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 1})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	progressSolve(s, started, release)
+
+	req := SolveRequest{Instance: duedate.PaperExample(duedate.CDD), Engine: duedate.EngineCPUSerial, NoCache: true}
+	jr := submitJob(t, ts, req)
+	<-started // the worker is mid-solve
+
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+jr.Job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jv JobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || jv.State != JobCancelled {
+		t.Fatalf("cancel answered %d with %+v (want 200 cancelled)", resp.StatusCode, jv)
+	}
+	if jv.Result == nil || !jv.Result.Interrupted {
+		t.Fatalf("mid-solve cancel result %+v (want honest best-so-far with interrupted=true)", jv.Result)
+	}
+	if c, err := duedate.Cost(req.Instance, jv.Result.Sequence); err != nil || c != jv.Result.Cost {
+		t.Errorf("cancelled best-so-far cost %d dishonest (re-evaluated %d, err %v)", jv.Result.Cost, c, err)
+	}
+
+	// Idempotent: DELETE again answers the same terminal view.
+	resp2, err := http.DefaultClient.Do(del.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again JobView
+	if err := json.NewDecoder(resp2.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || again.State != JobCancelled {
+		t.Errorf("second DELETE answered %d with %+v", resp2.StatusCode, again)
+	}
+
+	// The interrupted best-so-far never entered the cache.
+	close(release) // let the follow-up synchronous solve complete
+	if status, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: req.Instance, Engine: req.Engine}); status != http.StatusOK {
+		t.Fatalf("post-cancel solve: %d %s", status, body)
+	} else {
+		var sr SolveResponse
+		decodeInto(t, body, &sr)
+		if sr.Cached {
+			t.Error("cancelled result was cached")
+		}
+	}
+}
+
+// TestJobCancelQueued cancels a job that never reached a worker: it
+// turns cancelled immediately, without a result, and the worker later
+// discards its task without solving.
+func TestJobCancelQueued(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 1, QueueDepth: 2})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	progressSolve(s, started, release)
+
+	req := SolveRequest{Instance: duedate.PaperExample(duedate.CDD), Engine: duedate.EngineCPUSerial, NoCache: true}
+	first := submitJob(t, ts, req)
+	<-started // the only worker is busy with job 1
+	second := submitJob(t, ts, req)
+	if _, jv := getJob(t, ts, second.Job.ID); jv.State != JobQueued {
+		t.Fatalf("second job state %q (want queued behind the busy pool)", jv.State)
+	}
+
+	del, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+second.Job.ID, nil)
+	resp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jv JobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if jv.State != JobCancelled || jv.Result != nil {
+		t.Fatalf("queued cancel %+v (want cancelled without a result)", jv)
+	}
+
+	// Releasing the pool completes job 1 normally; the cancelled job's
+	// task is discarded, not solved.
+	close(release)
+	if jv := waitJobTerminal(t, ts, first.Job.ID); jv.State != JobDone {
+		t.Errorf("first job finished %q (want done)", jv.State)
+	}
+	if _, jv := getJob(t, ts, second.Job.ID); jv.State != JobCancelled {
+		t.Errorf("cancelled job re-emerged as %q", jv.State)
+	}
+}
+
+// TestJobRetention pins the store bounds: past the terminal-job capacity
+// the least recently used job id stops resolving (404, code not_found),
+// and a TTL expires terminal jobs on the next lifecycle event.
+func TestJobRetention(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1, Jobs: 1})
+	req := SolveRequest{
+		Instance: duedate.PaperExample(duedate.CDD), Engine: duedate.EngineCPUSerial,
+		Iterations: 20, Grid: 1, Block: 2, TempSamples: 10,
+	}
+	first := submitJob(t, ts, req)
+	waitJobTerminal(t, ts, first.Job.ID)
+
+	req.Seed = 77 // a distinct job, not a cache hit of the first
+	second := submitJob(t, ts, req)
+	waitJobTerminal(t, ts, second.Job.ID)
+
+	// Capacity 1: completing the second evicted the first.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + first.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || er.Error.Code != CodeNotFound {
+		t.Fatalf("evicted job answered %d/%q (want 404 %s)", resp.StatusCode, er.Error.Code, CodeNotFound)
+	}
+
+	// TTL: with a nanosecond retention, the next submission's sweep
+	// expires the previous terminal job.
+	_, ts2 := newTestServer(t, Config{Pool: 1, JobTTL: time.Nanosecond})
+	req.Seed = 1
+	a := submitJob(t, ts2, req)
+	waitJobTerminal(t, ts2, a.Job.ID)
+	req.Seed = 78
+	b := submitJob(t, ts2, req)
+	waitJobTerminal(t, ts2, b.Job.ID)
+	if status, _ := getJob(t, ts2, a.Job.ID); status != http.StatusNotFound {
+		t.Errorf("expired job answered %d (want 404)", status)
+	}
+}
+
+// TestJobsQueueFull429 saturates the pool and requires job admission to
+// answer the same enveloped 429 + Retry-After as the synchronous path,
+// without leaving a phantom job behind.
+func TestJobsQueueFull429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 1, QueueDepth: -1})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	progressSolve(s, started, release)
+
+	req := SolveRequest{Instance: duedate.PaperExample(duedate.CDD), Engine: duedate.EngineCPUSerial, NoCache: true}
+	jr := submitJob(t, ts, req)
+	<-started
+
+	status, body := postJSON(t, ts.URL+"/v1/jobs", req)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit answered %d, body %s", status, body)
+	}
+	var er ErrorResponse
+	decodeInto(t, body, &er)
+	if er.Error.Code != CodeQueueFull {
+		t.Errorf("error code %q (want %s)", er.Error.Code, CodeQueueFull)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(reqBody(t, req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After %q (want integer >= 1)", resp.Header.Get("Retry-After"))
+	}
+
+	close(release)
+	waitJobTerminal(t, ts, jr.Job.ID)
+
+	// The rejected submissions left no job behind: the store holds only
+	// the completed one.
+	if n := s.jobs.len(); n != 1 {
+		t.Errorf("job store holds %d jobs after rejected submissions (want 1)", n)
+	}
+}
+
+// TestJobsDrainGrace exercises the shutdown path under -race with live
+// SSE subscribers: Drain lets running jobs ride the grace, then cancels
+// them to their honest best-so-far; subscribers receive the terminal
+// result event and new submissions answer 503/draining.
+func TestJobsDrainGrace(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 1, JobGrace: 50 * time.Millisecond})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{}) // never closed: only the grace stops the solve
+	progressSolve(s, started, release)
+
+	req := SolveRequest{Instance: duedate.PaperExample(duedate.CDD), Engine: duedate.EngineCPUSerial, NoCache: true}
+	jr := submitJob(t, ts, req)
+	<-started
+
+	const subscribers = 3
+	var wg sync.WaitGroup
+	results := make(chan JobView, subscribers)
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, events := openSSE(t, ts, jr.Job.ID)
+			defer resp.Body.Close()
+			for ev := range events {
+				if ev.name == "result" {
+					var jv JobView
+					if err := json.Unmarshal([]byte(ev.data), &jv); err == nil {
+						results <- jv
+					}
+				}
+			}
+		}()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(ctx) }()
+	waitFor(t, func() bool { return s.draining.Load() })
+
+	if status, body := postJSON(t, ts.URL+"/v1/jobs", req); status != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain answered %d, body %s", status, body)
+	} else {
+		var er ErrorResponse
+		decodeInto(t, body, &er)
+		if er.Error.Code != CodeDraining {
+			t.Errorf("drain rejection code %q (want %s)", er.Error.Code, CodeDraining)
+		}
+	}
+
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	close(results)
+	var got int
+	for jv := range results {
+		got++
+		if jv.State != JobCancelled || jv.Result == nil || !jv.Result.Interrupted {
+			t.Errorf("subscriber result %+v (want cancelled with interrupted best-so-far)", jv)
+		}
+	}
+	if got != subscribers {
+		t.Errorf("%d of %d subscribers received the terminal result", got, subscribers)
+	}
+
+	// The poll view agrees after drain.
+	if _, jv := getJob(t, ts, jr.Job.ID); jv.State != JobCancelled {
+		t.Errorf("post-drain job state %q (want cancelled)", jv.State)
+	}
+}
+
+// TestJobRoutesAndMethods sweeps the jobs surface's routing rejections:
+// unknown ids 404, wrong methods 405, all enveloped.
+func TestJobRoutesAndMethods(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+	check := func(method, path string, wantStatus int, wantCode string) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var er ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("%s %s: non-JSON error body: %v", method, path, err)
+		}
+		if resp.StatusCode != wantStatus || er.Error.Code != wantCode {
+			t.Errorf("%s %s answered %d/%q (want %d/%s)", method, path, resp.StatusCode, er.Error.Code, wantStatus, wantCode)
+		}
+	}
+	check(http.MethodGet, "/v1/jobs", http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	check(http.MethodGet, "/v1/jobs/nope", http.StatusNotFound, CodeNotFound)
+	check(http.MethodDelete, "/v1/jobs/nope", http.StatusNotFound, CodeNotFound)
+	check(http.MethodGet, "/v1/jobs/nope/events", http.StatusNotFound, CodeNotFound)
+	check(http.MethodGet, "/v1/jobs/nope/bogus", http.StatusNotFound, CodeNotFound)
+	check(http.MethodGet, "/v1/nothing", http.StatusNotFound, CodeNotFound)
+	check(http.MethodPut, "/healthz", http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+}
+
+// TestJobGaugesInMetrics submits and completes jobs, then requires the
+// /metrics job gauges to account for every state transition.
+func TestJobGaugesInMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+	req := SolveRequest{
+		Instance: duedate.PaperExample(duedate.CDD), Engine: duedate.EngineCPUSerial,
+		Iterations: 20, Grid: 1, Block: 2, TempSamples: 10,
+	}
+	jr := submitJob(t, ts, req)
+	waitJobTerminal(t, ts, jr.Job.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs["submitted"] != 1 || m.Jobs["done"] != 1 || m.Jobs["queued"] != 0 || m.Jobs["running"] != 0 {
+		t.Errorf("job gauges %v (want submitted=1 done=1 queued=0 running=0)", m.Jobs)
+	}
+	if m.JobEntries != 1 {
+		t.Errorf("jobEntries %d (want 1)", m.JobEntries)
+	}
+	if m.Server.MeanSolveNs <= 0 {
+		t.Errorf("meanSolveNs %d (want > 0 after a completed solve)", m.Server.MeanSolveNs)
+	}
+}

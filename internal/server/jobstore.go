@@ -1,0 +1,364 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	duedate "repro"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// This file is the async job store behind the /v1/jobs API: an
+// in-memory, mutex-guarded registry of solve jobs riding the existing
+// bounded pool. A job is live (queued → running) until its solve
+// completes, fails, or is cancelled, then terminal and immutable.
+// Retention is bounded two ways: terminal jobs past the configured
+// capacity are evicted LRU, and terminal jobs older than the TTL are
+// swept on the store's lifecycle events (submissions and drain) — the
+// poll/stream hot paths never read the wall clock. Progress snapshots
+// fan out from the engine's ProgressFunc to any number of concurrent
+// SSE subscribers per job; the latest snapshot is retained so a late
+// subscriber starts from the current best instead of silence.
+
+// job is one async solve tracked by the store. The id, submission echo
+// and channels are immutable; state, result and subscriber fields are
+// guarded by the owning store's mutex.
+type job struct {
+	// id is the job id: monotonic submission counter + canonical-hash
+	// prefix (reproducible — never derived from wall clock).
+	id string
+	// hash, algorithm, engine and seed echo the admitted request.
+	hash      string
+	algorithm duedate.Algorithm
+	engine    duedate.Engine
+	seed      uint64
+	// cancel cancels the job's solve context (DELETE and the drain
+	// grace path); ctx is that context's handle for the worker.
+	cancel context.CancelFunc
+	// state is one of the Job* constants.
+	state string
+	// resp is the terminal result (done, or cancelled mid-solve); errd
+	// the terminal failure; status the failure's HTTP-equivalent status.
+	resp   *SolveResponse
+	errd   *ErrorDetail
+	status int
+	// lastSnap is the most recent progress snapshot, replayed to new
+	// subscribers.
+	lastSnap *core.Snapshot
+	// subs are the live SSE subscribers.
+	subs map[*jobSub]struct{}
+	// done is closed exactly once, at the terminal transition.
+	done chan struct{}
+	// el is the job's position in the store's terminal LRU list (nil
+	// while live); doneAt the terminal timestamp driving TTL expiry.
+	el     *list.Element
+	doneAt time.Time
+}
+
+// jobSub is one SSE subscriber: a buffered snapshot channel. Sends are
+// non-blocking — a slow consumer drops intermediate snapshots but never
+// stalls the solve, and always receives the terminal result.
+type jobSub struct {
+	ch chan core.Snapshot
+}
+
+// jobSubBuffer is the per-subscriber snapshot buffer depth; engines
+// emit only on ensemble-best improvements, so 32 absorbs every
+// realistic burst between consumer reads.
+const jobSubBuffer = 32
+
+// jobStore is the bounded async job registry. All fields are guarded by
+// mu; the gauges are exported through /metrics.
+type jobStore struct {
+	mu sync.Mutex
+	// capacity bounds retained terminal jobs; ttl expires them (<= 0:
+	// no expiry).
+	capacity int
+	ttl      time.Duration
+	seq      uint64
+	jobs     map[string]*job
+	// terminal is the LRU list of terminal jobs, front = most recently
+	// used.
+	terminal *list.List
+	gauges   *obs.GaugeSet
+}
+
+// newJobStore builds a store retaining up to capacity terminal jobs for
+// at most ttl (ttl <= 0: no expiry), publishing its state counts into
+// gauges.
+func newJobStore(capacity int, ttl time.Duration, gauges *obs.GaugeSet) *jobStore {
+	return &jobStore{
+		capacity: capacity,
+		ttl:      ttl,
+		jobs:     make(map[string]*job),
+		terminal: list.New(),
+		gauges:   gauges,
+	}
+}
+
+// add admits one job in the queued state, sweeping expired terminal
+// jobs first (submission is the store's lifecycle clock — the single
+// time.Now here serves both the sweep and nothing else on the serve
+// paths).
+func (st *jobStore) add(req *SolveRequest, cancel context.CancelFunc) *job {
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1 // the facade's documented Seed-0 sentinel
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(time.Now())
+	st.seq++
+	hash := req.Instance.CanonicalHash()
+	j := &job{
+		id:        fmt.Sprintf("j%06d-%.12s", st.seq, hash),
+		hash:      hash,
+		algorithm: req.Algorithm,
+		engine:    req.Engine,
+		seed:      seed,
+		cancel:    cancel,
+		state:     JobQueued,
+		subs:      make(map[*jobSub]struct{}),
+		done:      make(chan struct{}),
+	}
+	st.jobs[j.id] = j
+	st.gauges.Add("submitted", 1)
+	st.gauges.Add("queued", 1)
+	return j
+}
+
+// abort removes a job that was never admitted to the pool (queue full
+// at submission) as if it had not existed.
+func (st *jobStore) abort(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.jobs, j.id)
+	st.gauges.Add("submitted", -1)
+	st.gauges.Add("queued", -1)
+}
+
+// get returns the job by id, refreshing its LRU position when terminal.
+func (st *jobStore) get(id string) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j != nil && j.el != nil {
+		st.terminal.MoveToFront(j.el)
+	}
+	return j
+}
+
+// tryRun flips a queued job to running when a pool worker picks it up.
+// It returns false when the job is already terminal (cancelled while
+// queued) — the worker discards the task without solving.
+func (st *jobStore) tryRun(j *job) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	st.gauges.Add("queued", -1)
+	st.gauges.Add("running", 1)
+	return true
+}
+
+// publish fans one engine checkpoint out to the job's subscribers and
+// retains it for late ones. It runs on the solve path (the engine's
+// ProgressFunc), so sends never block: a full subscriber buffer drops
+// the snapshot for that subscriber only.
+func (st *jobStore) publish(j *job, snap core.Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j.state != JobRunning {
+		return // a final emission racing the terminal transition
+	}
+	s := snap
+	j.lastSnap = &s
+	for sub := range j.subs {
+		select {
+		case sub.ch <- snap:
+		default:
+		}
+	}
+}
+
+// subscribe attaches an SSE subscriber and returns it with the latest
+// snapshot (nil when none was emitted yet). The job's done channel
+// tells the subscriber when to emit the terminal result.
+func (st *jobStore) subscribe(j *job) (*jobSub, *core.Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sub := &jobSub{ch: make(chan core.Snapshot, jobSubBuffer)}
+	j.subs[sub] = struct{}{}
+	st.gauges.Add("sseSubscribers", 1)
+	return sub, j.lastSnap
+}
+
+// unsubscribe detaches an SSE subscriber.
+func (st *jobStore) unsubscribe(j *job, sub *jobSub) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := j.subs[sub]; ok {
+		delete(j.subs, sub)
+		st.gauges.Add("sseSubscribers", -1)
+	}
+}
+
+// finishDone completes a job with its final response.
+func (st *jobStore) finishDone(j *job, resp *SolveResponse) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.resp = resp
+	st.terminalLocked(j, JobDone)
+}
+
+// finishFailed completes a job with the stable-code failure a
+// synchronous solve would have answered with.
+func (st *jobStore) finishFailed(j *job, status int, code, message string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.errd = &ErrorDetail{Code: code, Message: message}
+	j.status = status
+	st.terminalLocked(j, JobFailed)
+}
+
+// finishCancelled completes a cancelled job; resp is the honest
+// best-so-far (interrupted=true) when the solve had started, nil when
+// the job was cancelled while still queued.
+func (st *jobStore) finishCancelled(j *job, resp *SolveResponse) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.resp = resp
+	st.terminalLocked(j, JobCancelled)
+}
+
+// requestCancel cancels a live job: a queued job turns terminal
+// immediately (its pool task becomes a no-op), a running job has its
+// context cancelled and completes through the worker at the engine's
+// next cooperative boundary. Terminal jobs are left untouched, making
+// DELETE idempotent.
+func (st *jobStore) requestCancel(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch j.state {
+	case JobQueued:
+		j.cancel()
+		st.terminalLocked(j, JobCancelled)
+	case JobRunning:
+		j.cancel()
+	}
+}
+
+// cancelLive cancels every live job — the drain-grace path. Queued jobs
+// turn terminal at once; running jobs stop at their engines' next
+// cooperative boundary and publish their best-so-far through the
+// workers.
+func (st *jobStore) cancelLive() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, j := range st.jobs {
+		switch j.state {
+		case JobQueued:
+			j.cancel()
+			st.terminalLocked(j, JobCancelled)
+		case JobRunning:
+			j.cancel()
+		}
+	}
+}
+
+// beginDrain schedules cancelLive after the drain grace; the returned
+// stop func releases the timer once the drain completes. A grace <= 0
+// cancels immediately — drain then returns as soon as every engine
+// reaches its next cooperative boundary.
+func (st *jobStore) beginDrain(grace time.Duration) func() {
+	if grace <= 0 {
+		st.cancelLive()
+		return func() {}
+	}
+	t := time.AfterFunc(grace, st.cancelLive)
+	return func() { t.Stop() }
+}
+
+// terminalLocked performs the one-way live→terminal transition: state
+// accounting, the done broadcast, LRU registration and capacity
+// eviction. Callers hold st.mu and have set the terminal payload.
+func (st *jobStore) terminalLocked(j *job, state string) {
+	if j.el != nil {
+		return // already terminal
+	}
+	switch j.state {
+	case JobQueued:
+		st.gauges.Add("queued", -1)
+	case JobRunning:
+		st.gauges.Add("running", -1)
+	}
+	j.state = state
+	st.gauges.Add(state, 1)
+	j.cancel() // release the context regardless of how the job ended
+	j.doneAt = time.Now()
+	j.el = st.terminal.PushFront(j)
+	close(j.done)
+	for st.terminal.Len() > st.capacity {
+		last := st.terminal.Back()
+		st.evictLocked(last.Value.(*job))
+		st.gauges.Add("evicted", 1)
+	}
+}
+
+// sweepLocked evicts terminal jobs whose TTL elapsed before now.
+func (st *jobStore) sweepLocked(now time.Time) {
+	if st.ttl <= 0 {
+		return
+	}
+	for back := st.terminal.Back(); back != nil; {
+		j := back.Value.(*job)
+		if now.Sub(j.doneAt) < st.ttl {
+			// The LRU tail is not necessarily the oldest completion, so
+			// walk the whole list; it is bounded by the capacity.
+			back = back.Prev()
+			continue
+		}
+		prev := back.Prev()
+		st.evictLocked(j)
+		st.gauges.Add("expired", 1)
+		back = prev
+	}
+}
+
+// evictLocked removes a terminal job from the store. SSE subscribers
+// mid-stream keep their *job and finish normally — eviction only ends
+// the id's visibility.
+func (st *jobStore) evictLocked(j *job) {
+	st.terminal.Remove(j.el)
+	delete(st.jobs, j.id)
+}
+
+// view renders the job's wire form under the store lock.
+func (st *jobStore) view(j *job) JobView {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return JobView{
+		ID:           j.id,
+		State:        j.state,
+		InstanceHash: j.hash,
+		Algorithm:    j.algorithm,
+		Engine:       j.engine,
+		Seed:         j.seed,
+		Result:       j.resp,
+		Error:        j.errd,
+	}
+}
+
+// len reports the number of jobs currently in the store (live +
+// retained terminal).
+func (st *jobStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.jobs)
+}

@@ -20,6 +20,10 @@ type task struct {
 	opts duedate.Options
 	// key is the result-cache key.
 	key string
+	// job is non-nil for async (/v1/jobs) tasks: the worker publishes
+	// the outcome into the job store instead of the done channel, and
+	// recycles the task itself.
+	job *job
 	// done receives exactly one taskResult; it is buffered so a worker
 	// never blocks on a handler that gave up.
 	done chan taskResult
@@ -62,8 +66,13 @@ func (s *Server) worker() {
 	}
 }
 
-// runTask executes one solve and answers the task's done channel.
+// runTask executes one solve and answers the task's done channel (or,
+// for async tasks, the job store).
 func (s *Server) runTask(t *task) {
+	if t.job != nil {
+		s.runJobTask(t)
+		return
+	}
 	s.stats.active.Add(1)
 	defer s.stats.active.Add(-1)
 	defer s.stats.completed.Add(1)
@@ -74,12 +83,14 @@ func (s *Server) runTask(t *task) {
 		t.done <- taskResult{err: err}
 		return
 	}
+	start := time.Now()
 	res, err := s.solve(t.ctx, t.req.Instance, t.opts)
 	if err != nil {
 		s.stats.errors.Add(1)
 		t.done <- taskResult{err: err}
 		return
 	}
+	s.observeSolve(time.Since(start))
 	s.registry.Observe(res.Metrics)
 	resp := buildResponse(t.req, t.opts, res)
 	// Only full-budget results are cacheable; an interrupted best-so-far
@@ -88,6 +99,56 @@ func (s *Server) runTask(t *task) {
 		s.cache.put(t.key, resp)
 	}
 	t.done <- taskResult{resp: resp}
+}
+
+// runJobTask executes one async job's solve and publishes the outcome
+// into the job store. The worker owns the task and its request here —
+// the submitting handler returned its 202 long ago — so both are
+// recycled/released on return.
+func (s *Server) runJobTask(t *task) {
+	j := t.job
+	defer putTask(t)
+	s.stats.active.Add(1)
+	defer s.stats.active.Add(-1)
+	defer s.stats.completed.Add(1)
+
+	if !s.jobs.tryRun(j) {
+		return // cancelled while queued; already terminal
+	}
+	start := time.Now()
+	res, err := s.solve(t.ctx, t.req.Instance, t.opts)
+	if err != nil {
+		if t.ctx.Err() != nil {
+			// The solve surfaced the cancellation as an error (a stub or
+			// a pre-start cancel); the job is cancelled, not failed.
+			s.jobs.finishCancelled(j, nil)
+			return
+		}
+		s.stats.errors.Add(1)
+		status, code := errorCode(err)
+		s.jobs.finishFailed(j, status, code, err.Error())
+		return
+	}
+	s.observeSolve(time.Since(start))
+	s.registry.Observe(res.Metrics)
+	resp := buildResponse(t.req, t.opts, res)
+	if t.ctx.Err() != nil {
+		// DELETE or the drain grace stopped the engine: the honest
+		// best-so-far, never cached.
+		s.jobs.finishCancelled(j, resp)
+		return
+	}
+	if !resp.Interrupted {
+		s.cache.put(t.key, resp)
+	}
+	s.jobs.finishDone(j, resp)
+}
+
+// observeSolve accumulates completed-solve wall time; the mean feeds
+// the Retry-After estimate and /metrics.
+func (s *Server) observeSolve(d time.Duration) {
+	s.stats.solved.Add(1)
+	s.stats.solveNs.Add(int64(d))
 }
 
 // Drain performs the graceful-shutdown handshake: it flips the server
@@ -106,6 +167,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	if already {
 		return nil
 	}
+	// Give live async jobs the configured grace to finish on their own;
+	// past it, cancel them so they terminate with their honest
+	// best-so-far instead of holding the drain open.
+	stop := s.jobs.beginDrain(s.cfg.JobGrace)
+	defer stop()
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()

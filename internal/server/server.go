@@ -18,18 +18,36 @@
 // are bit-identical to a direct duedate.SolveContext call with the same
 // options.
 //
+// Long solves do not need to hold a connection open: the async job API
+// admits the same SolveRequest onto the same pool and answers 202 with
+// a job id immediately. Clients poll the job, stream its engine
+// checkpoints as server-sent events, or cancel it cooperatively; a
+// completed async result enters the same LRU cache, so a later
+// synchronous resubmission is a hit. The job store is bounded by a
+// terminal-job capacity (LRU eviction) and a TTL swept on lifecycle
+// events. Every non-2xx response across every endpoint is the unified
+// error envelope {"error":{"code":"<stable>","message":"..."}}, and
+// backpressure answers (429 queue-full, 503 draining) carry a
+// Retry-After estimated from the pool backlog and the recent mean solve
+// time.
+//
 // Endpoints:
 //
-//	POST /v1/solve     one instance → one SolveResponse
-//	POST /v1/batch     many instances through the same pool, per-item status
-//	GET  /v1/pairings  the live algorithm×engine driver registry
-//	GET  /healthz      liveness; 503 once draining
-//	GET  /metrics      ServerStats + the obs.Registry solver aggregates
+//	POST   /v1/solve            one instance → one SolveResponse
+//	POST   /v1/batch            many instances through the same pool, per-item status
+//	POST   /v1/jobs             admit an async solve → 202 + job id
+//	GET    /v1/jobs/{id}        poll job state/result
+//	GET    /v1/jobs/{id}/events engine checkpoints as SSE, terminal "result" event
+//	DELETE /v1/jobs/{id}        cancel cooperatively → honest best-so-far
+//	GET    /v1/pairings         the live algorithm×engine registry + capability matrix
+//	GET    /healthz             liveness; 503 once draining
+//	GET    /metrics             ServerStats + job gauges + the obs.Registry solver aggregates
 //
 // Shutdown is a graceful drain: the daemon (cmd/duedated) binds
 // SIGINT/SIGTERM to a context, stops the listener, and calls Drain,
 // which completes every queued and running solve before the process
-// exits.
+// exits; running async jobs get the job grace to finish before being
+// cancelled to their best-so-far.
 package server
 
 import (
@@ -41,6 +59,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +93,19 @@ type Config struct {
 	// aggregate into the /metrics payload (default MetricsCounters —
 	// trajectories are metrics-invariant, so this never changes results).
 	Metrics duedate.MetricsLevel
+	// Jobs bounds the terminal (done/failed/cancelled) async jobs the
+	// job store retains for polling; past it the least recently polled
+	// are evicted (default 256; values below 1 are raised to 1 so the
+	// most recent completion is always pollable).
+	Jobs int
+	// JobTTL expires retained terminal jobs, swept on the store's
+	// lifecycle events — submissions and drain — never on the poll hot
+	// path (default 15 minutes; negative disables expiry).
+	JobTTL time.Duration
+	// JobGrace is how long live async jobs may keep solving after Drain
+	// begins before being cancelled to their best-so-far (default 5s;
+	// negative cancels immediately).
+	JobGrace time.Duration
 }
 
 // withDefaults resolves the documented defaults.
@@ -96,6 +128,18 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == duedate.MetricsOff {
 		c.Metrics = duedate.MetricsCounters
 	}
+	switch {
+	case c.Jobs == 0:
+		c.Jobs = 256
+	case c.Jobs < 0:
+		c.Jobs = 1
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.JobGrace == 0 {
+		c.JobGrace = 5 * time.Second
+	}
 	return c
 }
 
@@ -104,6 +148,8 @@ func (c Config) withDefaults() Config {
 type solveFunc func(ctx context.Context, in *problem.Instance, opts duedate.Options) (duedate.Result, error)
 
 // serverStats holds the admission/cache counters behind /metrics.
+// solved/solveNs accumulate completed-solve wall time for the mean
+// behind the Retry-After estimate.
 type serverStats struct {
 	requests  atomic.Int64
 	completed atomic.Int64
@@ -112,6 +158,8 @@ type serverStats struct {
 	rejected  atomic.Int64
 	errors    atomic.Int64
 	active    atomic.Int64
+	solved    atomic.Int64
+	solveNs   atomic.Int64
 }
 
 // Server is the batch-solving service: an http.Handler plus the worker
@@ -126,6 +174,8 @@ type Server struct {
 	cache    *resultCache
 	wire     *wireCache
 	registry *obs.Registry
+	jobs     *jobStore
+	gauges   *obs.GaugeSet
 	stats    serverStats
 	solve    solveFunc
 	started  time.Time
@@ -134,6 +184,7 @@ type Server struct {
 // New builds the service and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	gauges := &obs.GaugeSet{}
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
@@ -141,14 +192,19 @@ func New(cfg Config) *Server {
 		cache:    newResultCache(cfg.CacheSize),
 		wire:     newWireCache(cfg.CacheSize),
 		registry: &obs.Registry{},
+		jobs:     newJobStore(cfg.Jobs, cfg.JobTTL, gauges),
+		gauges:   gauges,
 		solve:    duedate.SolveContext,
 		started:  time.Now(),
 	}
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/v1/pairings", s.handlePairings)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/", s.handleNotFound)
 	s.workers.Add(cfg.Pool)
 	for i := 0; i < cfg.Pool; i++ {
 		go s.worker()
@@ -162,29 +218,6 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // maxBodyBytes bounds request bodies; a 1000-job instance is ~50 KiB, so
 // 32 MiB leaves room for very large batches.
 const maxBodyBytes = 32 << 20
-
-// statusFor maps solve errors onto HTTP statuses: caller mistakes keep
-// their PR 3 sentinel identity (ErrInvalidOptions and malformed input →
-// 400, ErrUnsupportedPairing → 422) instead of collapsing into opaque
-// 500s, which are reserved for genuine internal failures.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, duedate.ErrUnsupportedPairing),
-		errors.Is(err, problem.ErrUnknownKind),
-		errors.Is(err, problem.ErrMachines):
-		return http.StatusUnprocessableEntity
-	case errors.Is(err, duedate.ErrInvalidOptions),
-		errors.Is(err, duedate.ErrInvalidSequence),
-		errors.Is(err, context.Canceled),
-		errors.Is(err, context.DeadlineExceeded):
-		// Context errors surface only for clients that vanished while
-		// queued; nobody reads the status, 400 keeps it out of the 5xx
-		// alerting bucket.
-		return http.StatusBadRequest
-	default:
-		return http.StatusInternalServerError
-	}
-}
 
 // writeJSON writes v with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -208,9 +241,40 @@ func writeRaw(w http.ResponseWriter, status int, body []byte) {
 	_, _ = w.Write(body)
 }
 
-// writeError writes an ErrorResponse.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...), Status: status})
+// writeError writes the unified error envelope with its stable code.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorDetail{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// writeBackpressure writes a 429/503 envelope with a Retry-After header
+// estimating when capacity frees up, so clients and load balancers back
+// off intelligently instead of hammering.
+func (s *Server) writeBackpressure(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeError(w, status, code, format, args...)
+}
+
+// retryAfterSeconds estimates the backoff for turned-away clients: the
+// pool backlog (queued + running + the rejected request itself) divided
+// across the workers, priced at the recent mean solve wall time (one
+// second before any solve completed). Clamped to [1s, 300s].
+func (s *Server) retryAfterSeconds() int {
+	mean := time.Second
+	if n := s.stats.solved.Load(); n > 0 {
+		if m := time.Duration(s.stats.solveNs.Load() / n); m > 0 {
+			mean = m
+		}
+	}
+	backlog := int64(len(s.queue)) + s.stats.active.Load() + 1
+	est := time.Duration(int64(mean) * backlog / int64(s.cfg.Pool))
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
 }
 
 // decodeSolveRequest decodes and structurally validates one request
@@ -233,28 +297,32 @@ func decodeStrict(body []byte, v any) error {
 	return dec.Decode(v)
 }
 
-// decodeStatus maps a request-decode failure onto its HTTP status. The
-// instance is validated while decoding, so semantic rejections surface
-// here: an unknown problem kind or an invalid machine count is a
-// well-formed request for something the service does not support (422,
-// keeping the sentinels' identity alongside ErrUnsupportedPairing),
-// while malformed JSON and structural mistakes stay 400.
-func decodeStatus(err error) int {
-	if errors.Is(err, problem.ErrUnknownKind) || errors.Is(err, problem.ErrMachines) {
-		return http.StatusUnprocessableEntity
+// decodeErrorCode maps a request-decode failure onto its HTTP status
+// and stable code. The instance is validated while decoding, so
+// semantic rejections surface here: an unknown problem kind or an
+// invalid machine count is a well-formed request for something the
+// service does not support (422, keeping the sentinels' identity
+// alongside ErrUnsupportedPairing), while malformed JSON and structural
+// mistakes stay 400.
+func decodeErrorCode(err error) (int, string) {
+	if errors.Is(err, problem.ErrUnknownKind) {
+		return http.StatusUnprocessableEntity, CodeUnknownKind
 	}
-	return http.StatusBadRequest
+	if errors.Is(err, problem.ErrMachines) {
+		return http.StatusUnprocessableEntity, CodeInvalidMachines
+	}
+	return http.StatusBadRequest, CodeInvalidRequest
 }
 
-// solveOne runs one request through cache → admission → pool and returns
-// the response or (error, HTTP status). It is the shared core of the
-// solve and batch handlers.
-func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (*SolveResponse, int, error) {
+// solveOne runs one request through cache → admission → pool and
+// returns the response or the failure's (HTTP status, stable code,
+// error). It is the shared core of the solve and batch handlers.
+func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (*SolveResponse, int, string, error) {
 	key := req.cacheKey()
 	if !req.NoCache {
 		if resp, ok := s.cache.get(key); ok {
 			s.stats.cacheHits.Add(1)
-			return resp, http.StatusOK, nil
+			return resp, http.StatusOK, "", nil
 		}
 		s.stats.cacheMiss.Add(1)
 	}
@@ -266,9 +334,9 @@ func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (*SolveRespons
 	if !s.submit(t) {
 		putTask(t)
 		if s.draining.Load() {
-			return nil, http.StatusServiceUnavailable, errors.New("server is draining")
+			return nil, http.StatusServiceUnavailable, CodeDraining, errors.New("server is draining")
 		}
-		return nil, http.StatusTooManyRequests,
+		return nil, http.StatusTooManyRequests, CodeQueueFull,
 			fmt.Errorf("queue full (%d waiting, %d running)", s.cfg.QueueDepth, s.cfg.Pool)
 	}
 	// The worker sends exactly one result, so after this receive the task
@@ -276,9 +344,10 @@ func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (*SolveRespons
 	res := <-t.done
 	putTask(t)
 	if res.err != nil {
-		return nil, statusFor(res.err), res.err
+		status, code := errorCode(res.err)
+		return nil, status, code, res.err
 	}
-	return res.resp, http.StatusOK, nil
+	return res.resp, http.StatusOK, "", nil
 }
 
 // handleSolve is POST /v1/solve. The steady-state path is the wire
@@ -290,13 +359,13 @@ func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (*SolveRespons
 // the next resubmission.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	buf := bodyPool.Get().(*bodyBuf)
 	defer bodyPool.Put(buf)
 	if err := readBody(r, buf); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "bad request: %v", err)
 		return
 	}
 	if body, ok := s.wire.get(buf.b); ok {
@@ -307,12 +376,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	req := solveReqPool.Get().(*SolveRequest)
 	defer putSolveRequest(req)
 	if err := decodeSolveRequest(buf.b, req); err != nil {
-		writeError(w, decodeStatus(err), "bad request: %v", err)
+		status, code := decodeErrorCode(err)
+		writeError(w, status, code, "bad request: %v", err)
 		return
 	}
-	resp, status, err := s.solveOne(r.Context(), req)
+	resp, status, code, err := s.solveOne(r.Context(), req)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			s.writeBackpressure(w, status, code, "%v", err)
+			return
+		}
+		writeError(w, status, code, "%v", err)
 		return
 	}
 	writeJSON(w, status, resp)
@@ -329,13 +403,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // the jobs around it.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	buf := bodyPool.Get().(*bodyBuf)
 	defer bodyPool.Put(buf)
 	if err := readBody(r, buf); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "bad request: %v", err)
 		return
 	}
 	if body, ok := s.wire.get(buf.b); ok {
@@ -346,11 +420,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	batch := getBatchRequest()
 	defer putBatchRequest(batch)
 	if err := decodeStrict(buf.b, batch); err != nil {
-		writeError(w, decodeStatus(err), "bad request: %v", err)
+		status, code := decodeErrorCode(err)
+		writeError(w, status, code, "bad request: %v", err)
 		return
 	}
 	if len(batch.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, `empty "requests"`)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, `empty "requests"`)
 		return
 	}
 	br := getBatchResults(len(batch.Requests))
@@ -360,15 +435,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range batch.Requests {
 		req := &batch.Requests[i]
 		if req.Instance == nil {
-			results[i] = BatchResult{Error: `missing "instance"`, Status: http.StatusBadRequest}
+			results[i] = BatchResult{Error: `missing "instance"`, Code: CodeInvalidRequest, Status: http.StatusBadRequest}
 			continue
 		}
 		wg.Add(1)
 		go func(i int, req *SolveRequest) {
 			defer wg.Done()
-			resp, status, err := s.solveOne(r.Context(), req)
+			resp, status, code, err := s.solveOne(r.Context(), req)
 			if err != nil {
-				results[i] = BatchResult{Error: err.Error(), Status: status}
+				results[i] = BatchResult{Error: err.Error(), Code: code, Status: status}
 				return
 			}
 			results[i] = BatchResult{Response: resp, Status: status}
@@ -403,32 +478,47 @@ func (s *Server) wirePutBatch(body []byte, batch *BatchRequest, results []BatchR
 	s.wire.put(body, encodeJSON(BatchResponse{Results: cached}))
 }
 
-// handlePairings is GET /v1/pairings.
+// handlePairings is GET /v1/pairings: the live registry with each
+// pairing's capability surface (problem kinds, parallel-machine
+// support), so clients route instances without trial-and-error 422s.
 func (s *Server) handlePairings(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	var resp PairingsResponse
 	for _, p := range duedate.Pairings() {
-		resp.Pairings = append(resp.Pairings, PairingInfo{Algorithm: p.Algorithm, Engine: p.Engine})
+		kinds := make([]string, len(p.Kinds))
+		for i, k := range p.Kinds {
+			kinds[i] = k.String()
+		}
+		resp.Pairings = append(resp.Pairings, PairingInfo{
+			Algorithm: p.Algorithm, Engine: p.Engine, Kinds: kinds, Machines: p.Machines,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz is GET /healthz.
+// handleHealthz is GET /healthz. Once draining, the answer is the 503
+// error envelope (code "draining", with Retry-After) like every other
+// non-2xx response, so load balancers and envelope-aware clients see
+// one shape.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
-	h := HealthResponse{Status: "ok", Pool: s.cfg.Pool, QueueDepth: s.cfg.QueueDepth}
-	status := http.StatusOK
 	if s.draining.Load() {
-		h.Status = "draining"
-		status = http.StatusServiceUnavailable
+		s.writeBackpressure(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
 	}
-	writeJSON(w, status, h)
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Pool: s.cfg.Pool, QueueDepth: s.cfg.QueueDepth})
+}
+
+// handleNotFound is the catch-all for unknown paths, keeping even 404s
+// inside the unified envelope.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, CodeNotFound, "no such resource %q", r.URL.Path)
 }
 
 // MetricsResponse is the wire form of GET /metrics: the server's
@@ -437,18 +527,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type MetricsResponse struct {
 	// Server holds the admission, cache and pool counters.
 	Server ServerStats `json:"server"`
+	// Jobs holds the async job gauges (submitted/queued/running/
+	// done/failed/cancelled/evicted/expired/sseSubscribers).
+	Jobs map[string]int64 `json:"jobs"`
 	// Solver holds the cross-run solver aggregates (evaluation splits,
 	// acceptances, per-phase timing at the kernels level).
 	Solver obs.RegistrySnapshot `json:"solver"`
-	// CacheEntries is the live result-cache size.
+	// CacheEntries is the live result-cache size; JobEntries the live
+	// job-store size (live + retained terminal jobs).
 	CacheEntries int `json:"cacheEntries"`
+	JobEntries   int `json:"jobEntries"`
 }
 
 // handleMetrics is GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
+	}
+	var meanSolve int64
+	if n := s.stats.solved.Load(); n > 0 {
+		meanSolve = s.stats.solveNs.Load() / n
 	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Server: ServerStats{
@@ -458,6 +557,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			CacheMisses: s.stats.cacheMiss.Load(),
 			Rejected:    s.stats.rejected.Load(),
 			Errors:      s.stats.errors.Load(),
+			MeanSolveNs: meanSolve,
 			Active:      s.stats.active.Load(),
 			Queued:      len(s.queue),
 			Pool:        s.cfg.Pool,
@@ -465,8 +565,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Draining:    s.draining.Load(),
 			Uptime:      time.Since(s.started),
 		},
+		Jobs:         s.gauges.Snapshot(),
 		Solver:       s.registry.Snapshot(),
 		CacheEntries: s.cache.len(),
+		JobEntries:   s.jobs.len(),
 	})
 }
 

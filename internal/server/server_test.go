@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -153,14 +154,26 @@ func TestQueueSaturationReturns429(t *testing.T) {
 	}()
 	<-started // the worker is now occupied and the queue is empty
 
-	status, body := postJSON(t, ts.URL+"/v1/solve", req)
-	if status != http.StatusTooManyRequests {
-		t.Fatalf("saturated queue answered %d (want 429), body %s", status, body)
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader([]byte(reqBody(t, req))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var erBody bytes.Buffer
+	if _, err := erBody.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue answered %d (want 429), body %s", resp.StatusCode, erBody.Bytes())
 	}
 	var er ErrorResponse
-	decodeInto(t, body, &er)
-	if er.Status != http.StatusTooManyRequests || er.Error == "" {
-		t.Errorf("error payload %+v", er)
+	decodeInto(t, erBody.Bytes(), &er)
+	if er.Error.Code != CodeQueueFull || er.Error.Message == "" {
+		t.Errorf("error payload %+v (want code %q)", er, CodeQueueFull)
+	}
+	// Backpressure answers carry a Retry-After estimate in whole seconds.
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After %q (want integer >= 1)", resp.Header.Get("Retry-After"))
 	}
 
 	close(release)
@@ -293,7 +306,8 @@ func TestDeadlineExpiredReturnsInterrupted(t *testing.T) {
 // ErrUnsupportedPairing → 422, and the instance-semantics sentinels
 // (problem.ErrUnknownKind, problem.ErrMachines) → 422 — a well-formed
 // request for something the service does not support — never an opaque
-// 500 for caller mistakes.
+// 500 for caller mistakes. Every rejection must carry the unified
+// envelope with its stable machine-readable code.
 func TestErrorStatusMapping(t *testing.T) {
 	_, ts := newTestServer(t, Config{Pool: 1})
 	valid := duedate.PaperExample(duedate.CDD)
@@ -301,56 +315,62 @@ func TestErrorStatusMapping(t *testing.T) {
 		name string
 		body string
 		want int
+		code string
 	}{
 		{"unsupported-pairing-ta-gpu",
 			reqBody(t, SolveRequest{Instance: valid, Algorithm: duedate.TA, Engine: duedate.EngineGPU}),
-			http.StatusUnprocessableEntity},
+			http.StatusUnprocessableEntity, CodeUnsupportedPairing},
 		{"unsupported-pairing-es-gpu",
 			reqBody(t, SolveRequest{Instance: valid, Algorithm: duedate.ES, Engine: duedate.EngineGPU}),
-			http.StatusUnprocessableEntity},
+			http.StatusUnprocessableEntity, CodeUnsupportedPairing},
 		{"invalid-options-negative-grid",
 			reqBody(t, SolveRequest{Instance: valid, Engine: duedate.EngineCPUSerial, Grid: -1}),
-			http.StatusBadRequest},
+			http.StatusBadRequest, CodeInvalidOptions},
 		{"invalid-options-negative-workers",
 			reqBody(t, SolveRequest{Instance: valid, Engine: duedate.EngineCPUParallel, Workers: -2}),
-			http.StatusBadRequest},
+			http.StatusBadRequest, CodeInvalidOptions},
 		{"unknown-algorithm-name",
 			`{"instance":` + instJSON(t, valid) + `,"algorithm":"XX"}`,
-			http.StatusBadRequest},
+			http.StatusBadRequest, CodeInvalidRequest},
 		{"unknown-engine-name",
 			`{"instance":` + instJSON(t, valid) + `,"engine":"tpu"}`,
-			http.StatusBadRequest},
+			http.StatusBadRequest, CodeInvalidRequest},
 		{"unknown-instance-kind",
 			`{"instance":{"name":"x","kind":"nope","dueDate":5,"jobs":[{"p":1,"alpha":1,"beta":1}]}}`,
-			http.StatusUnprocessableEntity},
+			http.StatusUnprocessableEntity, CodeUnknownKind},
 		{"negative-machine-count",
 			`{"instance":{"name":"x","kind":"CDD","dueDate":5,"machines":-2,"jobs":[{"p":1,"alpha":1,"beta":1}]}}`,
-			http.StatusUnprocessableEntity},
+			http.StatusUnprocessableEntity, CodeInvalidMachines},
 		{"invalid-instance-no-jobs",
 			`{"instance":{"name":"x","kind":"CDD","dueDate":5,"jobs":[]}}`,
-			http.StatusBadRequest},
-		{"missing-instance", `{}`, http.StatusBadRequest},
-		{"unknown-field", `{"instance":` + instJSON(t, valid) + `,"bogus":1}`, http.StatusBadRequest},
-		{"malformed-json", `{"instance":`, http.StatusBadRequest},
+			http.StatusBadRequest, CodeInvalidRequest},
+		{"missing-instance", `{}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"unknown-field", `{"instance":` + instJSON(t, valid) + `,"bogus":1}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"malformed-json", `{"instance":`, http.StatusBadRequest, CodeInvalidRequest},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader([]byte(tc.body)))
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer resp.Body.Close()
-			var er ErrorResponse
-			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
-				t.Fatalf("non-JSON error body: %v", err)
-			}
-			if resp.StatusCode != tc.want {
-				t.Errorf("status %d (want %d), error %q", resp.StatusCode, tc.want, er.Error)
-			}
-			if er.Status != resp.StatusCode || er.Error == "" {
-				t.Errorf("error payload %+v does not echo status %d", er, resp.StatusCode)
-			}
-		})
+	// Every endpoint speaks the same envelope: the same body submitted
+	// synchronously and as an async job must answer the identical
+	// (status, code) pair.
+	for _, endpoint := range []string{"/v1/solve", "/v1/jobs"} {
+		for _, tc := range cases {
+			t.Run(endpoint+"/"+tc.name, func(t *testing.T) {
+				resp, err := http.Post(ts.URL+endpoint, "application/json", bytes.NewReader([]byte(tc.body)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				var er ErrorResponse
+				if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+					t.Fatalf("non-JSON error body: %v", err)
+				}
+				if resp.StatusCode != tc.want {
+					t.Errorf("status %d (want %d), error %+v", resp.StatusCode, tc.want, er.Error)
+				}
+				if er.Error.Code != tc.code || er.Error.Message == "" {
+					t.Errorf("error payload %+v (want code %q)", er.Error, tc.code)
+				}
+			})
+		}
 	}
 }
 
@@ -487,11 +507,14 @@ func TestBatchMixedOutcomes(t *testing.T) {
 		t.Errorf("batch slot (%d, %v) differs from direct solve (%d, %v)",
 			got.Cost, got.Sequence, want.BestCost, want.BestSeq)
 	}
-	if resp.Results[1].Status != http.StatusBadRequest || resp.Results[1].Error == "" {
+	if resp.Results[1].Status != http.StatusBadRequest || resp.Results[1].Error == "" || resp.Results[1].Code != CodeInvalidRequest {
 		t.Errorf("missing-instance slot: %+v", resp.Results[1])
 	}
-	if resp.Results[2].Status != http.StatusUnprocessableEntity {
+	if resp.Results[2].Status != http.StatusUnprocessableEntity || resp.Results[2].Code != CodeUnsupportedPairing {
 		t.Errorf("unsupported-pairing slot: %+v", resp.Results[2])
+	}
+	if resp.Results[0].Code != "" {
+		t.Errorf("good slot carries error code %q", resp.Results[0].Code)
 	}
 }
 
@@ -552,6 +575,25 @@ func TestPairingsEndpoint(t *testing.T) {
 		if got.Pairings[i].Algorithm != p.Algorithm || got.Pairings[i].Engine != p.Engine {
 			t.Errorf("pairing %d: served %v/%v, registry %v/%v",
 				i, got.Pairings[i].Algorithm, got.Pairings[i].Engine, p.Algorithm, p.Engine)
+		}
+		// The capability matrix mirrors the registration declarations.
+		kinds := make([]string, len(p.Kinds))
+		for j, k := range p.Kinds {
+			kinds[j] = k.String()
+		}
+		if fmt.Sprint(got.Pairings[i].Kinds) != fmt.Sprint(kinds) {
+			t.Errorf("pairing %d kinds %v, registry %v", i, got.Pairings[i].Kinds, kinds)
+		}
+		if got.Pairings[i].Machines != p.Machines {
+			t.Errorf("pairing %d machines=%t, registry %t", i, got.Pairings[i].Machines, p.Machines)
+		}
+	}
+	// Every built-in driver is evaluator-backed: full kind coverage and
+	// parallel machines everywhere.
+	for _, p := range got.Pairings {
+		if len(p.Kinds) != 3 || !p.Machines {
+			t.Errorf("built-in pairing %v/%v declares kinds=%v machines=%t (want all three kinds, machines)",
+				p.Algorithm, p.Engine, p.Kinds, p.Machines)
 		}
 	}
 }

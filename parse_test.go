@@ -151,6 +151,39 @@ func TestPairingsEnumeratesRegistry(t *testing.T) {
 			}
 		}
 	}
+	// Every built-in driver is evaluator-backed, so each pairing declares
+	// the full capability surface: all three problem kinds and parallel
+	// machines. The Kinds slice is a private copy.
+	for _, p := range ps {
+		if len(p.Kinds) != 3 || !p.Machines {
+			t.Errorf("pairing %v/%v declares kinds=%v machines=%t (want all three kinds, machines)",
+				p.Algorithm, p.Engine, p.Kinds, p.Machines)
+		}
+	}
+	ps[0].Kinds[0] = duedate.EARLYWORK
+	if duedate.Pairings()[0].Kinds[0] != duedate.CDD {
+		t.Error("Pairings() kind slices alias the registry")
+	}
+}
+
+// TestValidateOptions: the admission-time validator must agree with
+// SolveContext — nil for every registered pairing with sane options, the
+// ErrInvalidOptions / ErrUnsupportedPairing sentinels otherwise.
+func TestValidateOptions(t *testing.T) {
+	for _, p := range duedate.Pairings() {
+		if err := duedate.ValidateOptions(duedate.Options{Algorithm: p.Algorithm, Engine: p.Engine}); err != nil {
+			t.Errorf("registered pairing %v/%v rejected: %v", p.Algorithm, p.Engine, err)
+		}
+	}
+	if err := duedate.ValidateOptions(duedate.Options{Algorithm: duedate.TA, Engine: duedate.EngineGPU}); !errors.Is(err, duedate.ErrUnsupportedPairing) {
+		t.Errorf("TA/gpu: %v (want ErrUnsupportedPairing)", err)
+	}
+	if err := duedate.ValidateOptions(duedate.Options{Grid: -1}); !errors.Is(err, duedate.ErrInvalidOptions) {
+		t.Errorf("negative grid: %v (want ErrInvalidOptions)", err)
+	}
+	if err := duedate.ValidateOptions(duedate.Options{Workers: -3, Engine: duedate.EngineCPUParallel}); !errors.Is(err, duedate.ErrInvalidOptions) {
+		t.Errorf("negative workers: %v (want ErrInvalidOptions)", err)
+	}
 }
 
 // TestUnsupportedPairingErrorListsEngines: the rejection must carry the

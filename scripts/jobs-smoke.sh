@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Smoke-test the duedated async job API end to end against a live
+# daemon: submit a job (202 + Location), poll it to done, check the
+# result matches a synchronous solve via the shared cache, stream the
+# SSE events endpoint to its terminal result event, cancel a fresh job,
+# and require the job gauges in /metrics — then SIGTERM and require a
+# clean drain.
+set -eu
+
+cd "$(dirname "$0")/.."
+ADDR="127.0.0.1:${DUEDATED_PORT:-8338}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/duedated"
+REQ=testdata/server/solve_cdd.json
+
+go build -o "$BIN" ./cmd/duedated
+"$BIN" -addr "$ADDR" -pool 2 -queue 16 -jobs 64 -job-grace 2s &
+PID=$!
+cleanup() { kill "$PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "FAIL: healthz never came up"; exit 1; }
+
+# Submit: 202 with a job id and a Location header.
+headers=$(mktemp)
+submit=$(curl -s -D "$headers" -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$REQ" "$BASE/v1/jobs")
+grep -q "^HTTP/1.1 202" "$headers" || { echo "FAIL: submit not 202: $(head -1 "$headers")"; exit 1; }
+grep -qi "^Location: /v1/jobs/" "$headers" || { echo "FAIL: submit lacks Location header"; exit 1; }
+id=$(echo "$submit" | grep -oE '"id": "[^"]+"' | head -1 | cut -d'"' -f4)
+[ -n "$id" ] || { echo "FAIL: no job id in $submit"; exit 1; }
+echo "OK: submitted job $id"
+
+# Poll to a terminal state.
+state=""
+for _ in $(seq 1 100); do
+  view=$(curl -sf "$BASE/v1/jobs/$id")
+  state=$(echo "$view" | grep -oE '"state": "[^"]+"' | head -1 | cut -d'"' -f4)
+  case "$state" in done|failed|cancelled) break ;; esac
+  sleep 0.1
+done
+[ "$state" = "done" ] || { echo "FAIL: job ended in state '$state': $view"; exit 1; }
+job_cost=$(echo "$view" | grep -E '"cost"' | head -1 | grep -oE '[-0-9]+')
+echo "OK: job done, cost $job_cost"
+
+# The completed async result populates the shared cache: the same body
+# through /v1/solve is a cache hit with the same cost.
+sync=$(curl -sf -X POST --data-binary "@$REQ" "$BASE/v1/solve")
+echo "$sync" | grep -Eq '"cached": true' || { echo "FAIL: sync resubmission missed the cache"; exit 1; }
+sync_cost=$(echo "$sync" | grep -E '"cost"' | head -1 | grep -oE '[-0-9]+')
+[ "$job_cost" = "$sync_cost" ] || { echo "FAIL: async cost $job_cost != sync cost $sync_cost"; exit 1; }
+echo "OK: shared cache, costs agree"
+
+# SSE: the events stream of the finished job replays the state and ends
+# with the terminal result event.
+events=$(curl -sf -N --max-time 10 "$BASE/v1/jobs/$id/events" || true)
+echo "$events" | grep -q "^event: result" || { echo "FAIL: no terminal result event: $events"; exit 1; }
+echo "OK: SSE stream delivered the result event"
+
+# Cancel: a deliberately huge-budget job accepts DELETE mid-solve and
+# turns cancelled (or finishes first on a fast box — both are terminal
+# and idempotent).
+long='{"instance":{"name":"smoke-cancel","kind":"CDD","dueDate":40,"jobs":['
+for i in $(seq 1 20); do
+  long="$long{\"p\":$((i % 7 + 1)),\"alpha\":$((i % 5 + 1)),\"beta\":$((i % 3 + 1))},"
+done
+long="${long%,}]},\"engine\":\"cpu-serial\",\"iterations\":20000000,\"grid\":1,\"block\":1,\"seed\":99,\"noCache\":true}"
+id2=$(curl -sf -X POST --data-binary "$long" "$BASE/v1/jobs" \
+  | grep -oE '"id": "[^"]+"' | head -1 | cut -d'"' -f4)
+[ -n "$id2" ] || { echo "FAIL: second submit failed"; exit 1; }
+del=$(curl -sf -X DELETE "$BASE/v1/jobs/$id2")
+state2=$(echo "$del" | grep -oE '"state": "[^"]+"' | head -1 | cut -d'"' -f4)
+case "$state2" in cancelled|done) echo "OK: DELETE answered terminal state $state2" ;;
+  *) echo "FAIL: DELETE answered state '$state2': $del"; exit 1 ;;
+esac
+
+# Unknown job ids answer the enveloped 404.
+curl -s "$BASE/v1/jobs/nope" | grep -q '"code": "not_found"' \
+  || { echo "FAIL: unknown job lacks code not_found"; exit 1; }
+
+# The job gauges surface in /metrics.
+metrics=$(curl -sf "$BASE/metrics")
+echo "$metrics" | grep -Eq '"submitted": [1-9]' || { echo "FAIL: /metrics lacks job gauges: $metrics"; exit 1; }
+echo "$metrics" | grep -Eq '"done": [1-9]' || { echo "FAIL: /metrics shows no done job"; exit 1; }
+echo "OK: job gauges in /metrics"
+
+# Graceful drain with the job store in play.
+kill -TERM "$PID"
+if ! wait "$PID"; then
+  echo "FAIL: duedated did not drain cleanly on SIGTERM"
+  exit 1
+fi
+trap - EXIT
+echo "jobs-smoke: PASS"

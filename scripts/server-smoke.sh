@@ -23,9 +23,26 @@ for _ in $(seq 1 100); do
 done
 curl -sf "$BASE/healthz" >/dev/null || { echo "FAIL: healthz never came up"; exit 1; }
 
-# The pairings endpoint must enumerate the registry.
-curl -sf "$BASE/v1/pairings" | grep -q '"algorithm": "SA"' \
+# The pairings endpoint must enumerate the registry with its capability
+# matrix (kinds + parallel-machine support per pairing).
+pairings=$(curl -sf "$BASE/v1/pairings")
+echo "$pairings" | grep -q '"algorithm": "SA"' \
   || { echo "FAIL: /v1/pairings missing SA"; exit 1; }
+echo "$pairings" | grep -q '"EARLYWORK"' \
+  || { echo "FAIL: /v1/pairings missing the kind capability list"; exit 1; }
+echo "$pairings" | grep -q '"machines": true' \
+  || { echo "FAIL: /v1/pairings missing the machines capability"; exit 1; }
+
+# Every rejection speaks the unified envelope with its stable code.
+body=$(curl -s -X POST --data-binary '{"instance":' "$BASE/v1/solve")
+echo "$body" | grep -q '"code": "invalid_request"' \
+  || { echo "FAIL: malformed body lacks code invalid_request: $body"; exit 1; }
+body=$(curl -s "$BASE/v1/nowhere")
+echo "$body" | grep -q '"code": "not_found"' \
+  || { echo "FAIL: unknown path lacks code not_found: $body"; exit 1; }
+body=$(curl -s -X DELETE "$BASE/v1/solve")
+echo "$body" | grep -q '"code": "method_not_allowed"' \
+  || { echo "FAIL: wrong method lacks code method_not_allowed: $body"; exit 1; }
 
 for f in testdata/server/solve_cdd.json testdata/server/solve_ucddcp.json; do
   body=$(curl -sf -X POST -H 'Content-Type: application/json' --data-binary "@$f" "$BASE/v1/solve") \

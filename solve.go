@@ -173,20 +173,45 @@ type driverKey struct {
 	Engine    Engine
 }
 
+// driverEntry is one registered driver with its capability surface.
+type driverEntry struct {
+	driver   Driver
+	kinds    []Kind
+	machines bool
+}
+
 // registry maps pairings to their drivers. Drivers self-register from
 // init (see drivers.go); the facade performs a lookup, never a switch, so
 // adding a pairing requires no edits here.
-var registry = map[driverKey]Driver{}
+var registry = map[driverKey]driverEntry{}
 
-// RegisterDriver installs the driver for an algorithm×engine pairing.
-// Registering the same pairing twice panics — drivers own their pairings
-// exclusively.
+// allKinds is the full problem-kind capability every evaluator-backed
+// driver supports; Pairings hands out copies.
+var allKinds = []Kind{CDD, UCDDCP, EARLYWORK}
+
+// RegisterDriver installs the driver for an algorithm×engine pairing
+// with the full capability surface: every problem kind and parallel
+// machines. That is the honest default for drivers built on
+// core.NewEvaluator / the delimiter-genome codec (all built-in drivers
+// are); a driver with a narrower surface registers through
+// RegisterDriverCaps instead. Registering the same pairing twice panics
+// — drivers own their pairings exclusively.
 func RegisterDriver(a Algorithm, e Engine, d Driver) {
+	RegisterDriverCaps(a, e, d, allKinds, true)
+}
+
+// RegisterDriverCaps installs a driver together with its declared
+// capability surface: the problem kinds it can evaluate and whether it
+// handles parallel-machine (Machines > 1) delimiter genomes. The
+// capabilities are enumerated live by Pairings, so clients (and the
+// duedated /v1/pairings endpoint) can route instances without
+// trial-and-error ErrUnsupportedPairing probes.
+func RegisterDriverCaps(a Algorithm, e Engine, d Driver, kinds []Kind, machines bool) {
 	key := driverKey{a, e}
 	if _, dup := registry[key]; dup {
 		panic(fmt.Sprintf("duedate: driver for %v on %v registered twice", a, e))
 	}
-	registry[key] = d
+	registry[key] = driverEntry{driver: d, kinds: append([]Kind(nil), kinds...), machines: machines}
 }
 
 // SolveContext optimizes the instance with the selected algorithm and
@@ -203,12 +228,37 @@ func SolveContext(ctx context.Context, in *Instance, opts Options) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
-	d, ok := registry[driverKey{opts.Algorithm, opts.Engine}]
+	e, err := lookupDriver(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.driver(opts).Solve(ctx, in)
+}
+
+// lookupDriver resolves the registered driver for the (normalized)
+// options' pairing.
+func lookupDriver(opts Options) (driverEntry, error) {
+	e, ok := registry[driverKey{opts.Algorithm, opts.Engine}]
 	if !ok {
-		return Result{}, fmt.Errorf("duedate: %w: %v is not supported on the %v engine (registered engines for %v: %s)",
+		return driverEntry{}, fmt.Errorf("duedate: %w: %v is not supported on the %v engine (registered engines for %v: %s)",
 			ErrUnsupportedPairing, opts.Algorithm, opts.Engine, opts.Algorithm, registeredEngines(opts.Algorithm))
 	}
-	return d(opts).Solve(ctx, in)
+	return e, nil
+}
+
+// ValidateOptions checks opts exactly the way SolveContext would —
+// option normalization plus the registry pairing lookup — without
+// running a solve. Serving layers use it to reject a doomed submission
+// at admission time (an async job answers its 400/422 at submit instead
+// of surfacing the same error on a later poll); a nil return guarantees
+// SolveContext with these opts will not fail on the options themselves.
+func ValidateOptions(opts Options) error {
+	opts, err := opts.normalized()
+	if err != nil {
+		return err
+	}
+	_, err = lookupDriver(opts)
+	return err
 }
 
 // registeredEngines renders the engines registered for an algorithm,
@@ -226,19 +276,32 @@ func registeredEngines(a Algorithm) string {
 	return strings.Join(names, ", ")
 }
 
-// Pairing is one registered algorithm×engine combination.
+// Pairing is one registered algorithm×engine combination together with
+// its capability surface, as declared at registration.
 type Pairing struct {
+	// Algorithm and Engine name the combination.
 	Algorithm Algorithm
 	Engine    Engine
+	// Kinds lists the problem kinds the driver evaluates (every built-in
+	// driver supports all three).
+	Kinds []Kind
+	// Machines reports parallel-machine (Instance.Machines > 1)
+	// delimiter-genome support.
+	Machines bool
 }
 
-// Pairings returns every registered algorithm×engine combination, sorted
-// by algorithm then engine — the supported-combo enumeration for tests
-// and CLIs, replacing hardcoded lists.
+// Pairings returns every registered algorithm×engine combination with
+// its capabilities, sorted by algorithm then engine — the
+// supported-combo enumeration for tests, CLIs and the serving layer,
+// replacing hardcoded lists. The Kinds slices are copies; callers may
+// keep them.
 func Pairings() []Pairing {
 	out := make([]Pairing, 0, len(registry))
-	for k := range registry {
-		out = append(out, Pairing{k.Algorithm, k.Engine})
+	for k, e := range registry {
+		out = append(out, Pairing{
+			Algorithm: k.Algorithm, Engine: k.Engine,
+			Kinds: append([]Kind(nil), e.kinds...), Machines: e.machines,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Algorithm != out[j].Algorithm {
