@@ -40,7 +40,7 @@ bench-hotpath:
 # generalization must hold on every landscape, not just the dedicated
 # parallel families). Exits nonzero on any discrepancy.
 verify-diff:
-	$(GO) run ./cmd/verify -trials 200 -out verify-report.json
+	$(GO) run ./cmd/verify -trials 200 -dp-trials 50 -out verify-report.json
 	$(GO) run ./cmd/verify -trials 40 -machines 1
 	$(GO) run ./cmd/verify -trials 40 -machines 2
 	$(GO) run ./cmd/verify -trials 40 -machines 3
@@ -52,6 +52,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzUCDDCPDeltaVsFull$$' -fuzztime $(FUZZTIME) ./internal/ucddcp
 	$(GO) test -run '^$$' -fuzz '^FuzzParseInstance$$' -fuzztime $(FUZZTIME) ./internal/problem
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchEvaluator$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzExactDPVsBrute$$' -fuzztime $(FUZZTIME) ./internal/exact
 	$(GO) test -run '^$$' -fuzz '^FuzzSolveFacade$$' -fuzztime $(FUZZTIME) .
 
 # Run the batch-solving daemon locally on its default address (:8337).

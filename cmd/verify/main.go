@@ -35,6 +35,8 @@ func main() {
 		seqs      = flag.Int("seqs", 4, "random sequences cross-checked per instance")
 		families  = flag.String("families", "", "comma-separated family filter (default: all)")
 		machines  = flag.Int("machines", 0, "force every generated instance onto this many machines (0: family default)")
+		dpTrials  = flag.Int("dp-trials", 3, "exact-dp leg trials at n in the hundreds (negative: disable the leg)")
+		dpMaxN    = flag.Int("dp-maxn", 240, "upper job-count bound for the exact-dp leg's large CDD instances (lower bound 200)")
 		noDrivers = flag.Bool("no-drivers", false, "skip the engine drivers (evaluator/oracle layers only)")
 		iters     = flag.Int("iters", 60, "driver iterations per chain")
 		grid      = flag.Int("grid", 1, "driver ensemble grid")
@@ -51,6 +53,8 @@ func main() {
 		MaxN:       *maxN,
 		SeqSamples: *seqs,
 		Machines:   *machines,
+		DPTrials:   *dpTrials,
+		DPMaxN:     *dpMaxN,
 	}
 	if *families != "" {
 		cfg.Families = strings.Split(*families, ",")

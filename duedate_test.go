@@ -59,10 +59,25 @@ func TestSolveDefaultsOnSmallInstance(t *testing.T) {
 	}
 }
 
+// pairingHasKind reports whether the pairing declares the problem kind;
+// capability-scoped drivers (EXACT-DP) sit out the kinds they lack.
+func pairingHasKind(p duedate.Pairing, k duedate.Kind) bool {
+	for _, have := range p.Kinds {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
 func TestSolveAllAlgorithmEngineCombos(t *testing.T) {
 	in := duedate.PaperExample(duedate.UCDDCP)
 	for _, c := range duedate.Pairings() {
+		c := c
 		t.Run(c.Algorithm.String()+"/"+c.Engine.String(), func(t *testing.T) {
+			if !pairingHasKind(c, duedate.UCDDCP) {
+				t.Skipf("%v does not declare UCDDCP", c.Algorithm)
+			}
 			res, err := duedate.Solve(in, duedate.Options{
 				Algorithm: c.Algorithm, Engine: c.Engine,
 				Iterations: 40, Grid: 1, Block: 8, TempSamples: 50,
@@ -85,9 +100,22 @@ func TestSolveAllAlgorithmEngineCombos(t *testing.T) {
 // Result.Metrics when asked (with an evaluation count that matches the
 // result's) and leave it nil at the default level.
 func TestFacadeMetrics(t *testing.T) {
-	in := duedate.PaperExample(duedate.CDD)
+	paper := duedate.PaperExample(duedate.CDD)
+	// The paper example's general asymmetric weights sit outside the DP's
+	// agreeable domain, so the exact pairing gets a symmetric-weight
+	// unrestricted instance it can certify.
+	agreeable, err := duedate.NewCDDInstance("agreeable-metrics",
+		[]int{3, 1, 4, 2, 5, 2, 6}, []int{2, 1, 3, 2, 4, 1, 5}, []int{2, 1, 3, 2, 4, 1, 5}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range duedate.Pairings() {
+		c := c
 		t.Run(c.Algorithm.String()+"/"+c.Engine.String(), func(t *testing.T) {
+			in := paper
+			if c.Algorithm == duedate.ExactDP {
+				in = agreeable
+			}
 			base := duedate.Options{
 				Algorithm: c.Algorithm, Engine: c.Engine,
 				Iterations: 40, Grid: 1, Block: 8, TempSamples: 50, Seed: 5,

@@ -1,0 +1,229 @@
+package duedate_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	duedate "repro"
+	"repro/internal/exact"
+	"repro/internal/problem"
+)
+
+// agreeableInstance builds a deterministic symmetric-weight CDD instance
+// (α = β, so one ratio order serves both weights) inside the EXACT-DP
+// driver's provable domain; restrictive selects the due-date band.
+func agreeableInstance(t *testing.T, name string, n int, restrictive bool) *duedate.Instance {
+	t.Helper()
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + (i*7)%13
+		alpha[i] = 1 + (i*3)%9
+		beta[i] = alpha[i]
+		sum += int64(p[i])
+	}
+	d := sum + 5
+	if restrictive {
+		d = sum / 3
+	}
+	in, err := duedate.NewCDDInstance(name, p, alpha, beta, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// exactDPOpts is the facade selection for the exact layer; budgets and
+// geometry are meaningless to a one-shot DP and stay zero.
+func exactDPOpts() duedate.Options {
+	return duedate.Options{Algorithm: duedate.ExactDP, Engine: duedate.EngineCPUSerial}
+}
+
+// TestExactDPFacadeCertificate: the registered EXACT-DP pairing solves an
+// in-domain instance through the public facade, reports an honest cost,
+// and is the only driver allowed to set Result.Optimal.
+func TestExactDPFacadeCertificate(t *testing.T) {
+	in := agreeableInstance(t, "exactdp-facade", 30, false)
+	res, err := duedate.Solve(in, exactDPOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Error("exact solve did not set the optimality certificate")
+	}
+	got, err := duedate.Cost(in, res.BestSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.BestCost {
+		t.Errorf("certificate cost %d, sequence re-evaluates to %d", res.BestCost, got)
+	}
+	if res.Evaluations <= 0 || res.Iterations != 1 {
+		t.Errorf("accounting: %d evaluations (want >0 stored states), %d iterations (want 1)",
+			res.Evaluations, res.Iterations)
+	}
+
+	// A metaheuristic run on the same instance must never beat the
+	// certificate, and must not claim one.
+	sa, err := duedate.Solve(in, duedate.Options{
+		Algorithm: duedate.SA, Engine: duedate.EngineCPUSerial,
+		Iterations: 100, Grid: 1, Block: 8, TempSamples: 50, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.BestCost < res.BestCost {
+		t.Errorf("SA cost %d beats the DP certificate %d", sa.BestCost, res.BestCost)
+	}
+	if sa.Optimal {
+		t.Error("metaheuristic result claims an optimality certificate")
+	}
+}
+
+// TestExactDPRelabelInvariance: permuting job identities permutes the
+// optimal sequence but cannot change the optimal cost — the objective is
+// label-free. The DP's agreeable sort order makes this a real property
+// test of its tie-breaking, not a tautology.
+func TestExactDPRelabelInvariance(t *testing.T) {
+	in := agreeableInstance(t, "exactdp-relabel", 24, true)
+	base, err := duedate.Solve(in, exactDPOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := in.N()
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	for i := 0; i < n; i++ {
+		j := (i*5 + 3) % n // 5 ⟂ 24: a fixed full-cycle relabeling
+		p[i] = in.Jobs[j].P
+		alpha[i] = in.Jobs[j].Alpha
+		beta[i] = in.Jobs[j].Beta
+	}
+	relabeled, err := duedate.NewCDDInstance("exactdp-relabeled", p, alpha, beta, in.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := duedate.Solve(relabeled, exactDPOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost != base.BestCost {
+		t.Errorf("relabeled optimum %d != original %d", res.BestCost, base.BestCost)
+	}
+}
+
+// TestExactDPCostScaling: multiplying every penalty weight by k scales
+// the optimal cost by exactly k (timing decisions are weight-ratio
+// driven, and k preserves every ratio).
+func TestExactDPCostScaling(t *testing.T) {
+	in := agreeableInstance(t, "exactdp-scale", 20, false)
+	base, err := duedate.Solve(in, exactDPOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	n := in.N()
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	for i := 0; i < n; i++ {
+		p[i] = in.Jobs[i].P
+		alpha[i] = k * in.Jobs[i].Alpha
+		beta[i] = k * in.Jobs[i].Beta
+	}
+	scaled, err := duedate.NewCDDInstance("exactdp-scaled", p, alpha, beta, in.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := duedate.Solve(scaled, exactDPOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost != k*base.BestCost {
+		t.Errorf("×%d-scaled optimum %d != %d × original %d", k, res.BestCost, k, base.BestCost)
+	}
+}
+
+// TestExactDPEarlyWorkSingleMachineReduction: an m-machine EARLYWORK
+// instance where m−1 machines stay empty in some optimum reduces to the
+// single-machine instance — and on any instance, adding machines can
+// only help (cost is non-increasing in m).
+func TestExactDPEarlyWorkSingleMachineReduction(t *testing.T) {
+	p := []int{4, 2, 5, 1, 3, 6, 2, 4, 3, 5}
+	costs := make([]int64, 0, 3)
+	for m := 1; m <= 3; m++ {
+		in, err := duedate.NewEarlyWorkInstance("exactdp-ew", p, m, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := duedate.Solve(in, exactDPOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatalf("m=%d: no certificate", m)
+		}
+		got, err := duedate.Cost(in, res.BestSeq)
+		if err != nil || got != res.BestCost {
+			t.Fatalf("m=%d: certificate cost %d re-evaluates to %d (err %v)", m, res.BestCost, got, err)
+		}
+		costs = append(costs, res.BestCost)
+	}
+	for m := 1; m < len(costs); m++ {
+		if costs[m] > costs[m-1] {
+			t.Errorf("early-work optimum worsened with more machines: m=%d cost %d > m=%d cost %d",
+				m+1, costs[m], m, costs[m-1])
+		}
+	}
+	// With d = 6 and ΣP = 35, three machines cap 18 units of early work:
+	// the exact floor is ΣP − 3d regardless of assignment.
+	if want := int64(35 - 3*6); costs[2] != want {
+		t.Errorf("m=3 optimum %d, want the saturated-machines floor %d", costs[2], want)
+	}
+}
+
+// TestExactDPDeclinesOutsideDomain: the paper's Table I example has
+// general asymmetric weights (no agreeable ratio order), so the facade
+// must surface the typed exact.ErrInapplicable — routable with errors.Is
+// — rather than an opaque failure or a silent wrong answer. Same for the
+// UCDDCP kind, which has no DP at all.
+func TestExactDPDeclinesOutsideDomain(t *testing.T) {
+	if _, err := duedate.Solve(duedate.PaperExample(duedate.CDD), exactDPOpts()); !errors.Is(err, exact.ErrInapplicable) {
+		t.Errorf("paper CDD example: %v (want exact.ErrInapplicable)", err)
+	}
+	if _, err := duedate.Solve(duedate.PaperExample(duedate.UCDDCP), exactDPOpts()); !errors.Is(err, duedate.ErrUnsupportedPairing) && !errors.Is(err, exact.ErrInapplicable) {
+		t.Errorf("UCDDCP: %v (want a typed capability rejection)", err)
+	}
+}
+
+// TestExactDPInterruptedDeadline: an already-expired deadline follows the
+// engine contract — an honest best-so-far (the identity genome; the DP
+// has no partial solution) with Interrupted set and no certificate, not
+// an error.
+func TestExactDPInterruptedDeadline(t *testing.T) {
+	in := agreeableInstance(t, "exactdp-deadline", 40, false)
+	opts := exactDPOpts()
+	opts.Deadline = time.Now().Add(-time.Second)
+	res, err := duedate.SolveContext(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("expired deadline did not interrupt the DP")
+	}
+	if res.Optimal {
+		t.Fatal("interrupted DP claimed an optimality certificate")
+	}
+	if len(res.BestSeq) != in.N() || !problem.IsPermutation(res.BestSeq) {
+		t.Fatalf("interrupted best-so-far %v is not a permutation", res.BestSeq)
+	}
+	got, err := duedate.Cost(in, res.BestSeq)
+	if err != nil || got != res.BestCost {
+		t.Fatalf("interrupted cost %d re-evaluates to %d (err %v)", res.BestCost, got, err)
+	}
+}

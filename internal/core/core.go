@@ -107,6 +107,12 @@ type Result struct {
 	// a valid permutation even when cancelled before the first chain
 	// completes).
 	Interrupted bool
+	// Optimal reports that BestCost is a proven global optimum — an
+	// optimality certificate. Only exact solvers set it (the EXACT-DP
+	// driver, after its self-check against the O(n) evaluator);
+	// metaheuristics leave it false even when they happen to reach the
+	// optimum, because they cannot prove it.
+	Optimal bool
 	// Metrics holds the run's instrumentation snapshot when the solver
 	// was configured with a MetricsLevel above MetricsOff; nil otherwise
 	// (the default — collection is opt-in).

@@ -1,0 +1,451 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/problem"
+)
+
+// ErrInapplicable is the typed error SolveDP wraps when the instance is
+// outside the DP's provably exact domain: a UCDDCP instance (earliness
+// couples to the compression vector), a multi-machine CDD instance, or a
+// CDD instance whose weight ratios admit no agreeable order. Callers fall
+// back to SubsetCDD/Brute or to the metaheuristics with errors.Is.
+var ErrInapplicable = errors.New("exact: instance outside the DP's exact domain")
+
+// ErrBudget is the typed error SolveDP wraps when the DP would store more
+// states than the configured budget. It wraps ErrTooLarge, so existing
+// errors.Is(err, ErrTooLarge) fallbacks treat a blown budget exactly like
+// a blown enumeration limit.
+var ErrBudget = fmt.Errorf("exact: DP state budget exhausted: %w", ErrTooLarge)
+
+// MaxDPStates is the default ceiling on stored DP states (across every
+// layer and every straddler sub-DP of one solve). At the default, an
+// unrestricted CDD instance with n≈240 and P_i≤20 (ΣP≈2400 reachable
+// subset sums per layer) fits comfortably; a restrictive instance at that
+// size does not — its (Q, W) straddler state space is quadratic — and
+// degrades to a typed ErrBudget instead of an unbounded allocation.
+const MaxDPStates = 4 << 20
+
+// DPConfig tunes SolveDPContext. The zero value selects the defaults.
+type DPConfig struct {
+	// MaxStates bounds the total number of DP states stored by one solve;
+	// 0 means MaxDPStates. Exceeding it returns ErrBudget (an ErrTooLarge).
+	MaxStates int64
+}
+
+// SolveDP solves the instance exactly with the pseudo-polynomial dynamic
+// programs under the default configuration. See SolveDPContext.
+func SolveDP(in *problem.Instance) (Result, error) {
+	return SolveDPContext(context.Background(), in, DPConfig{})
+}
+
+// SolveDPContext dispatches to the applicable pseudo-polynomial DP:
+//
+//   - CDD on one machine whose jobs admit an agreeable order (a single
+//     order ascending in both P/α and P/β — common rates, symmetric or
+//     proportional weights, and any instance that happens to sort): a DP
+//     over processing-time-bounded states. Anchored schedules use state
+//     Q = ΣP(early); restrictive instances additionally run one
+//     (Q, Σα(early)−Σβ(tardy)) sub-DP per candidate straddling job.
+//     O(n²·ΣP) worst case, exact for every agreeable instance.
+//
+//   - EARLYWORK on m machines: a knapsack over the multiset of machine
+//     loads capped at d, maximizing early work. Exact for every instance.
+//
+// Everything else returns ErrInapplicable. The returned Result carries an
+// optimal genome reconstructed from the DP layers; its cost is re-checked
+// against the O(n) evaluator before returning, so a Result from SolveDP is
+// a self-verified optimality certificate. Nodes counts stored DP states.
+// Cancelling the context aborts at a layer boundary with ctx.Err().
+func SolveDPContext(ctx context.Context, in *problem.Instance, cfg DPConfig) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	maxStates := cfg.MaxStates
+	if maxStates <= 0 {
+		maxStates = MaxDPStates
+	}
+	switch {
+	case in.Kind == problem.CDD && in.MachineCount() == 1:
+		return dpCDD(ctx, in, maxStates)
+	case in.Kind == problem.EARLYWORK:
+		return dpEarlyWork(ctx, in, maxStates)
+	case in.Kind == problem.CDD:
+		return Result{}, fmt.Errorf("%w: CDD DP requires a single machine, got %d", ErrInapplicable, in.MachineCount())
+	default:
+		return Result{}, fmt.Errorf("%w: no DP for kind %v", ErrInapplicable, in.Kind)
+	}
+}
+
+// agreeableOrder sorts job indices by P/α ascending (ties broken by P/β
+// ascending, comparisons cross-multiplied so zero weights are exact) and
+// reports whether P/β is non-decreasing along the result — i.e. whether a
+// single order sorted by both ratios exists. α=0 jobs order last on the
+// α ratio (P/0 = ∞); likewise β=0 on the tie-break.
+func agreeableOrder(jobs []problem.Job) ([]int, bool) {
+	n := len(jobs)
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(x, y int) bool {
+		jx, jy := jobs[ord[x]], jobs[ord[y]]
+		ax, ay := jx.P*jy.Alpha, jy.P*jx.Alpha
+		if ax != ay {
+			return ax < ay
+		}
+		return jx.P*jy.Beta < jy.P*jx.Beta
+	})
+	for i := 0; i+1 < n; i++ {
+		jx, jy := jobs[ord[i]], jobs[ord[i+1]]
+		if jy.P*jx.Beta < jx.P*jy.Beta {
+			return nil, false
+		}
+	}
+	return ord, true
+}
+
+const dpInf = int64(1) << 62
+
+// dpJob is an int64 view of one job's fields, so the DP arithmetic runs
+// in the same width as costs and the due date.
+type dpJob struct{ p, a, b int64 }
+
+func dpJobs(jobs []problem.Job) []dpJob {
+	out := make([]dpJob, len(jobs))
+	for i, j := range jobs {
+		out[i] = dpJob{p: int64(j.P), a: int64(j.Alpha), b: int64(j.Beta)}
+	}
+	return out
+}
+
+// dpState carries bookkeeping shared by the CDD sub-DPs: the cumulative
+// stored-state budget and the context checked at layer boundaries.
+type dpState struct {
+	ctx       context.Context
+	maxStates int64
+	nodes     int64
+}
+
+// charge accounts for newly stored states and enforces the budget.
+func (s *dpState) charge(n int) error {
+	s.nodes += int64(n)
+	if s.nodes > s.maxStates {
+		return fmt.Errorf("%w: %d states exceed budget %d", ErrBudget, s.nodes, s.maxStates)
+	}
+	return nil
+}
+
+// dpCDD is the exact CDD DP for agreeable single-machine instances:
+// anchored schedules always, plus one straddler sub-DP per candidate
+// straddling job when the instance is restrictive. The winning candidate
+// is re-run with per-layer state maps and its sequence reconstructed by
+// cost-arithmetic walk-back.
+func dpCDD(ctx context.Context, in *problem.Instance, maxStates int64) (Result, error) {
+	ord, ok := agreeableOrder(in.Jobs)
+	if !ok {
+		return Result{}, fmt.Errorf("%w: no agreeable P/α · P/β order (general asymmetric weights)", ErrInapplicable)
+	}
+	st := &dpState{ctx: ctx, maxStates: maxStates}
+	jobs := dpJobs(in.Jobs)
+
+	// Pass 1: rolling DPs to find the winning candidate (anchored, or
+	// straddler s) without holding reconstruction layers for every s.
+	bestCost, err := dpAnchoredRoll(st, jobs, ord, in.D)
+	if err != nil {
+		return Result{}, err
+	}
+	bestStraddler := -1
+	if in.Restrictive() {
+		for _, s := range ord {
+			c, err := dpStraddlerRoll(st, jobs, ord, s, in.D)
+			if err != nil {
+				return Result{}, err
+			}
+			if c < bestCost {
+				bestCost = c
+				bestStraddler = s
+			}
+		}
+	}
+	if bestCost >= dpInf {
+		return Result{}, fmt.Errorf("exact: internal: CDD DP found no feasible schedule")
+	}
+
+	// Pass 2: re-run the winner with layers kept, and walk back.
+	var seq []int
+	if bestStraddler < 0 {
+		seq, err = dpAnchoredSeq(st, jobs, ord, in.D, bestCost)
+	} else {
+		seq, err = dpStraddlerSeq(st, jobs, ord, bestStraddler, in.D, bestCost)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if got := core.NewEvaluator(in).Cost(seq); got != bestCost {
+		return Result{}, fmt.Errorf("exact: internal: DP cost %d disagrees with evaluator cost %d on the reconstructed sequence", bestCost, got)
+	}
+	return Result{Cost: bestCost, Seq: seq, Nodes: st.nodes}, nil
+}
+
+// dpAnchoredRoll computes the optimal anchored-schedule cost (some early
+// job completes exactly at d, or the schedule is an all-tardy block
+// starting at d). State: Q = ΣP(early) after k decisions in agreeable
+// order; early marginal α·Q (prune Q+P>d), tardy marginal β·(pref−Q+P).
+func dpAnchoredRoll(st *dpState, jobs []dpJob, ord []int, d int64) (int64, error) {
+	cur := map[int64]int64{0: 0}
+	if err := st.charge(1); err != nil {
+		return 0, err
+	}
+	var pref int64
+	for _, id := range ord {
+		if err := st.ctx.Err(); err != nil {
+			return 0, err
+		}
+		j := jobs[id]
+		next := make(map[int64]int64, 2*len(cur))
+		for q, c := range cur {
+			if q+j.p <= d {
+				if v, ok := next[q+j.p]; !ok || c+j.a*q < v {
+					next[q+j.p] = c + j.a*q
+				}
+			}
+			tc := c + j.b*(pref-q+j.p)
+			if v, ok := next[q]; !ok || tc < v {
+				next[q] = tc
+			}
+		}
+		if err := st.charge(len(next)); err != nil {
+			return 0, err
+		}
+		pref += j.p
+		cur = next
+	}
+	best := dpInf
+	for _, c := range cur {
+		if c < best {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// dpAnchoredSeq re-runs the anchored DP keeping every layer, then walks
+// back from the optimal final state. At each step the early predecessor
+// is identified by exact cost arithmetic (layers[k-1][q−P] + α·(q−P) ==
+// layers[k][q]); any state satisfying it heads a schedule of the same
+// optimal cost, so ambiguity is harmless. The sequence is the early
+// decisions reversed (V-shape far→near becomes near-side last) followed
+// by the tardy decisions in order.
+func dpAnchoredSeq(st *dpState, jobs []dpJob, ord []int, d int64, want int64) ([]int, error) {
+	n := len(ord)
+	layers := make([]map[int64]int64, n+1)
+	layers[0] = map[int64]int64{0: 0}
+	var pref int64
+	for k, id := range ord {
+		if err := st.ctx.Err(); err != nil {
+			return nil, err
+		}
+		j := jobs[id]
+		next := make(map[int64]int64, 2*len(layers[k]))
+		for q, c := range layers[k] {
+			if q+j.p <= d {
+				if v, ok := next[q+j.p]; !ok || c+j.a*q < v {
+					next[q+j.p] = c + j.a*q
+				}
+			}
+			tc := c + j.b*(pref-q+j.p)
+			if v, ok := next[q]; !ok || tc < v {
+				next[q] = tc
+			}
+		}
+		pref += j.p
+		layers[k+1] = next
+	}
+	var q int64
+	found := false
+	for fq, c := range layers[n] {
+		if c == want {
+			q, found = fq, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("exact: internal: anchored replay lost the optimal final state")
+	}
+	c := want
+	var early, tardy []int
+	for k := n; k >= 1; k-- {
+		j := jobs[ord[k-1]]
+		pref -= j.p
+		if pq := q - j.p; pq >= 0 {
+			if pc, ok := layers[k-1][pq]; ok && pc+j.a*pq == c {
+				early = append(early, ord[k-1])
+				q, c = pq, pc
+				continue
+			}
+		}
+		pc, ok := layers[k-1][q]
+		if !ok || pc+j.b*(pref-q+j.p) != c {
+			return nil, fmt.Errorf("exact: internal: anchored walk-back has no predecessor at layer %d", k)
+		}
+		tardy = append(tardy, ord[k-1])
+		c = pc
+	}
+	// The walk-back visits decisions last→first. The early block runs
+	// far→near (descending P/α = reverse decision order), which is exactly
+	// the collection order; the tardy block runs in decision order
+	// (ascending P/β), so it is restored by reversing.
+	seq := make([]int, 0, n)
+	seq = append(seq, early...)
+	for i := len(tardy) - 1; i >= 0; i-- {
+		seq = append(seq, tardy[i])
+	}
+	return seq, nil
+}
+
+// qw is the straddler-DP state: Q = ΣP(early) and the running weight
+// balance W = Σα(early) − Σβ(tardy), which prices the final shift of the
+// whole block so the straddling job completes past d.
+type qw struct{ q, w int64 }
+
+// dpStraddlerRoll computes the optimal start-at-0 schedule cost with job
+// s straddling the due date, remaining jobs split early/tardy in
+// agreeable order. Tardy marginals are charged as if the block started at
+// P(E)+P_s (the +β·P_s term); the final term w·(d−Q) + β_s·(P_s−(d−Q))
+// re-prices the schedule for the actual gap d−Q.
+func dpStraddlerRoll(st *dpState, jobs []dpJob, ord []int, s int, d int64) (int64, error) {
+	js := jobs[s]
+	cur := map[qw]int64{{0, 0}: 0}
+	if err := st.charge(1); err != nil {
+		return 0, err
+	}
+	var pref int64
+	for _, id := range ord {
+		if id == s {
+			continue
+		}
+		if err := st.ctx.Err(); err != nil {
+			return 0, err
+		}
+		j := jobs[id]
+		next := make(map[qw]int64, 2*len(cur))
+		for k, c := range cur {
+			if k.q+j.p <= d {
+				nk := qw{k.q + j.p, k.w + j.a}
+				if v, ok := next[nk]; !ok || c+j.a*k.q < v {
+					next[nk] = c + j.a*k.q
+				}
+			}
+			tc := c + j.b*(pref-k.q+j.p) + j.b*js.p
+			nk := qw{k.q, k.w - j.b}
+			if v, ok := next[nk]; !ok || tc < v {
+				next[nk] = tc
+			}
+		}
+		if err := st.charge(len(next)); err != nil {
+			return 0, err
+		}
+		pref += j.p
+		cur = next
+	}
+	best := dpInf
+	for k, c := range cur {
+		if k.q <= d && k.q+js.p > d {
+			gap := d - k.q
+			if tot := c + k.w*gap + js.b*(js.p-gap); tot < best {
+				best = tot
+			}
+		}
+	}
+	return best, nil
+}
+
+// dpStraddlerSeq re-runs the winning straddler DP with layers kept and
+// reconstructs the sequence: reversed early decisions, then s, then the
+// tardy decisions in order.
+func dpStraddlerSeq(st *dpState, jobs []dpJob, ord []int, s int, d int64, want int64) ([]int, error) {
+	js := jobs[s]
+	n := len(ord)
+	rest := make([]int, 0, n-1)
+	for _, id := range ord {
+		if id != s {
+			rest = append(rest, id)
+		}
+	}
+	layers := make([]map[qw]int64, len(rest)+1)
+	layers[0] = map[qw]int64{{0, 0}: 0}
+	var pref int64
+	for k, id := range rest {
+		if err := st.ctx.Err(); err != nil {
+			return nil, err
+		}
+		j := jobs[id]
+		next := make(map[qw]int64, 2*len(layers[k]))
+		for key, c := range layers[k] {
+			if key.q+j.p <= d {
+				nk := qw{key.q + j.p, key.w + j.a}
+				if v, ok := next[nk]; !ok || c+j.a*key.q < v {
+					next[nk] = c + j.a*key.q
+				}
+			}
+			tc := c + j.b*(pref-key.q+j.p) + j.b*js.p
+			nk := qw{key.q, key.w - j.b}
+			if v, ok := next[nk]; !ok || tc < v {
+				next[nk] = tc
+			}
+		}
+		pref += j.p
+		layers[k+1] = next
+	}
+	var cur qw
+	var c int64
+	found := false
+	for key, fc := range layers[len(rest)] {
+		if key.q <= d && key.q+js.p > d {
+			gap := d - key.q
+			if fc+key.w*gap+js.b*(js.p-gap) == want {
+				cur, c, found = key, fc, true
+				break
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("exact: internal: straddler replay lost the optimal final state")
+	}
+	var early, tardy []int
+	for k := len(rest); k >= 1; k-- {
+		j := jobs[rest[k-1]]
+		pref -= j.p
+		if pq := cur.q - j.p; pq >= 0 {
+			pk := qw{pq, cur.w - j.a}
+			if pc, ok := layers[k-1][pk]; ok && pc+j.a*pq == c {
+				early = append(early, rest[k-1])
+				cur, c = pk, pc
+				continue
+			}
+		}
+		pk := qw{cur.q, cur.w + j.b}
+		pc, ok := layers[k-1][pk]
+		if !ok || pc+j.b*(pref-cur.q+j.p)+j.b*js.p != c {
+			return nil, fmt.Errorf("exact: internal: straddler walk-back has no predecessor at layer %d", k)
+		}
+		tardy = append(tardy, rest[k-1])
+		cur = pk
+		c = pc
+	}
+	// Early block far→near is the walk-back collection order; the tardy
+	// block is decision order, restored by reversing (see dpAnchoredSeq).
+	seq := make([]int, 0, n)
+	seq = append(seq, early...)
+	seq = append(seq, s)
+	for i := len(tardy) - 1; i >= 0; i-- {
+		seq = append(seq, tardy[i])
+	}
+	return seq, nil
+}

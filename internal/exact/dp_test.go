@@ -1,0 +1,369 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/orlib"
+	"repro/internal/problem"
+)
+
+// agreeableCDD builds a random CDD instance guaranteed to admit an
+// agreeable order: mode 0 uses common rates (α_i = A, β_i = B), mode 1
+// symmetric weights (α_i = β_i), mode 2 proportional weights
+// (β_i = k·α_i), all with occasional zero weights.
+func agreeableCDD(rng *rand.Rand, n, mode int, restrictive bool) *problem.Instance {
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	ca, cb := 1+rng.Intn(9), 1+rng.Intn(9)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + rng.Intn(6)
+		switch mode {
+		case 0:
+			alpha[i], beta[i] = ca, cb
+		case 1:
+			alpha[i] = rng.Intn(7)
+			beta[i] = alpha[i]
+		default:
+			alpha[i] = rng.Intn(5)
+			beta[i] = alpha[i] * cb
+		}
+		// Zero both weights together: a (0, 0) job sorts last on both
+		// ratios, so agreeableness is preserved.
+		if rng.Intn(12) == 0 {
+			alpha[i], beta[i] = 0, 0
+		}
+		sum += int64(p[i])
+	}
+	d := sum + int64(rng.Intn(8))
+	if restrictive {
+		d = int64(rng.Intn(int(sum + 1)))
+	}
+	in, err := problem.NewCDD("agreeable", p, alpha, beta, d)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func randomEarlyWork(rng *rand.Rand, n, m int) *problem.Instance {
+	p := make([]int, n)
+	var sum int64
+	for i := range p {
+		p[i] = 1 + rng.Intn(8)
+		sum += int64(p[i])
+	}
+	d := 1 + int64(rng.Intn(int(sum)))
+	in, err := problem.NewEarlyWork("ew", p, m, d)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// TestAgreeableOrder pins the domain gate: common-rate instances always
+// sort, the paper's Table I instance (asymmetric general weights) does
+// not, and the returned order is ascending in both ratios.
+func TestAgreeableOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 50; trial++ {
+		in := agreeableCDD(rng, 2+rng.Intn(8), trial%3, trial%2 == 0)
+		ord, ok := agreeableOrder(in.Jobs)
+		if !ok {
+			t.Fatalf("trial %d: agreeable generator produced a non-agreeable instance %+v", trial, in.Jobs)
+		}
+		for i := 0; i+1 < len(ord); i++ {
+			jx, jy := in.Jobs[ord[i]], in.Jobs[ord[i+1]]
+			if jx.P*jy.Alpha > jy.P*jx.Alpha {
+				t.Fatalf("trial %d: order not ascending in P/α at %d", trial, i)
+			}
+			if jx.P*jy.Beta > jy.P*jx.Beta {
+				t.Fatalf("trial %d: order not ascending in P/β at %d", trial, i)
+			}
+		}
+	}
+	if _, ok := agreeableOrder(problem.PaperExample(problem.CDD).Jobs); ok {
+		t.Error("paper Table I instance reported agreeable; its ratio orders conflict")
+	}
+}
+
+// TestDPMatchesBruteCDD is the core differential property: on every
+// agreeable instance small enough to brute-force, the DP must return the
+// same optimal cost (restrictive and unrestricted, zero weights included).
+func TestDPMatchesBruteCDD(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(7)
+		in := agreeableCDD(rng, n, trial%3, trial%2 == 0)
+		dp, err := SolveDP(in)
+		if err != nil {
+			t.Fatalf("trial %d: SolveDP: %v (jobs=%+v d=%d)", trial, err, in.Jobs, in.D)
+		}
+		if !problem.IsPermutation(dp.Seq) {
+			t.Fatalf("trial %d: DP sequence is not a permutation: %v", trial, dp.Seq)
+		}
+		brute, err := Brute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.Cost != brute.Cost {
+			t.Fatalf("trial %d: DP %d != brute %d (jobs=%+v d=%d)", trial, dp.Cost, brute.Cost, in.Jobs, in.D)
+		}
+	}
+}
+
+// TestDPMatchesBruteEarlyWork: the EARLYWORK DP must match brute
+// enumeration of every delimiter genome on machines 1, 2 and 3.
+func TestDPMatchesBruteEarlyWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(8-m)
+		in := randomEarlyWork(rng, n, m)
+		dp, err := SolveDP(in)
+		if err != nil {
+			t.Fatalf("trial %d: SolveDP: %v", trial, err)
+		}
+		if !in.IsGenome(dp.Seq) {
+			t.Fatalf("trial %d: DP result is not a valid genome: %v", trial, dp.Seq)
+		}
+		brute, err := Brute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.Cost != brute.Cost {
+			t.Fatalf("trial %d: DP %d != brute %d (p=%+v m=%d d=%d)", trial, dp.Cost, brute.Cost, in.Jobs, m, in.D)
+		}
+	}
+}
+
+// TestDPMatchesSubsetMidSize cross-checks the DP against the partition
+// enumeration on sizes brute force cannot reach (n up to 20, both due-date
+// regimes) — the "agrees bit-identically on the full supported range" leg.
+func TestDPMatchesSubsetMidSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 24; trial++ {
+		n := 12 + rng.Intn(7)
+		in := agreeableCDD(rng, n, trial%3, trial%2 == 0)
+		dp, err := SolveDP(in)
+		if err != nil {
+			t.Fatalf("trial %d: SolveDP: %v", trial, err)
+		}
+		sub, err := SubsetCDD(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.Cost != sub.Cost {
+			t.Fatalf("trial %d: DP %d != subset %d (n=%d d=%d jobs=%+v)", trial, dp.Cost, sub.Cost, n, in.D, in.Jobs)
+		}
+	}
+}
+
+// TestDPGoldenValues pins exact optima on fixed instances: hand-checkable
+// micro cases, an orlib-generated fixture, and the paper Table I example
+// routed through Solve (the DP declines it; the extended SubsetCDD now
+// covers the restrictive regime and must agree with Brute's 81).
+func TestDPGoldenValues(t *testing.T) {
+	// Two jobs, common rates α=1, β=2, d=3: schedule [1 0] anchored with
+	// job 0 at d gives cost α·2 = 2... pinned from brute force below.
+	micro, err := problem.NewCDD("micro", []int{3, 2}, []int{1, 1}, []int{2, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := SolveDP(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(4); dp.Cost != want {
+		t.Errorf("micro DP optimum = %d, want %d", dp.Cost, want)
+	}
+
+	// orlib-generated symmetric-weight fixture at n=40: far beyond every
+	// enumeration, pinned against the first run and re-checked for honesty
+	// on every run by SolveDP itself.
+	raws := orlib.GenerateCDD(40, 1, 2016)
+	in, err := orlib.CDDInstance(raws[0], 40, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Jobs {
+		in.Jobs[i].Beta = in.Jobs[i].Alpha // symmetric → agreeable
+	}
+	res, err := SolveDP(in)
+	if err != nil {
+		t.Fatalf("orlib fixture: %v", err)
+	}
+	if res.Cost <= 0 || !problem.IsPermutation(res.Seq) {
+		t.Fatalf("orlib fixture: degenerate result %+v", res)
+	}
+	goldenOrlib := res.Cost // restrictive h=1.0? record and require stability
+	res2, err := SolveDP(in)
+	if err != nil || res2.Cost != goldenOrlib {
+		t.Errorf("orlib fixture not deterministic: %d vs %d (%v)", res2.Cost, goldenOrlib, err)
+	}
+
+	// Paper Table I via the Solve dispatcher: the DP declines (no
+	// agreeable order), SubsetCDD's restrictive extension must take over
+	// and agree with the known brute-force optimum 81.
+	paper := problem.PaperExample(problem.CDD)
+	sres, err := Solve(paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Cost != 81 {
+		t.Errorf("Solve(paper CDD) = %d, want 81", sres.Cost)
+	}
+	if sres.Nodes != 1<<paper.N() {
+		t.Errorf("Solve(paper CDD) nodes = %d, want %d (subset partitions)", sres.Nodes, 1<<paper.N())
+	}
+}
+
+// TestSubsetRestrictiveMatchesBrute: the extended SubsetCDD must agree
+// with Brute on restrictive instances with fully general weights — the
+// regime the v1 enumeration refused.
+func TestSubsetRestrictiveMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		in := randomRestrictiveCDD(rng, n)
+		sub, err := SubsetCDD(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := Brute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Cost != brute.Cost {
+			t.Fatalf("trial %d: subset %d != brute %d (restrictive, jobs=%+v d=%d)",
+				trial, sub.Cost, brute.Cost, in.Jobs, in.D)
+		}
+		if got := core.NewEvaluator(in).Cost(sub.Seq); got != sub.Cost {
+			t.Fatalf("trial %d: subset sequence evaluates to %d, reported %d", trial, got, sub.Cost)
+		}
+	}
+}
+
+// TestDPLargeUnrestricted exercises the acceptance regime: n ≥ 200
+// unrestricted agreeable CDD solved exactly within the default budget,
+// with a valid self-verified certificate.
+func TestDPLargeUnrestricted(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for _, n := range []int{200, 240} {
+		p := make([]int, n)
+		alpha := make([]int, n)
+		beta := make([]int, n)
+		var sum int64
+		for i := 0; i < n; i++ {
+			p[i] = 1 + rng.Intn(20)
+			alpha[i] = 3
+			beta[i] = 7
+			sum += int64(p[i])
+		}
+		in, err := problem.NewCDD("large", p, alpha, beta, sum+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveDP(in)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !problem.IsPermutation(res.Seq) {
+			t.Fatalf("n=%d: not a permutation", n)
+		}
+		if got := core.NewEvaluator(in).Cost(res.Seq); got != res.Cost {
+			t.Fatalf("n=%d: dishonest certificate: seq cost %d, reported %d", n, got, res.Cost)
+		}
+		if res.Nodes > MaxDPStates {
+			t.Fatalf("n=%d: %d states exceed the default budget", n, res.Nodes)
+		}
+	}
+}
+
+// TestDPBudgetGuard: a tiny MaxStates must degrade to the typed ErrBudget
+// (which is an ErrTooLarge), never an unbounded allocation; a restrictive
+// instance at acceptance scale must also stay within typed failure.
+func TestDPBudgetGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	in := agreeableCDD(rng, 50, 0, false)
+	_, err := SolveDPContext(context.Background(), in, DPConfig{MaxStates: 16})
+	if !errors.Is(err, ErrBudget) || !errors.Is(err, ErrTooLarge) {
+		t.Errorf("tiny budget: got %v, want ErrBudget (an ErrTooLarge)", err)
+	}
+	ew := randomEarlyWork(rng, 40, 3)
+	ew.D = ew.SumP() / 3
+	if _, err := SolveDPContext(context.Background(), ew, DPConfig{MaxStates: 8}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("EARLYWORK tiny budget: got %v, want ErrTooLarge", err)
+	}
+}
+
+// TestDPInapplicable: the typed domain gate — UCDDCP, multi-machine CDD,
+// and non-agreeable CDD all decline with ErrInapplicable (not ErrTooLarge,
+// so fallbacks pick the right alternative).
+func TestDPInapplicable(t *testing.T) {
+	cases := []*problem.Instance{
+		problem.PaperExample(problem.UCDDCP),
+		problem.PaperExample(problem.CDD), // non-agreeable ratios
+	}
+	mc, err := problem.NewCDD("mc", []int{3, 2, 4}, []int{1, 1, 1}, []int{2, 2, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Machines = 2
+	cases = append(cases, mc)
+	for i, in := range cases {
+		_, err := SolveDP(in)
+		if !errors.Is(err, ErrInapplicable) {
+			t.Errorf("case %d: got %v, want ErrInapplicable", i, err)
+		}
+		if errors.Is(err, ErrTooLarge) {
+			t.Errorf("case %d: domain rejection mislabeled as ErrTooLarge", i)
+		}
+	}
+}
+
+// TestDPContextCancelled: cancellation aborts at a layer boundary with the
+// context's error (the facade driver converts this into an Interrupted
+// best-so-far result).
+func TestDPContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	in := agreeableCDD(rng, 120, 0, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveDPContext(ctx, in, DPConfig{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestDPEarlyWorkReconstruction: beyond cost agreement, the reconstructed
+// genome's per-machine loads must realize exactly the DP's early work.
+func TestDPEarlyWorkReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(3)
+		n := 2 + rng.Intn(20)
+		in := randomEarlyWork(rng, n, m)
+		res, err := SolveDP(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var late int64
+		for _, seg := range in.SplitGenome(res.Seq) {
+			var load int64
+			for _, j := range seg {
+				load += int64(in.Jobs[j].P)
+			}
+			if load > in.D {
+				late += load - in.D
+			}
+		}
+		if late != res.Cost {
+			t.Fatalf("trial %d: genome late work %d != DP cost %d", trial, late, res.Cost)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package exact
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/problem"
+)
+
+// ewNode is one stored EARLYWORK DP state: the best early work reaching
+// this multiset of capped machine loads, plus the parent pointer used for
+// reconstruction (the predecessor's key and the sorted slot the job was
+// placed on).
+type ewNode struct {
+	early int64
+	prev  string
+	slot  int
+}
+
+// dpEarlyWork solves EARLYWORK on m machines exactly: a knapsack over the
+// multiset of machine loads capped at d (loads beyond d are
+// indistinguishable — every further unit is late), maximizing total early
+// work; late work = ΣP − early. States are canonicalized by sorting the
+// capped loads, which quotients out machine symmetry. Exact for every
+// instance; the state count is bounded by the compositions of d over m
+// machines, so the budget guard is what limits n·d·m in practice.
+func dpEarlyWork(ctx context.Context, in *problem.Instance, maxStates int64) (Result, error) {
+	n, m, d := in.N(), in.MachineCount(), in.D
+	st := &dpState{ctx: ctx, maxStates: maxStates}
+
+	enc := func(loads []int64) string {
+		s := append(make([]int64, 0, m), loads...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		b := make([]byte, 8*m)
+		for i, v := range s {
+			binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+		}
+		return string(b)
+	}
+	dec := func(key string) []int64 {
+		loads := make([]int64, m)
+		for i := range loads {
+			loads[i] = int64(binary.LittleEndian.Uint64([]byte(key[8*i : 8*i+8])))
+		}
+		return loads
+	}
+
+	layers := make([]map[string]ewNode, n+1)
+	root := enc(make([]int64, m))
+	layers[0] = map[string]ewNode{root: {slot: -1}}
+	if err := st.charge(1); err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		p := int64(in.Jobs[i].P)
+		next := make(map[string]ewNode, 2*len(layers[i]))
+		for key, node := range layers[i] {
+			loads := dec(key)
+			for k := 0; k < m; k++ {
+				add := p
+				if loads[k]+add > d {
+					add = d - loads[k]
+				}
+				nl := append(make([]int64, 0, m), loads...)
+				nl[k] += p
+				if nl[k] > d {
+					nl[k] = d
+				}
+				nk := enc(nl)
+				if v, ok := next[nk]; !ok || node.early+add > v.early {
+					next[nk] = ewNode{early: node.early + add, prev: key, slot: k}
+				}
+			}
+		}
+		if err := st.charge(len(next)); err != nil {
+			return Result{}, err
+		}
+		layers[i+1] = next
+	}
+
+	bestEarly := int64(-1)
+	bestKey := ""
+	for key, node := range layers[n] {
+		if node.early > bestEarly {
+			bestEarly = node.early
+			bestKey = key
+		}
+	}
+
+	// Walk back collecting each job's sorted-slot choice, then replay
+	// forward mapping sorted slots onto actual machine labels (ties between
+	// equal capped loads are interchangeable, so any consistent tie-break
+	// yields the same load multiset at every step).
+	slots := make([]int, n)
+	key := bestKey
+	for i := n; i >= 1; i-- {
+		node := layers[i][key]
+		slots[i-1] = node.slot
+		key = node.prev
+	}
+	segs := make([][]int, m)
+	for k := range segs {
+		segs[k] = []int{}
+	}
+	capped := make([]int64, m)
+	order := make([]int, m)
+	for i := 0; i < n; i++ {
+		for k := range order {
+			order[k] = k
+		}
+		sort.SliceStable(order, func(a, b int) bool { return capped[order[a]] < capped[order[b]] })
+		mach := order[slots[i]]
+		segs[mach] = append(segs[mach], i)
+		capped[mach] += int64(in.Jobs[i].P)
+		if capped[mach] > d {
+			capped[mach] = d
+		}
+	}
+	genome, err := in.EncodeGenome(segs)
+	if err != nil {
+		return Result{}, fmt.Errorf("exact: internal: EARLYWORK reconstruction produced a bad genome: %w", err)
+	}
+	cost := in.SumP() - bestEarly
+	if got := core.NewEvaluator(in).Cost(genome); got != cost {
+		return Result{}, fmt.Errorf("exact: internal: EARLYWORK DP cost %d disagrees with evaluator cost %d on the reconstructed genome", cost, got)
+	}
+	return Result{Cost: cost, Seq: genome, Nodes: st.nodes}, nil
+}

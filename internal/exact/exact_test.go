@@ -123,8 +123,8 @@ func TestGuards(t *testing.T) {
 		t.Error("subset accepted oversized instance")
 	}
 	restr := randomRestrictiveCDD(rng, 6)
-	if _, err := SubsetCDD(restr); err == nil {
-		t.Error("subset accepted a restrictive instance")
+	if _, err := SubsetCDD(restr); err != nil {
+		t.Errorf("subset must accept a restrictive instance since the straddler extension: %v", err)
 	}
 	ucd := problem.PaperExample(problem.UCDDCP)
 	if _, err := SubsetCDD(ucd); err == nil {
@@ -148,14 +148,36 @@ func TestSolveDispatch(t *testing.T) {
 	if got := eval.Cost(res.Seq); got != res.Cost {
 		t.Errorf("optimum %d but sequence evaluates to %d", res.Cost, got)
 	}
-	// Restrictive n=8: routes to brute.
+	// Restrictive n=8 with general weights: whichever method the
+	// dispatcher picks (DP if the draw happens to be agreeable, subset
+	// otherwise), the result must match full permutation enumeration.
 	in2 := randomRestrictiveCDD(rng, 8)
 	res2, err := Solve(in2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Nodes != 40320 {
-		t.Errorf("expected brute enumeration (8! nodes), got %d", res2.Nodes)
+	brute2, err := Brute(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cost != brute2.Cost {
+		t.Errorf("restrictive dispatch optimum %d != brute %d", res2.Cost, brute2.Cost)
+	}
+	// EARLYWORK on 3 machines beyond brute reach: must route to the DP.
+	p := make([]int, 12)
+	for i := range p {
+		p[i] = 1 + rng.Intn(6)
+	}
+	ew, err := problem.NewEarlyWork("dispatch-ew", p, 3, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := Solve(ew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ew.IsGenome(res3.Seq) {
+		t.Error("EARLYWORK dispatch returned an invalid genome")
 	}
 }
 
@@ -188,8 +210,8 @@ func TestSAReachesExactOptimum(t *testing.T) {
 
 // TestErrTooLargeSentinel: the size guards must wrap the typed sentinel
 // (so differential harnesses fail loudly with errors.Is instead of
-// hanging on an n! enumeration), while the domain rejections — wrong kind,
-// restrictive due date — must NOT claim the instance was too large.
+// hanging on an n! enumeration), while the domain rejections — wrong
+// kind — must NOT claim the instance was too large.
 func TestErrTooLargeSentinel(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	if _, err := Brute(randomUnrestrictedCDD(rng, MaxBruteN+1)); !errors.Is(err, ErrTooLarge) {
@@ -197,9 +219,6 @@ func TestErrTooLargeSentinel(t *testing.T) {
 	}
 	if _, err := SubsetCDD(randomUnrestrictedCDD(rng, MaxSubsetN+1)); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("SubsetCDD oversize: got %v, want ErrTooLarge", err)
-	}
-	if _, err := SubsetCDD(randomRestrictiveCDD(rng, 6)); errors.Is(err, ErrTooLarge) {
-		t.Errorf("restrictive rejection mislabeled as ErrTooLarge: %v", err)
 	}
 	if _, err := SubsetCDD(problem.PaperExample(problem.UCDDCP)); errors.Is(err, ErrTooLarge) {
 		t.Errorf("kind rejection mislabeled as ErrTooLarge: %v", err)

@@ -1,0 +1,143 @@
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/problem"
+)
+
+// dpFuzzInstance decodes a fuzzer payload into a small instance inside
+// the DP's provable domain: two bytes per job (processing time, base
+// weight) coupled into one of the agreeable CDD regimes or an EARLYWORK
+// knapsack. Bits of dRaw steer the due-date band (restrictive or not),
+// the machine count and a zero-weight mutation, so the fuzzer reaches
+// the straddler DP, the (0, 0)-job tie-breaking and the multi-machine
+// load encoding from the raw input alone. Returns nil when too short.
+func dpFuzzInstance(data []byte, dRaw, modeRaw uint64) *problem.Instance {
+	n := len(data) / 2
+	if n < 1 {
+		return nil
+	}
+	if n > 7 {
+		n = 7 // keeps the brute-force cross-check fast per fuzz iteration
+	}
+	p := make([]int, n)
+	w := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + int(data[2*i]%8)
+		w[i] = 1 + int(data[2*i+1]%9)
+		sum += int64(p[i])
+	}
+	d := int64(dRaw&0xffffffff) % (2*sum + 2) // both due-date bands
+
+	mode := modeRaw % 4
+	if mode == 3 {
+		machines := 1 + int((dRaw>>48)%3)
+		in, err := problem.NewEarlyWork("fuzz-ew", p, machines, d)
+		if err != nil {
+			panic(err) // valid by construction
+		}
+		in.Machines = machines
+		return in
+	}
+
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	for i := 0; i < n; i++ {
+		switch mode {
+		case 0: // common rate: every job shares one (α, β) pair
+			alpha[i], beta[i] = w[0], 1+int(data[1]%9)
+		case 1: // symmetric
+			alpha[i], beta[i] = w[i], w[i]
+		default: // proportional: β = k·α with one global k
+			alpha[i], beta[i] = w[i], (1+int(modeRaw>>8)%3)*w[i]
+		}
+	}
+	if dRaw>>32&1 == 1 {
+		// A (0, 0)-weight job sorts last on both ratios: agreeableness
+		// survives, and the DP's zero-marginal states get exercised.
+		alpha[int(dRaw>>33)%n], beta[int(dRaw>>33)%n] = 0, 0
+	}
+	in, err := problem.NewCDD("fuzz-dp", p, alpha, beta, d)
+	if err != nil {
+		panic(err) // valid by construction
+	}
+	return in
+}
+
+// FuzzExactDPVsBrute is the DP's differential fuzz target: on every
+// in-domain instance the fuzzer can construct, the pseudo-polynomial DP
+// must (a) accept — the construction is agreeable by design, so a typed
+// decline is itself a bug, (b) return a self-consistent certificate (a
+// valid genome whose evaluator cost equals the claimed optimum), and
+// (c) agree bit-for-bit with brute-force enumeration.
+func FuzzExactDPVsBrute(f *testing.F) {
+	// Restrictive straddler regime (d well under ΣP), symmetric weights.
+	f.Add([]byte{6, 7, 9, 5, 9, 5, 2, 6, 4, 4}, uint64(7), uint64(1))
+	// Unrestricted anchored regime (d past ΣP), proportional weights.
+	f.Add([]byte{3, 4, 1, 2, 8, 5, 2, 6}, uint64(60), uint64(2))
+	// Zero-weight job in the common-rate regime.
+	f.Add([]byte{5, 3, 5, 9, 5, 2, 5, 7}, uint64(1)<<32|12, uint64(0))
+	// EARLYWORK on three machines.
+	f.Add([]byte{4, 0, 2, 0, 5, 0, 1, 0, 3, 0, 6, 0}, uint64(2)<<48|9, uint64(3))
+	f.Fuzz(func(t *testing.T, data []byte, dRaw, modeRaw uint64) {
+		in := dpFuzzInstance(data, dRaw, modeRaw)
+		if in == nil {
+			t.Skip("payload too short for one job")
+		}
+		dp, err := SolveDP(in)
+		if err != nil {
+			if errors.Is(err, ErrInapplicable) || errors.Is(err, ErrTooLarge) {
+				t.Fatalf("DP declined a constructed in-domain instance: %v", err)
+			}
+			t.Fatalf("SolveDP: %v", err)
+		}
+		if !in.IsGenome(dp.Seq) {
+			t.Fatalf("certificate %v is not a valid genome of length %d", dp.Seq, in.GenomeLen())
+		}
+		if got := core.NewEvaluator(in).Cost(dp.Seq); got != dp.Cost {
+			t.Fatalf("certificate cost %d, sequence re-evaluates to %d", dp.Cost, got)
+		}
+		brute, err := Brute(in)
+		if err != nil {
+			t.Fatalf("Brute on n=%d: %v", in.GenomeLen(), err)
+		}
+		if dp.Cost != brute.Cost {
+			t.Fatalf("DP optimum %d != brute optimum %d on %s (d=%d, restrictive=%t)",
+				dp.Cost, brute.Cost, in.Name, in.D, in.Restrictive())
+		}
+	})
+}
+
+// BenchmarkExactDP times the full certificate pipeline (rolling pass,
+// winner re-run, reconstruction, self-check) on unrestricted symmetric
+// instances across the sizes the verify DP leg exercises.
+func BenchmarkExactDP(b *testing.B) {
+	for _, n := range []int{50, 200, 400} {
+		p := make([]int, n)
+		alpha := make([]int, n)
+		beta := make([]int, n)
+		var sum int64
+		for i := 0; i < n; i++ {
+			p[i] = 1 + (i*7)%20
+			alpha[i] = 1 + (i*3)%10
+			beta[i] = alpha[i]
+			sum += int64(p[i])
+		}
+		in, err := problem.NewCDD("bench-dp", p, alpha, beta, sum+10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveDP(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -52,6 +52,9 @@ const (
 	PhaseBroadcast
 	// PhasePersistent is the single launch of the persistent SA kernel.
 	PhasePersistent
+	// PhaseDP is the pseudo-polynomial dynamic program of the EXACT-DP
+	// driver (state expansion plus sequence reconstruction).
+	PhaseDP
 	numPhases
 )
 
@@ -81,6 +84,8 @@ func (p Phase) String() string {
 		return "broadcast"
 	case PhasePersistent:
 		return "persistent"
+	case PhaseDP:
+		return "dp"
 	default:
 		return "phase(?)"
 	}

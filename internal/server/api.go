@@ -9,6 +9,7 @@ import (
 
 	duedate "repro"
 	"repro/internal/core"
+	"repro/internal/exact"
 	"repro/internal/problem"
 )
 
@@ -135,6 +136,12 @@ type SolveResponse struct {
 	// result is still the valid best-so-far. Interrupted results are
 	// never cached.
 	Interrupted bool `json:"interrupted"`
+	// Optimal reports an optimality certificate: the solver proved Cost
+	// is the global optimum (only the exact EXACT-DP layer sets it, after
+	// self-checking its certificate sequence against the evaluator).
+	// Omitted — not false — for the metaheuristics, which cannot prove
+	// optimality even when they reach it.
+	Optimal bool `json:"optimal,omitempty"`
 	// Cached reports that this response was served from the result cache.
 	Cached bool `json:"cached"`
 }
@@ -165,6 +172,7 @@ func buildResponse(req *SolveRequest, opts duedate.Options, res duedate.Result) 
 		ElapsedNs:     int64(res.Elapsed),
 		SimSeconds:    res.SimSeconds,
 		Interrupted:   res.Interrupted,
+		Optimal:       res.Optimal,
 	}
 	if m := req.Instance.MachineCount(); m > 1 {
 		resp.Machines = m
@@ -253,6 +261,12 @@ const (
 	CodeNotFound = "not_found"
 	// CodeMethodNotAllowed: wrong HTTP method on a known path (405).
 	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeExactInapplicable: exact.ErrInapplicable — the EXACT-DP layer
+	// was asked for an instance outside its provable domain (422).
+	CodeExactInapplicable = "exact_inapplicable"
+	// CodeExactBudget: exact.ErrTooLarge — the instance exceeds the
+	// exact layer's enumeration limit or DP state budget (422).
+	CodeExactBudget = "exact_budget"
 	// CodeQueueFull: admission control turned the request away because
 	// the pool queue is saturated (429, with Retry-After).
 	CodeQueueFull = "queue_full"
@@ -276,6 +290,8 @@ var sentinelCodes = []struct {
 	{duedate.ErrUnsupportedPairing, http.StatusUnprocessableEntity, CodeUnsupportedPairing},
 	{problem.ErrUnknownKind, http.StatusUnprocessableEntity, CodeUnknownKind},
 	{problem.ErrMachines, http.StatusUnprocessableEntity, CodeInvalidMachines},
+	{exact.ErrInapplicable, http.StatusUnprocessableEntity, CodeExactInapplicable},
+	{exact.ErrTooLarge, http.StatusUnprocessableEntity, CodeExactBudget},
 	{duedate.ErrInvalidOptions, http.StatusBadRequest, CodeInvalidOptions},
 	{duedate.ErrInvalidSequence, http.StatusBadRequest, CodeInvalidSequence},
 	{context.Canceled, http.StatusBadRequest, CodeClientGone},

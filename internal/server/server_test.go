@@ -588,9 +588,17 @@ func TestPairingsEndpoint(t *testing.T) {
 			t.Errorf("pairing %d machines=%t, registry %t", i, got.Pairings[i].Machines, p.Machines)
 		}
 	}
-	// Every built-in driver is evaluator-backed: full kind coverage and
-	// parallel machines everywhere.
+	// Every built-in metaheuristic is evaluator-backed: full kind coverage
+	// and parallel machines everywhere. The exact layer serves its narrow
+	// declared surface instead.
 	for _, p := range got.Pairings {
+		if p.Algorithm == duedate.ExactDP {
+			if fmt.Sprint(p.Kinds) != "[CDD EARLYWORK]" || !p.Machines {
+				t.Errorf("exact pairing %v/%v declares kinds=%v machines=%t (want CDD+EARLYWORK, machines)",
+					p.Algorithm, p.Engine, p.Kinds, p.Machines)
+			}
+			continue
+		}
 		if len(p.Kinds) != 3 || !p.Machines {
 			t.Errorf("built-in pairing %v/%v declares kinds=%v machines=%t (want all three kinds, machines)",
 				p.Algorithm, p.Engine, p.Kinds, p.Machines)
@@ -747,4 +755,111 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("condition not reached within 5s")
+}
+
+// TestOptimalCertificateRoundTrip pins the optimality-certificate wire
+// contract: an EXACT-DP solve answers optimal=true through the
+// synchronous endpoint, the flag survives the result cache and the async
+// job poll, metaheuristic responses omit it, and an interrupted exact
+// solve (best-so-far, unproven) never claims it.
+func TestOptimalCertificateRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+	inst, err := duedate.NewCDDInstance("optimal-cert",
+		[]int{3, 1, 4, 2, 5, 2, 6}, []int{2, 1, 3, 2, 4, 1, 5}, []int{2, 1, 3, 2, 4, 1, 5}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SolveRequest{
+		Instance: inst, Algorithm: duedate.ExactDP, Engine: duedate.EngineCPUSerial, Seed: 3,
+	}
+	status, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("exact solve: %d %s", status, body)
+	}
+	var first SolveResponse
+	decodeInto(t, body, &first)
+	if !first.Optimal || first.Cached || first.Interrupted {
+		t.Fatalf("exact solve: optimal=%t cached=%t interrupted=%t (want certificate, fresh, complete)",
+			first.Optimal, first.Cached, first.Interrupted)
+	}
+	if _, c, err := duedate.OptimizeSequence(inst, first.Sequence); err != nil || c != first.Cost {
+		t.Fatalf("certificate cost %d dishonest (re-evaluated %d, err %v)", first.Cost, c, err)
+	}
+
+	// The certificate must survive the result cache verbatim.
+	status, body = postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("cached solve: %d %s", status, body)
+	}
+	var second SolveResponse
+	decodeInto(t, body, &second)
+	if !second.Cached || !second.Optimal {
+		t.Fatalf("cache hit: cached=%t optimal=%t (want both)", second.Cached, second.Optimal)
+	}
+
+	// And the async job poll (NoCache forces a real run through the pool).
+	jreq := req
+	jreq.NoCache = true
+	jr := submitJob(t, ts, jreq)
+	jv := waitJobTerminal(t, ts, jr.Job.ID)
+	if jv.State != JobDone || jv.Result == nil {
+		t.Fatalf("job ended %q with result %v", jv.State, jv.Result)
+	}
+	if !jv.Result.Optimal {
+		t.Fatal("async exact result lost the optimality certificate")
+	}
+	if jv.Result.Cost != first.Cost {
+		t.Fatalf("async certificate cost %d != sync %d", jv.Result.Cost, first.Cost)
+	}
+
+	// A metaheuristic on the same instance cannot prove optimality, even
+	// when it reaches the same cost: the wire field stays absent.
+	saReq := SolveRequest{
+		Instance: inst, Algorithm: duedate.SA, Engine: duedate.EngineCPUSerial,
+		Iterations: 60, Grid: 1, Block: 8, Seed: 2, TempSamples: 50,
+	}
+	status, body = postJSON(t, ts.URL+"/v1/solve", saReq)
+	if status != http.StatusOK {
+		t.Fatalf("SA solve: %d %s", status, body)
+	}
+	if bytes.Contains(body, []byte(`"optimal"`)) {
+		t.Fatalf("metaheuristic response carries an optimal field: %s", body)
+	}
+
+	// An interrupted exact run returns an honest best-so-far without the
+	// certificate (and, as an interrupted result, is never cached).
+	n := 400
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		p[i] = 1 + i%20
+		alpha[i] = 1 + i%10
+		beta[i] = alpha[i]
+		sum += int64(p[i])
+	}
+	big, err := duedate.NewCDDInstance("optimal-cert-big", p, alpha, beta, sum+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ireq := SolveRequest{
+		Instance: big, Algorithm: duedate.ExactDP, Engine: duedate.EngineCPUSerial,
+		Seed: 3, TimeoutMs: 1,
+	}
+	status, body = postJSON(t, ts.URL+"/v1/solve", ireq)
+	if status != http.StatusOK {
+		t.Fatalf("interrupted exact solve: %d %s", status, body)
+	}
+	var cut SolveResponse
+	decodeInto(t, body, &cut)
+	if !cut.Interrupted {
+		t.Skip("DP finished inside the 1ms budget; nothing to assert")
+	}
+	if cut.Optimal {
+		t.Fatal("interrupted exact run claimed an optimality certificate")
+	}
+	if len(cut.Sequence) != n || !problem.IsPermutation(cut.Sequence) {
+		t.Fatalf("interrupted best-so-far is not a valid permutation")
+	}
 }

@@ -45,6 +45,7 @@ func Families() []Family {
 		{Name: "earlywork", Gen: genEarlyWork},
 		{Name: "parallel-cdd", Gen: genParallelCDD},
 		{Name: "parallel-ucddcp", Gen: genParallelUCDDCP},
+		{Name: "agreeable-cdd", Gen: genAgreeableCDD},
 	}
 }
 
@@ -371,4 +372,17 @@ func genExhaustiveSizes(rng *xrand.XORWOW, trial, _ int) *problem.Instance {
 	}
 	d := sum + int64(rng.Intn(int(sum)+1))
 	return mustCDD(fmt.Sprintf("exhaustive-sizes/t%d/n%d", trial, n), p, alpha, beta, d)
+}
+
+// genAgreeableCDD draws small instances from the agreeable domain the
+// exact-dp oracle proves optimal (coupled weight regimes, both due-date
+// bands), so the main run's oracle chain cross-checks the DP against
+// brute enumeration and the subset scan, and the drivers race a DP
+// certificate even past the enumeration limits. The large-n regime of the
+// same domain lives in the dedicated DP leg (dpleg.go).
+func genAgreeableCDD(rng *xrand.XORWOW, trial, maxN int) *problem.Instance {
+	n := size(rng, maxN)
+	restrictive := trial%2 == 1
+	name := fmt.Sprintf("agreeable-cdd/t%d/n%d", trial, n)
+	return dpAgreeableCDD(rng, name, n, trial, restrictive)
 }

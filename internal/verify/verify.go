@@ -17,11 +17,13 @@ package verify
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exact"
 	"repro/internal/problem"
 	"repro/internal/xrand"
 )
@@ -56,6 +58,15 @@ type Config struct {
 	// unrestricted band is on the total ΣP, so forcing a split never
 	// invalidates an instance. Zero keeps each family's own choice.
 	Machines int
+	// DPTrials is the number of exact-dp leg trials (large agreeable CDD
+	// instances at n ≥ 200, EARLYWORK knapsacks, and brute-checked
+	// restrictive straddler cases — see dpleg.go). Default 3; negative
+	// disables the leg.
+	DPTrials int
+	// DPMaxN is the upper bound on the DP leg's CDD instance size
+	// (default 240; the lower bound is fixed at 200, the paper-protocol
+	// regime the enumeration oracles cannot reach).
+	DPMaxN int
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +90,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeltaSteps <= 0 {
 		c.DeltaSteps = 12
+	}
+	if c.DPTrials == 0 {
+		c.DPTrials = 3
+	}
+	if c.DPMaxN < 200 {
+		c.DPMaxN = 240
 	}
 	return c
 }
@@ -121,6 +138,10 @@ type Report struct {
 	Drivers []string `json:"drivers"`
 	// Instances counts generated instances across all families.
 	Instances int `json:"instances"`
+	// DPInstances counts the instances of the exact-dp leg (tracked
+	// separately so the per-family accounting stays comparable across
+	// configurations).
+	DPInstances int `json:"dpInstances"`
 	// Checks counts executed checks by name (a "check" is one comparison
 	// or invariant evaluation, so the totals show real coverage).
 	Checks map[string]int64 `json:"checks"`
@@ -217,6 +238,15 @@ func Run(ctx context.Context, cfg Config, drivers []Driver) (*Report, error) {
 			rep.checkInstance(ctx, cfg, fam.Name, in, rng, drivers)
 		}
 	}
+
+	// The exact-dp leg: differential verification at sizes the
+	// enumeration oracles cannot reach (n into the hundreds).
+	if cfg.DPTrials > 0 {
+		if err := rep.runDPLeg(ctx, cfg, drivers); err != nil {
+			rep.Elapsed = time.Since(start)
+			return rep, err
+		}
+	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
@@ -271,6 +301,14 @@ func (r *Report) checkInstance(ctx context.Context, cfg Config, family string, i
 		st := r.DriverStats[drv.Name]
 		res, err := drv.Solve(ctx, in, cfg.Seed+uint64(st.Runs)+1)
 		if err != nil {
+			// A capability-scoped exact driver may decline an instance with
+			// a typed sentinel (outside its provable domain, or over its
+			// state budget) — that is contract behavior, not a failure. Any
+			// other error is a real discrepancy.
+			if errors.Is(err, exact.ErrInapplicable) || errors.Is(err, exact.ErrTooLarge) {
+				r.Checks["driver-skip"]++
+				continue
+			}
 			r.add(Discrepancy{
 				Check: "driver-error", Family: family, Instance: in.Name, Driver: drv.Name,
 				Detail: fmt.Sprintf("solve failed: %v", err),

@@ -53,10 +53,26 @@ func TestRunCleanWithoutDrivers(t *testing.T) {
 	if want := 4 * len(Families()); rep.Instances != want {
 		t.Fatalf("Instances = %d, want %d", rep.Instances, want)
 	}
-	for _, check := range []string{"sequence-agreement", "delta-walk", "metamorphic", "oracle-chain"} {
+	for _, check := range []string{"sequence-agreement", "delta-walk", "metamorphic", "oracle-chain", "dp-solve", "dp-oracle"} {
 		if rep.Checks[check] == 0 {
 			t.Errorf("check %q never ran", check)
 		}
+	}
+	// The DP leg's instances are accounted separately: 3 default trials ×
+	// (large CDD + EARLYWORK) + 2 brute-checked restrictive smalls.
+	if rep.DPInstances != 8 {
+		t.Errorf("DPInstances = %d, want 8", rep.DPInstances)
+	}
+}
+
+func TestRunDPLegDisabled(t *testing.T) {
+	rep, err := Run(context.Background(), Config{Trials: 1, Families: []string{"single-job"}, DPTrials: -1}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.DPInstances != 0 || rep.Checks["dp-solve"] != 0 {
+		t.Fatalf("DPTrials < 0 must disable the leg, got %d instances, %d dp-solve checks",
+			rep.DPInstances, rep.Checks["dp-solve"])
 	}
 }
 
@@ -200,11 +216,11 @@ func TestRegisteredDriversCoverEveryPairing(t *testing.T) {
 	for _, d := range drivers {
 		names[d.Name] = true
 	}
-	// 10 registry pairings + the persistent SA/GPU variant.
-	if len(drivers) != 11 {
-		t.Fatalf("RegisteredDrivers returned %d drivers (%v), want 11", len(drivers), names)
+	// 11 registry pairings + the persistent SA/GPU variant.
+	if len(drivers) != 12 {
+		t.Fatalf("RegisteredDrivers returned %d drivers (%v), want 12", len(drivers), names)
 	}
-	for _, want := range []string{"SA/gpu", "SA/gpu-persistent", "SA/cpu-serial", "DPSO/gpu", "TA/cpu-parallel", "ES/cpu-serial"} {
+	for _, want := range []string{"SA/gpu", "SA/gpu-persistent", "SA/cpu-serial", "DPSO/gpu", "TA/cpu-parallel", "ES/cpu-serial", "EXACT-DP/cpu-serial"} {
 		if !names[want] {
 			t.Errorf("driver %q missing from %v", want, names)
 		}

@@ -27,8 +27,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return TA, nil
 	case "ES":
 		return ES, nil
+	case "EXACT-DP", "EXACTDP":
+		return ExactDP, nil
 	}
-	return 0, fmt.Errorf("duedate: %w: unknown algorithm %q (want SA, DPSO, TA or ES)", ErrInvalidOptions, s)
+	return 0, fmt.Errorf("duedate: %w: unknown algorithm %q (want SA, DPSO, TA, ES or EXACT-DP)", ErrInvalidOptions, s)
 }
 
 // ParseEngine maps a name to its Engine, inverting String(): "gpu",

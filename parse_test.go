@@ -19,7 +19,7 @@ var (
 
 // allAlgorithms and allEngines enumerate every declared value for the
 // round-trip property tests.
-var allAlgorithms = []duedate.Algorithm{duedate.SA, duedate.DPSO, duedate.TA, duedate.ES}
+var allAlgorithms = []duedate.Algorithm{duedate.SA, duedate.DPSO, duedate.TA, duedate.ES, duedate.ExactDP}
 var allEngines = []duedate.Engine{duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial}
 
 // TestParseRoundTripsString: Parse∘String must be the identity for every
@@ -115,8 +115,8 @@ func TestFlagValueSet(t *testing.T) {
 // algorithm then engine; every pairing's names round-trip through parse.
 func TestPairingsEnumeratesRegistry(t *testing.T) {
 	ps := duedate.Pairings()
-	if len(ps) != 10 {
-		t.Fatalf("Pairings() returned %d combos, want 10: %v", len(ps), ps)
+	if len(ps) != 11 {
+		t.Fatalf("Pairings() returned %d combos, want 11: %v", len(ps), ps)
 	}
 	for i := 1; i < len(ps); i++ {
 		prev, cur := ps[i-1], ps[i]
@@ -128,8 +128,9 @@ func TestPairingsEnumeratesRegistry(t *testing.T) {
 	want := map[duedate.Algorithm][]duedate.Engine{
 		duedate.SA:   {duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial},
 		duedate.DPSO: {duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial},
-		duedate.TA:   {duedate.EngineCPUParallel, duedate.EngineCPUSerial},
-		duedate.ES:   {duedate.EngineCPUParallel, duedate.EngineCPUSerial},
+		duedate.TA:      {duedate.EngineCPUParallel, duedate.EngineCPUSerial},
+		duedate.ES:      {duedate.EngineCPUParallel, duedate.EngineCPUSerial},
+		duedate.ExactDP: {duedate.EngineCPUSerial},
 	}
 	have := map[duedate.Algorithm]map[duedate.Engine]bool{}
 	for _, p := range ps {
@@ -151,10 +152,19 @@ func TestPairingsEnumeratesRegistry(t *testing.T) {
 			}
 		}
 	}
-	// Every built-in driver is evaluator-backed, so each pairing declares
-	// the full capability surface: all three problem kinds and parallel
-	// machines. The Kinds slice is a private copy.
+	// Every metaheuristic driver is evaluator-backed, so those pairings
+	// declare the full capability surface: all three problem kinds and
+	// parallel machines. The exact layer declares its narrow provable
+	// surface — the two kinds it has a DP for. The Kinds slice is a
+	// private copy.
 	for _, p := range ps {
+		if p.Algorithm == duedate.ExactDP {
+			if len(p.Kinds) != 2 || p.Kinds[0] != duedate.CDD || p.Kinds[1] != duedate.EARLYWORK || !p.Machines {
+				t.Errorf("pairing %v/%v declares kinds=%v machines=%t (want CDD+EARLYWORK, machines)",
+					p.Algorithm, p.Engine, p.Kinds, p.Machines)
+			}
+			continue
+		}
 		if len(p.Kinds) != 3 || !p.Machines {
 			t.Errorf("pairing %v/%v declares kinds=%v machines=%t (want all three kinds, machines)",
 				p.Algorithm, p.Engine, p.Kinds, p.Machines)

@@ -42,6 +42,12 @@ const (
 	TA
 	// ES is a (μ+λ) Evolution Strategy (CPU baseline family of [18]).
 	ES
+	// ExactDP is the pseudo-polynomial exact layer (internal/exact
+	// SolveDP): not a metaheuristic — it returns a proven optimum with
+	// Result.Optimal set, or a typed error when the instance is outside
+	// its domain or state budget. Supports single-machine agreeable CDD
+	// and EARLYWORK on any machine count, on the cpu-serial engine only.
+	ExactDP
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +61,8 @@ func (a Algorithm) String() string {
 		return "TA"
 	case ES:
 		return "ES"
+	case ExactDP:
+		return "EXACT-DP"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -283,7 +291,8 @@ type Pairing struct {
 	Algorithm Algorithm
 	Engine    Engine
 	// Kinds lists the problem kinds the driver evaluates (every built-in
-	// driver supports all three).
+	// metaheuristic supports all three; the exact EXACT-DP layer declares
+	// only the kinds it has a dynamic program for).
 	Kinds []Kind
 	// Machines reports parallel-machine (Instance.Machines > 1)
 	// delimiter-genome support.
