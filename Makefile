@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hotpath experiments examples clean verify-diff fuzz serve docs-lint server-smoke jobs-smoke serve-allocs
+.PHONY: all build vet test race cover bench bench-hotpath experiments examples clean verify-diff fuzz serve docs-lint server-smoke jobs-smoke serve-allocs autocal-smoke
 
 all: build vet test
 
@@ -54,15 +54,25 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchEvaluator$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzExactDPVsBrute$$' -fuzztime $(FUZZTIME) ./internal/exact
 	$(GO) test -run '^$$' -fuzz '^FuzzSolveFacade$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzAutoPick$$' -fuzztime $(FUZZTIME) ./internal/auto
 
 # Run the batch-solving daemon locally on its default address (:8337).
 serve:
 	$(GO) run ./cmd/duedated
 
 # Exported-documentation check over every package (revive/golint-style
-# exported rule, stdlib-only). Fails on any missing doc comment.
+# exported rule, stdlib-only), plus example coverage on the facade: every
+# exported top-level facade function must have a runnable godoc example.
+# Fails on any missing doc comment or example.
 docs-lint:
 	$(GO) run ./cmd/docslint . ./cmd/* ./examples/* ./internal/*
+	$(GO) run ./cmd/docslint -examples .
+
+# Calibration pipeline smoke test: tiny autocal sweep into a temp file,
+# bit-identical Marshal round-trip, and an end-to-end AUTO solve that
+# must route through the exact DP gate with an optimality certificate.
+autocal-smoke:
+	$(GO) run ./cmd/autocal -smoke
 
 # Serve-path allocation guard: benchmark the steady-state POST /v1/solve
 # and /v1/batch paths and fail if allocs/op exceeds the checked-in

@@ -1,0 +1,309 @@
+package duedate_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	duedate "repro"
+	"repro/internal/auto"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/problem"
+)
+
+// agreeableCDD builds an n-job CDD instance with symmetric (agreeable)
+// weights so the exact DP applies; d is unrestricted.
+func agreeableCDD(t *testing.T, n int) *duedate.Instance {
+	t.Helper()
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := range p {
+		p[i] = 1 + (i*7)%13
+		alpha[i] = 1 + (i*5)%7
+		beta[i] = alpha[i]
+		sum += int64(p[i])
+	}
+	in, err := duedate.NewCDDInstance("auto-test-agreeable", p, alpha, beta, sum+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// asymmetricCDD builds an n-job CDD instance whose weights defeat every
+// agreeable order, so the DP route declines and AUTO must model-route.
+func asymmetricCDD(t *testing.T, n int) *duedate.Instance {
+	t.Helper()
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := range p {
+		p[i] = 1 + (i*11)%17
+		alpha[i] = 1 + (i*3)%9
+		beta[i] = 1 + ((i+4)*5)%11
+		sum += int64(p[i])
+	}
+	in, err := duedate.NewCDDInstance("auto-test-asymmetric", p, alpha, beta, sum*6/10+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestKnownPairingsRegistered pins the contract between the calibration
+// layer and the registry: every pairing the picker may return must be
+// live in Pairings(), and the registry's static pairings (minus AUTO)
+// must all be reachable by a calibration table.
+func TestKnownPairingsRegistered(t *testing.T) {
+	live := map[string]bool{}
+	for _, p := range duedate.Pairings() {
+		live[p.Algorithm.String()+"/"+p.Engine.String()] = true
+	}
+	for pairing := range auto.KnownPairings {
+		if !live[pairing] {
+			t.Errorf("auto.KnownPairings lists %q, which is not in the live registry %v", pairing, live)
+		}
+	}
+	for pairing := range live {
+		if pairing == "AUTO/cpu-parallel" {
+			continue // the meta-driver never recurses into itself
+		}
+		if !auto.KnownPairings[pairing] {
+			t.Errorf("registered pairing %q missing from auto.KnownPairings", pairing)
+		}
+	}
+}
+
+// TestAutoModelModeBitIdentical is the dispatch-passthrough contract:
+// with no deadline, AUTO's result is bit-identical to invoking the
+// calibration's picked pairing directly with the same options and seed.
+func TestAutoModelModeBitIdentical(t *testing.T) {
+	in := asymmetricCDD(t, 24)
+	dec := auto.Default().Pick(in.Kind, in.N(), in.MachineCount())
+	if dec.AttemptDP {
+		// Gates route the shape to the DP, but the asymmetric weights make
+		// it decline into model mode — the comparison below still holds.
+		if _, err := exact.SolveDP(in); err == nil {
+			t.Fatal("test instance unexpectedly DP-solvable; bit-identity vs the static pairing would not be exercised")
+		}
+	}
+	base := duedate.Options{Iterations: 80, Grid: 2, Block: 16, TempSamples: 60, Seed: 5}
+
+	ao := base
+	ao.Algorithm = duedate.Auto
+	ares, err := duedate.Solve(in, ao)
+	if err != nil {
+		t.Fatalf("AUTO solve: %v", err)
+	}
+
+	alg, err := duedate.ParseAlgorithm(dec.Choice.Algorithm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := duedate.ParseEngine(dec.Choice.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := base
+	so.Algorithm, so.Engine = alg, eng
+	sres, err := duedate.Solve(in, so)
+	if err != nil {
+		t.Fatalf("static %s solve: %v", dec.Choice.Pairing(), err)
+	}
+
+	if ares.BestCost != sres.BestCost {
+		t.Fatalf("AUTO cost %d != picked pairing %s cost %d (seed/option passthrough broke)",
+			ares.BestCost, dec.Choice.Pairing(), sres.BestCost)
+	}
+	if len(ares.BestSeq) != len(sres.BestSeq) {
+		t.Fatalf("sequence lengths differ: %d vs %d", len(ares.BestSeq), len(sres.BestSeq))
+	}
+	for i := range ares.BestSeq {
+		if ares.BestSeq[i] != sres.BestSeq[i] {
+			t.Fatalf("AUTO sequence diverges from the picked pairing at %d: %v vs %v", i, ares.BestSeq, sres.BestSeq)
+		}
+	}
+	if ares.Iterations != sres.Iterations || ares.Evaluations != sres.Evaluations {
+		t.Fatalf("AUTO accounting diverges: iters %d/%d evals %d/%d",
+			ares.Iterations, sres.Iterations, ares.Evaluations, sres.Evaluations)
+	}
+}
+
+// TestAutoDPCertificate pins the free-certificate route: a DP-eligible
+// agreeable small must come back Optimal at exactly the DP optimum, with
+// the pick recorded in Metrics.
+func TestAutoDPCertificate(t *testing.T) {
+	in := agreeableCDD(t, 20)
+	dp, err := exact.SolveDP(in)
+	if err != nil {
+		t.Fatalf("DP oracle on the agreeable instance: %v", err)
+	}
+	res, err := duedate.Solve(in, duedate.Options{Algorithm: duedate.Auto, Seed: 3, Metrics: duedate.MetricsCounters})
+	if err != nil {
+		t.Fatalf("AUTO solve: %v", err)
+	}
+	if !res.Optimal {
+		t.Fatalf("AUTO skipped the DP certificate on a DP-eligible instance (cost %d)", res.BestCost)
+	}
+	if res.BestCost != dp.Cost {
+		t.Fatalf("AUTO certificate cost %d != DP optimum %d", res.BestCost, dp.Cost)
+	}
+	if res.Metrics == nil || res.Metrics.AutoPick != "EXACT-DP/cpu-serial" {
+		t.Fatalf("Metrics.AutoPick = %+v, want the EXACT-DP route recorded", res.Metrics)
+	}
+	if res.Metrics.RaceReason != "dp-certificate" {
+		t.Fatalf("Metrics.RaceReason = %q, want dp-certificate", res.Metrics.RaceReason)
+	}
+}
+
+// TestAutoRaceSmoke runs a deadline-gated race end to end and checks the
+// result contract: honest feasible best, Interrupted always set (races
+// are wall-clock-dependent), and the race attribution in Metrics.
+func TestAutoRaceSmoke(t *testing.T) {
+	in := asymmetricCDD(t, 40)
+	res, err := duedate.Solve(in, duedate.Options{
+		Algorithm: duedate.Auto,
+		Seed:      9,
+		Deadline:  time.Now().Add(300 * time.Millisecond),
+		Metrics:   duedate.MetricsCounters,
+	})
+	if err != nil {
+		t.Fatalf("AUTO race: %v", err)
+	}
+	if !res.Interrupted {
+		t.Fatal("race result must report Interrupted=true (wall-clock-dependent, cache-ineligible)")
+	}
+	if !problem.IsPermutation(res.BestSeq) {
+		t.Fatalf("race best %v is not a permutation", res.BestSeq)
+	}
+	if honest := core.NewEvaluator(in).Cost(res.BestSeq); honest != res.BestCost {
+		t.Fatalf("race reported cost %d, sequence re-evaluates to %d", res.BestCost, honest)
+	}
+	if res.Metrics == nil {
+		t.Fatal("race dropped the metrics envelope")
+	}
+	if len(res.Metrics.RaceCandidates) < 2 {
+		t.Fatalf("RaceCandidates = %v, want the raced set", res.Metrics.RaceCandidates)
+	}
+	if res.Metrics.RaceWinner == "" || res.Metrics.AutoPick != res.Metrics.RaceWinner {
+		t.Fatalf("race attribution inconsistent: pick %q winner %q", res.Metrics.AutoPick, res.Metrics.RaceWinner)
+	}
+	switch res.Metrics.RaceReason {
+	case "leader-at-checkpoint", "best-at-deadline":
+	default:
+		t.Fatalf("RaceReason = %q, want a race verdict", res.Metrics.RaceReason)
+	}
+}
+
+// TestAutoRaceCancelMidRace is the racing cancellation contract: a
+// caller context cancelled mid-race must promptly yield an honest
+// Interrupted best-so-far from the leading candidate, not an error and
+// not a wait for the full deadline. Run under -race this also proves the
+// per-lane progress plumbing is race-clean.
+func TestAutoRaceCancelMidRace(t *testing.T) {
+	in := asymmetricCDD(t, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := duedate.SolveContext(ctx, in, duedate.Options{
+		Algorithm: duedate.Auto,
+		Seed:      11,
+		Deadline:  time.Now().Add(30 * time.Second), // far away: cancel must win
+		Metrics:   duedate.MetricsCounters,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("cancelled race returned an error instead of best-so-far: %v", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled race took %v; the cancellation did not propagate to the lanes", elapsed)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled race must report Interrupted=true")
+	}
+	if !problem.IsPermutation(res.BestSeq) {
+		t.Fatalf("cancelled race best %v is not a permutation", res.BestSeq)
+	}
+	if honest := core.NewEvaluator(in).Cost(res.BestSeq); honest != res.BestCost {
+		t.Fatalf("cancelled race reported cost %d, sequence re-evaluates to %d", res.BestCost, honest)
+	}
+	if res.Metrics == nil || len(res.Metrics.RaceCandidates) < 2 {
+		t.Fatalf("cancelled race lost its attribution: %+v", res.Metrics)
+	}
+}
+
+// TestAutoRaceProgressMonotone subscribes a Progress callback to a race
+// and requires the forwarded ensemble-best stream to be strictly
+// improving (the per-lane forwarding must serialize and filter).
+func TestAutoRaceProgressMonotone(t *testing.T) {
+	in := asymmetricCDD(t, 60)
+	var costs []int64
+	_, err := duedate.Solve(in, duedate.Options{
+		Algorithm: duedate.Auto,
+		Seed:      13,
+		Deadline:  time.Now().Add(250 * time.Millisecond),
+		Progress:  func(snap duedate.Snapshot) { costs = append(costs, snap.BestCost) },
+	})
+	if err != nil {
+		t.Fatalf("AUTO race: %v", err)
+	}
+	if len(costs) == 0 {
+		t.Fatal("race emitted no progress snapshots")
+	}
+	for i := 1; i < len(costs)-1; i++ {
+		if costs[i] >= costs[i-1] {
+			t.Fatalf("forwarded snapshots not strictly improving at %d: %v", i, costs)
+		}
+	}
+	// The final snapshot restates the winner and may repeat the best cost.
+	if len(costs) > 1 && costs[len(costs)-1] > costs[len(costs)-2] {
+		t.Fatalf("final snapshot regressed: %v", costs)
+	}
+}
+
+// TestAutoEngineFoldsToCanonical pins the normalization rule: AUTO on
+// any requested engine resolves to the one registered meta-driver.
+func TestAutoEngineFoldsToCanonical(t *testing.T) {
+	in := agreeableCDD(t, 10)
+	for _, eng := range []duedate.Engine{duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial} {
+		res, err := duedate.Solve(in, duedate.Options{Algorithm: duedate.Auto, Engine: eng, Seed: 2})
+		if err != nil {
+			t.Fatalf("AUTO on engine %v: %v", eng, err)
+		}
+		if !res.Optimal {
+			t.Fatalf("AUTO on engine %v missed the DP certificate", eng)
+		}
+	}
+}
+
+// TestAutoRaceSizeGuard pins the raceMaxN policy: above the guard a
+// deadline-carrying solve dispatches the model's single pick instead of
+// racing, so the whole budget funds one trajectory.
+func TestAutoRaceSizeGuard(t *testing.T) {
+	in := asymmetricCDD(t, 600)
+	res, err := duedate.Solve(in, duedate.Options{
+		Algorithm: duedate.Auto,
+		Seed:      9,
+		Deadline:  time.Now().Add(150 * time.Millisecond),
+		Metrics:   duedate.MetricsCounters,
+	})
+	if err != nil {
+		t.Fatalf("AUTO above race guard: %v", err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("no metrics attached")
+	}
+	if res.Metrics.RaceReason != "model-pick" {
+		t.Fatalf("raceReason %q, want model-pick (no race above raceMaxN)", res.Metrics.RaceReason)
+	}
+	if len(res.Metrics.RaceCandidates) != 0 {
+		t.Fatalf("race candidates %v recorded on a model-mode dispatch", res.Metrics.RaceCandidates)
+	}
+}

@@ -1,0 +1,450 @@
+// Command autocal fits the AUTO meta-driver's calibration table
+// (internal/auto/calibration.json) from fixed-seed sweeps: for each
+// (kind, size-bucket) it generates OR-library-style instances, runs the
+// candidate pairings under one equal iteration budget, ranks them by
+// mean best cost, and writes the winner (plus the runner-up racing set)
+// into the bucket. The output is deterministic for a fixed -seed, so the
+// checked-in table is reviewable and regenerable:
+//
+//	go run ./cmd/autocal -out internal/auto/calibration.json
+//
+// Modes:
+//
+//	-smoke   tiny sweep + self-checks for CI: the written table must
+//	         round-trip through auto.Load bit-identically, the default
+//	         gates must route an n=20 agreeable CDD to EXACT-DP, and a
+//	         real AUTO solve on that instance must return Optimal.
+//	-bench   the acceptance benchmark: 30 fixed-seed mixed instances
+//	         (n ∈ {20,100,1000} × CDD/UCDDCP/EARLYWORK) under a -budget
+//	         wall deadline, AUTO vs every static candidate pairing, with
+//	         per-instance match-or-beat accounting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	duedate "repro"
+	"repro/internal/auto"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("autocal: ")
+	var (
+		out     = flag.String("out", "internal/auto/calibration.json", "write the fitted calibration table here")
+		seed    = flag.Uint64("seed", 7, "master seed for the sweep's fixed-seed instances and solves")
+		records = flag.Int("records", 2, "instances per (kind, bucket) sample size")
+		iters   = flag.Int("iters", 150, "per-chain iteration budget of every sweep solve")
+		smoke   = flag.Bool("smoke", false, "tiny sweep + round-trip and DP-route self-checks (CI mode)")
+		bench   = flag.Bool("bench", false, "run the fixed-seed AUTO-vs-statics acceptance benchmark instead of a sweep")
+		budget  = flag.Duration("budget", 200*time.Millisecond, "per-solve wall budget of the -bench mode")
+	)
+	flag.Parse()
+
+	switch {
+	case *smoke:
+		if err := runSmoke(*seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("autocal smoke: PASS")
+	case *bench:
+		if err := runBench(*seed, *budget); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		cal, err := runSweep(sweepSpec{seed: *seed, records: *records, iters: *iters})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeCalibration(cal, *out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("calibration written to %s (%d buckets)\n", *out, len(cal.Buckets))
+	}
+}
+
+// sweepSpec parameterizes one calibration fit.
+type sweepSpec struct {
+	seed    uint64
+	records int
+	iters   int
+	tiny    bool // -smoke: one small bucket per kind, two candidates
+}
+
+// candidatePool is the configuration space the sweep ranks. The pool
+// deliberately sticks to deployable CPU engines (the simulated GPU's
+// wall-clock cost is not representative of real deployments); the
+// racing layer happily accepts any registered pairing the table names.
+func candidatePool(tiny bool) []auto.Choice {
+	if tiny {
+		return []auto.Choice{
+			{Algorithm: "SA", Engine: "cpu-parallel"},
+			{Algorithm: "DPSO", Engine: "cpu-parallel"},
+		}
+	}
+	return []auto.Choice{
+		{Algorithm: "SA", Engine: "cpu-parallel"},
+		{Algorithm: "DPSO", Engine: "cpu-parallel"},
+		{Algorithm: "TA", Engine: "cpu-parallel"},
+		{Algorithm: "ES", Engine: "cpu-parallel"},
+		{Algorithm: "SA", Engine: "cpu-serial"},
+	}
+}
+
+// bucketSpec is one (kind, bound) cell of the sweep with the sample size
+// its instances are generated at.
+type bucketSpec struct {
+	kind    duedate.Kind
+	maxN    int // 0 = open-ended tail bucket
+	sampleN int
+}
+
+func sweepBuckets(tiny bool) []bucketSpec {
+	if tiny {
+		return []bucketSpec{
+			{duedate.CDD, 64, 12},
+			{duedate.UCDDCP, 64, 12},
+			{duedate.EARLYWORK, 64, 12},
+		}
+	}
+	return []bucketSpec{
+		{duedate.CDD, 64, 40},
+		{duedate.CDD, 256, 160},
+		{duedate.CDD, 0, 500},
+		{duedate.UCDDCP, 64, 40},
+		{duedate.UCDDCP, 0, 200},
+		{duedate.EARLYWORK, 64, 40},
+		{duedate.EARLYWORK, 0, 200},
+	}
+}
+
+// instancesFor generates the bucket's fixed-seed instance sample from
+// the OR-library-style generators.
+func instancesFor(b bucketSpec, records int, seed uint64) ([]*duedate.Instance, error) {
+	switch b.kind {
+	case duedate.CDD:
+		ins, err := duedate.GenerateCDDBenchmark(b.sampleN, records, seed)
+		if err != nil {
+			return nil, err
+		}
+		// records×4 h-factor instances; every other one spans the h
+		// factors without doubling the sweep cost.
+		return everyOther(ins), nil
+	case duedate.UCDDCP:
+		return duedate.GenerateUCDDCPBenchmark(b.sampleN, records*2, seed)
+	default:
+		ins, err := duedate.GenerateEarlyWorkBenchmark(b.sampleN, 2, records, seed)
+		if err != nil {
+			return nil, err
+		}
+		return everyOther(ins), nil
+	}
+}
+
+// runSweep fits the table: per bucket, every candidate solves every
+// instance under the same iteration budget and seed; candidates are
+// ranked by mean best cost.
+func runSweep(s sweepSpec) (*auto.Calibration, error) {
+	cal := &auto.Calibration{
+		Version: auto.CalibrationVersion,
+		Source: fmt.Sprintf("autocal sweep: seed=%d records=%d iters=%d goos=%s goarch=%s",
+			s.seed, s.records, s.iters, runtime.GOOS, runtime.GOARCH),
+		DP: auto.DPGate{CDDMaxN: 400, EarlyWorkMaxN: 2000},
+	}
+	pool := candidatePool(s.tiny)
+	for _, b := range sweepBuckets(s.tiny) {
+		ins, err := instancesFor(b, s.records, s.seed)
+		if err != nil {
+			return nil, fmt.Errorf("bucket %v/%d: %w", b.kind, b.maxN, err)
+		}
+		type ranked struct {
+			choice auto.Choice
+			mean   float64
+		}
+		var ranks []ranked
+		for _, c := range pool {
+			var total float64
+			solved := 0
+			for _, in := range ins {
+				opts, err := optionsFor(c, s.iters, s.seed)
+				if err != nil {
+					return nil, err
+				}
+				res, err := duedate.Solve(in, opts)
+				if err != nil {
+					return nil, fmt.Errorf("bucket %v/%d %s on %s: %w", b.kind, b.maxN, c.Pairing(), in.Name, err)
+				}
+				total += float64(res.BestCost)
+				solved++
+			}
+			if solved == 0 {
+				continue
+			}
+			ranks = append(ranks, ranked{choice: c, mean: total / float64(solved)})
+		}
+		if len(ranks) == 0 {
+			continue
+		}
+		// Stable selection sort by mean (pool order breaks ties).
+		for i := 0; i < len(ranks); i++ {
+			best := i
+			for j := i + 1; j < len(ranks); j++ {
+				if ranks[j].mean < ranks[best].mean {
+					best = j
+				}
+			}
+			ranks[i], ranks[best] = ranks[best], ranks[i]
+		}
+		bucket := auto.Bucket{
+			Kind:     b.kind.String(),
+			MaxN:     b.maxN,
+			Choice:   ranks[0].choice,
+			MeanCost: ranks[0].mean,
+			Trials:   len(ins),
+		}
+		for _, r := range ranks[1:] {
+			if len(bucket.Candidates) >= 2 {
+				break
+			}
+			bucket.Candidates = append(bucket.Candidates, r.choice)
+		}
+		cal.Buckets = append(cal.Buckets, bucket)
+		log.Printf("bucket %-9s maxN=%-4d n=%-4d → %-18s mean=%.1f (%d instances, %d candidates)",
+			b.kind, b.maxN, b.sampleN, ranks[0].choice.Pairing(), ranks[0].mean, len(ins), len(ranks))
+	}
+	return cal, nil
+}
+
+// optionsFor translates a sweep candidate into facade options with the
+// shared equal budget.
+func optionsFor(c auto.Choice, iters int, seed uint64) (duedate.Options, error) {
+	alg, err := duedate.ParseAlgorithm(c.Algorithm)
+	if err != nil {
+		return duedate.Options{}, err
+	}
+	eng, err := duedate.ParseEngine(c.Engine)
+	if err != nil {
+		return duedate.Options{}, err
+	}
+	return duedate.Options{
+		Algorithm: alg, Engine: eng,
+		Iterations: iters, Grid: 2, Block: 16, TempSamples: 100, Seed: seed,
+	}, nil
+}
+
+// writeCalibration marshals the table in the checked-in format.
+func writeCalibration(cal *auto.Calibration, path string) error {
+	blob, err := cal.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// runSmoke is the CI self-check: a tiny sweep round-trips through the
+// loader bit-identically, the default gates DP-route an n=20 agreeable
+// CDD, and a real AUTO solve on it returns a machine-checked optimality
+// certificate.
+func runSmoke(seed uint64) error {
+	cal, err := runSweep(sweepSpec{seed: seed, records: 1, iters: 40, tiny: true})
+	if err != nil {
+		return fmt.Errorf("tiny sweep: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "autocal-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "calibration.json")
+	if err := writeCalibration(cal, path); err != nil {
+		return err
+	}
+	loaded, err := auto.Load(path)
+	if err != nil {
+		return fmt.Errorf("round-trip load: %w", err)
+	}
+	want, _ := cal.Marshal()
+	got, _ := loaded.Marshal()
+	if string(want) != string(got) {
+		return fmt.Errorf("round-trip not bit-identical:\nwrote:  %s\nloaded: %s", want, got)
+	}
+	fmt.Printf("round-trip: %d buckets, %d bytes, bit-identical\n", len(loaded.Buckets), len(want))
+
+	// Gate check: the default table must route tiny agreeable CDD
+	// instances straight to the DP.
+	if dec := auto.Default().Pick(duedate.CDD, 20, 1); !dec.AttemptDP {
+		return fmt.Errorf("default calibration does not DP-route CDD n=20 m=1 (gates: %+v)", auto.Default().DP)
+	}
+
+	// End-to-end certificate check on an n=20 agreeable (symmetric
+	// weight) unrestricted instance.
+	n := 20
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := range p {
+		p[i] = 1 + (i*7)%13
+		alpha[i] = 1 + (i*5)%7
+		beta[i] = alpha[i]
+		sum += int64(p[i])
+	}
+	in, err := duedate.NewCDDInstance("autocal-smoke-n20", p, alpha, beta, sum+10)
+	if err != nil {
+		return err
+	}
+	res, err := duedate.SolveContext(context.Background(), in, duedate.Options{Algorithm: duedate.Auto, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("AUTO solve: %w", err)
+	}
+	if !res.Optimal {
+		return fmt.Errorf("AUTO on agreeable n=20 CDD did not return an optimality certificate (cost %d)", res.BestCost)
+	}
+	if res.Metrics != nil && res.Metrics.AutoPick != "EXACT-DP/cpu-serial" {
+		return fmt.Errorf("AUTO picked %q, want the EXACT-DP route", res.Metrics.AutoPick)
+	}
+	fmt.Printf("AUTO DP route: optimal cost %d on n=20 agreeable CDD\n", res.BestCost)
+	return nil
+}
+
+// runBench is the fixed-seed acceptance benchmark: 30 mixed instances
+// under a per-solve wall budget, AUTO against every static candidate
+// pairing. It reports two bars: how often AUTO matches or beats the
+// per-instance best static cost (the oracle portfolio — a strictly
+// harder bar no single pairing can meet), and how often it matches or
+// beats the single static pairing with the best overall mean.
+func runBench(seed uint64, budget time.Duration) error {
+	instances, err := benchInstances(seed)
+	if err != nil {
+		return err
+	}
+	statics := candidatePool(false)
+	names := []string{"AUTO"}
+	for _, c := range statics {
+		names = append(names, c.Pairing())
+	}
+	costs := map[string][]float64{}
+	matchOrBeat, autoOptimal := 0, 0
+	for _, in := range instances {
+		row := map[string]int64{}
+		for _, c := range statics {
+			opts, err := optionsFor(c, 0, seed)
+			if err != nil {
+				return err
+			}
+			opts.Deadline = time.Now().Add(budget)
+			res, err := duedate.Solve(in, opts)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", c.Pairing(), in.Name, err)
+			}
+			row[c.Pairing()] = res.BestCost
+			costs[c.Pairing()] = append(costs[c.Pairing()], float64(res.BestCost))
+		}
+		ares, err := duedate.Solve(in, duedate.Options{
+			Algorithm: duedate.Auto, Seed: seed, Grid: 2, Block: 16, TempSamples: 100,
+			Deadline: time.Now().Add(budget),
+		})
+		if err != nil {
+			return fmt.Errorf("AUTO on %s: %w", in.Name, err)
+		}
+		costs["AUTO"] = append(costs["AUTO"], float64(ares.BestCost))
+		bestStatic := int64(-1)
+		for _, v := range row {
+			if bestStatic < 0 || v < bestStatic {
+				bestStatic = v
+			}
+		}
+		ok := ares.BestCost <= bestStatic
+		if ok {
+			matchOrBeat++
+		}
+		if ares.Optimal {
+			autoOptimal++
+		}
+		fmt.Printf("%-28s auto=%-8d beststatic=%-8d %s%s\n",
+			in.Name, ares.BestCost, bestStatic, mark(ok), optmark(ares.Optimal))
+	}
+	fmt.Printf("\nAUTO matched-or-beat the per-instance best static on %d/%d instances (%.0f%%), %d optimality certificates\n",
+		matchOrBeat, len(instances), 100*float64(matchOrBeat)/float64(len(instances)), autoOptimal)
+	means := map[string]float64{}
+	for _, name := range names {
+		var total float64
+		for _, v := range costs[name] {
+			total += v
+		}
+		means[name] = total / float64(len(costs[name]))
+		fmt.Printf("  mean cost %-18s %.1f\n", name, means[name])
+	}
+	bestMean := ""
+	for _, name := range names[1:] {
+		if bestMean == "" || means[name] < means[bestMean] {
+			bestMean = name
+		}
+	}
+	vsBest := 0
+	for i := range costs["AUTO"] {
+		if costs["AUTO"][i] <= costs[bestMean][i] {
+			vsBest++
+		}
+	}
+	fmt.Printf("\nAUTO matched-or-beat the best-mean static pairing (%s) on %d/%d instances (%.0f%%)\n",
+		bestMean, vsBest, len(instances), 100*float64(vsBest)/float64(len(instances)))
+	return nil
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "≤"
+	}
+	return ">"
+}
+
+func optmark(opt bool) string {
+	if opt {
+		return "  [optimal]"
+	}
+	return ""
+}
+
+// benchInstances builds the 30-instance fixed-seed mix: per n in
+// {20, 100, 1000}, four CDD records, three UCDDCP records and three
+// 2-machine EARLYWORK records.
+func benchInstances(seed uint64) ([]*duedate.Instance, error) {
+	var out []*duedate.Instance
+	for _, n := range []int{20, 100, 1000} {
+		cdd, err := duedate.GenerateCDDBenchmark(n, 1, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cdd...) // 4 h-factors
+		uc, err := duedate.GenerateUCDDCPBenchmark(n, 3, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, uc...)
+		ew, err := duedate.GenerateEarlyWorkBenchmark(n, 2, 1, seed)
+		if err != nil {
+			return nil, err
+		}
+		if len(ew) > 3 {
+			ew = ew[:3]
+		}
+		out = append(out, ew...)
+	}
+	return out, nil
+}
+
+func everyOther[T any](s []T) []T {
+	out := make([]T, 0, (len(s)+1)/2)
+	for i := 0; i < len(s); i += 2 {
+		out = append(out, s[i])
+	}
+	return out
+}

@@ -7,10 +7,18 @@
 // line as file:line: message and the exit status is 1 when any exist, so
 // the CI docs-lint job fails on missing docs.
 //
+// With -examples the check switches to example coverage: every exported
+// top-level function of the listed packages must have a runnable
+// Example<Name> godoc function (an Example<Name>_suffix variant
+// counts) in the package's test files. The repository applies it to the
+// facade only, where examples are the primary entry-point documentation.
+//
 //	docslint . ./internal/server
+//	docslint -examples .
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -25,13 +33,21 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("docslint: ")
-	dirs := os.Args[1:]
+	examples := flag.Bool("examples", false, "require an Example<Name> godoc function for every exported top-level function instead of checking doc comments")
+	flag.Parse()
+	dirs := flag.Args()
 	if len(dirs) == 0 {
 		dirs = []string{"."}
 	}
+	lint := lintDir
+	what := "missing-documentation"
+	if *examples {
+		lint = lintExamples
+		what = "missing-example"
+	}
 	var findings []string
 	for _, dir := range dirs {
-		f, err := lintDir(dir)
+		f, err := lint(dir)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -42,8 +58,56 @@ func main() {
 		fmt.Println(f)
 	}
 	if len(findings) > 0 {
-		log.Fatalf("%d missing-documentation finding(s)", len(findings))
+		log.Fatalf("%d %s finding(s)", len(findings), what)
 	}
+}
+
+// lintExamples parses one package directory including its test files and
+// reports every exported top-level function without an Example<Name>
+// godoc function. The example may live in the package itself or its
+// external _test package, and suffix variants (Example<Name>_race) cover
+// their base name.
+func lintExamples(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	exampled := map[string]bool{}
+	type exported struct {
+		name string
+		pos  token.Pos
+	}
+	var funcs []exported
+	for _, pkg := range pkgs {
+		for fname, file := range pkg.Files {
+			isTest := strings.HasSuffix(fname, "_test.go")
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil {
+					continue
+				}
+				if isTest {
+					if base, ok := strings.CutPrefix(fd.Name.Name, "Example"); ok {
+						base, _, _ = strings.Cut(base, "_")
+						exampled[base] = true
+					}
+					continue
+				}
+				if fd.Name.IsExported() {
+					funcs = append(funcs, exported{fd.Name.Name, fd.Pos()})
+				}
+			}
+		}
+	}
+	var findings []string
+	for _, f := range funcs {
+		if !exampled[f.name] {
+			findings = append(findings, fmt.Sprintf("%s: exported function %s has no Example%s godoc function",
+				fset.Position(f.pos), f.name, f.name))
+		}
+	}
+	return findings, nil
 }
 
 // lintDir parses one package directory (tests excluded) and returns its

@@ -50,8 +50,14 @@ func main() {
 		jobGrace   = flag.Duration("job-grace", 5*time.Second, "drain grace for running async jobs before cancellation (negative cancels immediately)")
 		metrics    = flag.String("metrics", "counters", "solver instrumentation aggregated into /metrics: counters or kernels")
 		pprofAddr  = flag.String("pprof", "", "expose net/http/pprof on this side address (e.g. localhost:6060; empty disables)")
+		algorithm  = flag.String("algorithm", "SA", "default algorithm for requests without one: SA, DPSO, TA, ES, EXACT-DP or AUTO (explicit request algorithms always win)")
 	)
 	flag.Parse()
+
+	defAlg, err := duedate.ParseAlgorithm(*algorithm)
+	if err != nil {
+		log.Fatalf("-algorithm: %v", err)
+	}
 
 	level := duedate.MetricsCounters
 	switch *metrics {
@@ -97,15 +103,16 @@ func main() {
 		queueDepth = -1
 	}
 	cfg := server.Config{
-		Pool:           *pool,
-		QueueDepth:     queueDepth,
-		CacheSize:      *cache,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		Metrics:        level,
-		Jobs:           *jobs,
-		JobTTL:         *jobTTL,
-		JobGrace:       *jobGrace,
+		Pool:             *pool,
+		QueueDepth:       queueDepth,
+		CacheSize:        *cache,
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
+		Metrics:          level,
+		Jobs:             *jobs,
+		JobTTL:           *jobTTL,
+		JobGrace:         *jobGrace,
+		DefaultAlgorithm: defAlg,
 	}
 	if err := server.Run(ctx, l, cfg, *grace); err != nil {
 		log.Fatal(err)

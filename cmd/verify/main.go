@@ -29,21 +29,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("verify: ")
 	var (
-		trials    = flag.Int("trials", 25, "instances per generator family")
-		seed      = flag.Uint64("seed", 1, "master seed; a fixed seed replays the exact run")
-		maxN      = flag.Int("maxn", 8, "job-count bound for size-randomized families")
-		seqs      = flag.Int("seqs", 4, "random sequences cross-checked per instance")
-		families  = flag.String("families", "", "comma-separated family filter (default: all)")
-		machines  = flag.Int("machines", 0, "force every generated instance onto this many machines (0: family default)")
-		dpTrials  = flag.Int("dp-trials", 3, "exact-dp leg trials at n in the hundreds (negative: disable the leg)")
-		dpMaxN    = flag.Int("dp-maxn", 240, "upper job-count bound for the exact-dp leg's large CDD instances (lower bound 200)")
-		noDrivers = flag.Bool("no-drivers", false, "skip the engine drivers (evaluator/oracle layers only)")
-		iters     = flag.Int("iters", 60, "driver iterations per chain")
-		grid      = flag.Int("grid", 1, "driver ensemble grid")
-		block     = flag.Int("block", 8, "driver ensemble block")
-		out       = flag.String("out", "", "write the full JSON report to this file")
-		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole run")
-		maxPrint  = flag.Int("max-print", 10, "discrepancies echoed to stderr (all go to -out)")
+		trials     = flag.Int("trials", 25, "instances per generator family")
+		seed       = flag.Uint64("seed", 1, "master seed; a fixed seed replays the exact run")
+		maxN       = flag.Int("maxn", 8, "job-count bound for size-randomized families")
+		seqs       = flag.Int("seqs", 4, "random sequences cross-checked per instance")
+		families   = flag.String("families", "", "comma-separated family filter (default: all)")
+		machines   = flag.Int("machines", 0, "force every generated instance onto this many machines (0: family default)")
+		dpTrials   = flag.Int("dp-trials", 3, "exact-dp leg trials at n in the hundreds (negative: disable the leg)")
+		dpMaxN     = flag.Int("dp-maxn", 240, "upper job-count bound for the exact-dp leg's large CDD instances (lower bound 200)")
+		autoTrials = flag.Int("auto-trials", 3, "AUTO portfolio-leg trials (equal-budget race vs every static pairing; negative: disable)")
+		noDrivers  = flag.Bool("no-drivers", false, "skip the engine drivers (evaluator/oracle layers only)")
+		iters      = flag.Int("iters", 60, "driver iterations per chain")
+		grid       = flag.Int("grid", 1, "driver ensemble grid")
+		block      = flag.Int("block", 8, "driver ensemble block")
+		out        = flag.String("out", "", "write the full JSON report to this file")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run")
+		maxPrint   = flag.Int("max-print", 10, "discrepancies echoed to stderr (all go to -out)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		Machines:   *machines,
 		DPTrials:   *dpTrials,
 		DPMaxN:     *dpMaxN,
+		AutoTrials: *autoTrials,
 	}
 	if *families != "" {
 		cfg.Families = strings.Split(*families, ",")

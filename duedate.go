@@ -88,6 +88,19 @@ type Snapshot = core.Snapshot
 // every ensemble-best improvement plus once before returning).
 type ProgressFunc = core.ProgressFunc
 
+// BatchEvaluator scores batches of candidate sequences against one
+// instance through the structure-of-arrays batch kernels, with costs
+// bit-identical to Cost on each row. It carries scratch buffers and is
+// not safe for concurrent use; create one per goroutine (the SoA
+// snapshot behind it can be shared via the internal/core API).
+type BatchEvaluator = core.BatchEvaluator
+
+// NewBatchEvaluator snapshots the instance into structure-of-arrays form
+// and returns a batch evaluator for it — the zero-alloc way to score
+// many candidate sequences (e.g. a population per generation) without
+// going through a full Solve.
+func NewBatchEvaluator(in *Instance) *BatchEvaluator { return core.NewBatchEvaluator(in) }
+
 // NewCDDInstance builds a validated CDD instance from parallel slices of
 // processing times and earliness/tardiness penalties.
 func NewCDDInstance(name string, p, alpha, beta []int, d int64) (*Instance, error) {

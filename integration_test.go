@@ -94,6 +94,10 @@ func TestAllEnginesAgreeWithExactOracle(t *testing.T) {
 		duedate.DPSO: {Iterations: 300, Grid: 2, Block: 16},
 		duedate.TA:   {Iterations: 300, Grid: 1, Block: 8, TempSamples: 200},
 		duedate.ES:   {Iterations: 120, Grid: 1, Block: 4},
+		// AUTO model-routes this shape (no deadline, DP declines the
+		// asymmetric weights) to its calibrated static pairing, so the SA
+		// budget shape exercises the passthrough dispatch end to end.
+		duedate.Auto: {Iterations: 300, Grid: 2, Block: 16, TempSamples: 200},
 	}
 	var opts []duedate.Options
 	for _, p := range duedate.Pairings() {

@@ -1,0 +1,263 @@
+package auto
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/problem"
+)
+
+func TestDefaultCalibrationLoads(t *testing.T) {
+	c := Default()
+	if c.Version != CalibrationVersion {
+		t.Fatalf("embedded table version %d, want %d", c.Version, CalibrationVersion)
+	}
+	if len(c.Buckets) == 0 {
+		t.Fatal("embedded table has no buckets")
+	}
+	if c.DP.CDDMaxN <= 0 || c.DP.EarlyWorkMaxN <= 0 {
+		t.Fatalf("embedded DP gates are not set: %+v", c.DP)
+	}
+	for _, b := range c.Buckets {
+		if !b.Choice.valid() {
+			t.Errorf("bucket %s/%d carries an invalid choice %+v", b.Kind, b.MaxN, b.Choice)
+		}
+		for _, cand := range b.Candidates {
+			if !cand.valid() {
+				t.Errorf("bucket %s/%d carries an invalid candidate %+v", b.Kind, b.MaxN, cand)
+			}
+		}
+	}
+}
+
+func TestPickDPGates(t *testing.T) {
+	c := Default()
+	cases := []struct {
+		kind     problem.Kind
+		n, m     int
+		wantDP   bool
+		scenario string
+	}{
+		{problem.CDD, 20, 1, true, "small single-machine CDD inside the gate"},
+		{problem.CDD, c.DP.CDDMaxN, 1, true, "CDD exactly at the gate"},
+		{problem.CDD, c.DP.CDDMaxN + 1, 1, false, "CDD just past the gate"},
+		{problem.CDD, 20, 2, false, "multi-machine CDD is outside the DP domain"},
+		{problem.EARLYWORK, 50, 3, true, "early work inside the gate at any machine count"},
+		{problem.EARLYWORK, c.DP.EarlyWorkMaxN + 1, 1, false, "early work past the gate"},
+		{problem.UCDDCP, 10, 1, false, "UCDDCP has no DP"},
+	}
+	for _, tc := range cases {
+		if got := c.Pick(tc.kind, tc.n, tc.m).AttemptDP; got != tc.wantDP {
+			t.Errorf("%s: Pick(%v, n=%d, m=%d).AttemptDP = %t, want %t",
+				tc.scenario, tc.kind, tc.n, tc.m, got, tc.wantDP)
+		}
+	}
+}
+
+func TestPickChoicesAlwaysKnown(t *testing.T) {
+	for _, kind := range []problem.Kind{problem.CDD, problem.UCDDCP, problem.EARLYWORK} {
+		for _, n := range []int{1, 10, 64, 65, 500, 5000} {
+			d := Default().Pick(kind, n, 1)
+			if !d.Choice.valid() {
+				t.Fatalf("Pick(%v, %d) returned invalid choice %+v", kind, n, d.Choice)
+			}
+			if len(d.Candidates) == 0 || d.Candidates[0].Pairing() != d.Choice.Pairing() {
+				t.Fatalf("Pick(%v, %d) candidates must lead with the choice: %+v", kind, n, d.Candidates)
+			}
+			seen := map[string]bool{}
+			for _, cand := range d.Candidates {
+				if !cand.valid() {
+					t.Fatalf("Pick(%v, %d) candidate %+v invalid", kind, n, cand)
+				}
+				if seen[cand.Pairing()] {
+					t.Fatalf("Pick(%v, %d) candidates contain duplicate %s", kind, n, cand.Pairing())
+				}
+				seen[cand.Pairing()] = true
+			}
+		}
+	}
+}
+
+// TestPickSanitizesCorruptTable feeds the picker a hostile table: every
+// corrupt row must be filtered, falling back to the built-in default,
+// and a valid row must survive untouched.
+func TestPickSanitizesCorruptTable(t *testing.T) {
+	c := &Calibration{
+		Version: CalibrationVersion,
+		Buckets: []Bucket{
+			{Kind: "CDD", MaxN: 64, Choice: Choice{Algorithm: "EVIL", Engine: "gpu"},
+				Candidates: []Choice{
+					{Algorithm: "SA", Engine: "no-such-engine"},
+					{Algorithm: "TA", Engine: "cpu-parallel", Grid: -1},
+					{Algorithm: "DPSO", Engine: "cpu-serial"}, // the one valid candidate
+				}},
+			{Kind: "UCDDCP", MaxN: 64, Choice: Choice{Algorithm: "EXACT-DP", Engine: "cpu-serial"}},
+			{Kind: "EARLYWORK", MaxN: 64, Choice: Choice{Algorithm: "ES", Engine: "cpu-parallel", Workers: 4}},
+		},
+	}
+	d := c.Pick(problem.CDD, 10, 1)
+	if d.Choice != fallback {
+		t.Fatalf("corrupt choice not replaced by fallback: %+v", d.Choice)
+	}
+	wantCands := []Choice{fallback, {Algorithm: "DPSO", Engine: "cpu-serial"}}
+	if !reflect.DeepEqual(d.Candidates, wantCands) {
+		t.Fatalf("corrupt candidates not filtered: got %+v, want %+v", d.Candidates, wantCands)
+	}
+
+	// EXACT-DP as a bucket choice is rejected (DP dispatch is gate-owned).
+	if d := c.Pick(problem.UCDDCP, 10, 1); d.Choice != fallback {
+		t.Fatalf("EXACT-DP bucket choice not rejected: %+v", d.Choice)
+	}
+
+	// A valid row passes through with its overrides intact.
+	if d := c.Pick(problem.EARLYWORK, 10, 1); d.Choice.Pairing() != "ES/cpu-parallel" || d.Choice.Workers != 4 {
+		t.Fatalf("valid row mangled: %+v", d.Choice)
+	}
+}
+
+func TestPickNilCalibrationUsesDefault(t *testing.T) {
+	var c *Calibration
+	got := c.Pick(problem.CDD, 10, 1)
+	want := Default().Pick(problem.CDD, 10, 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("nil-receiver Pick = %+v, want the default table's %+v", got, want)
+	}
+}
+
+// TestBucketSelection pins the tightest-bucket rule: smallest MaxN ≥ n
+// wins, the open-ended bucket catches the tail, and a kind whose every
+// bucket is below n still resolves to its widest bucket.
+func TestBucketSelection(t *testing.T) {
+	c := &Calibration{Version: CalibrationVersion, Buckets: []Bucket{
+		{Kind: "CDD", MaxN: 64, Choice: Choice{Algorithm: "SA", Engine: "cpu-serial"}},
+		{Kind: "CDD", MaxN: 256, Choice: Choice{Algorithm: "TA", Engine: "cpu-serial"}},
+		{Kind: "CDD", Choice: Choice{Algorithm: "ES", Engine: "cpu-serial"}},
+		{Kind: "UCDDCP", MaxN: 32, Choice: Choice{Algorithm: "DPSO", Engine: "cpu-serial"}},
+	}}
+	for _, tc := range []struct {
+		kind problem.Kind
+		n    int
+		want string
+	}{
+		{problem.CDD, 10, "SA/cpu-serial"},
+		{problem.CDD, 64, "SA/cpu-serial"},
+		{problem.CDD, 65, "TA/cpu-serial"},
+		{problem.CDD, 1000, "ES/cpu-serial"},
+		{problem.UCDDCP, 10, "DPSO/cpu-serial"},
+		// No UCDDCP bucket covers n=100 and there is no tail bucket: the
+		// widest available row still applies.
+		{problem.UCDDCP, 100, "DPSO/cpu-serial"},
+		// No EARLYWORK rows at all: built-in fallback.
+		{problem.EARLYWORK, 10, fallback.Pairing()},
+	} {
+		if got := c.Pick(tc.kind, tc.n, 1).Choice.Pairing(); got != tc.want {
+			t.Errorf("Pick(%v, n=%d) = %s, want %s", tc.kind, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestRaceSeedsDeterministicAndNonZero(t *testing.T) {
+	a := RaceSeeds(42, 3)
+	b := RaceSeeds(42, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("RaceSeeds not deterministic: %v vs %v", a, b)
+	}
+	if len(a) != 3 {
+		t.Fatalf("RaceSeeds(42, 3) returned %d seeds", len(a))
+	}
+	seen := map[uint64]bool{}
+	for _, s := range a {
+		if s == 0 {
+			t.Fatal("RaceSeeds produced the Seed-0 sentinel")
+		}
+		if seen[s] {
+			t.Fatalf("RaceSeeds produced duplicate seed %d in %v", s, a)
+		}
+		seen[s] = true
+	}
+	// A prefix of a longer split must match (candidate i's stream does not
+	// depend on how many lanes race).
+	long := RaceSeeds(42, 5)
+	if !reflect.DeepEqual(a, long[:3]) {
+		t.Fatalf("RaceSeeds prefix not stable: %v vs %v", a, long[:3])
+	}
+	if reflect.DeepEqual(RaceSeeds(43, 3), a) {
+		t.Fatal("different caller seeds produced identical race seeds")
+	}
+	// Seed 0 must not panic and still yields nonzero lanes.
+	for _, s := range RaceSeeds(0, 4) {
+		if s == 0 {
+			t.Fatal("RaceSeeds(0, ...) produced a zero seed")
+		}
+	}
+}
+
+func TestCalibrationMarshalRoundTrip(t *testing.T) {
+	orig := Default()
+	blob, err := orig.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(again) {
+		t.Fatalf("Marshal/Parse/Marshal is not a fixed point:\nfirst:  %s\nsecond: %s", blob, again)
+	}
+	// The embedded bytes themselves are the canonical form (checked-in
+	// file stays regenerable without diff noise).
+	if string(blob) != string(defaultCalibrationJSON) {
+		t.Fatal("checked-in calibration.json is not in canonical Marshal form; regenerate with cmd/autocal")
+	}
+}
+
+func TestParseRejectsBadTables(t *testing.T) {
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Fatal("Parse accepted malformed JSON")
+	}
+	if _, err := Parse([]byte(`{"version": 99}`)); err == nil {
+		t.Fatal("Parse accepted a future schema version")
+	}
+}
+
+// FuzzAutoPick is satellite coverage for the picker's core safety
+// property: whatever bytes are presented as a calibration table, every
+// choice and candidate Pick returns must be a known registered pairing
+// with sane overrides — a hostile table can never smuggle an
+// unregistered pairing into the dispatcher.
+func FuzzAutoPick(f *testing.F) {
+	f.Add(defaultCalibrationJSON, 20, 1)
+	f.Add([]byte(`{"version":1,"buckets":[{"kind":"CDD","choice":{"algorithm":"EVIL","engine":"gpu"}}]}`), 10, 1)
+	f.Add([]byte(`{"version":1,"buckets":[{"kind":"CDD","maxN":-5,"choice":{"algorithm":"SA","engine":"cpu-parallel","grid":-7}}]}`), 3, 2)
+	f.Add([]byte(`{"version":1,"dp":{"cddMaxN":-1,"earlyWorkMaxN":999999}}`), 100, 0)
+	f.Fuzz(func(t *testing.T, blob []byte, n, machines int) {
+		c, err := Parse(blob)
+		if err != nil {
+			return // structurally invalid tables are rejected up front
+		}
+		for _, kind := range []problem.Kind{problem.CDD, problem.UCDDCP, problem.EARLYWORK} {
+			d := c.Pick(kind, n, machines)
+			if !d.Choice.valid() {
+				t.Fatalf("Pick(%v, %d, %d) returned unknown/invalid choice %+v", kind, n, machines, d.Choice)
+			}
+			if len(d.Candidates) == 0 || d.Candidates[0].Pairing() != d.Choice.Pairing() {
+				t.Fatalf("candidates must lead with the choice: %+v", d.Candidates)
+			}
+			seen := map[string]bool{}
+			for _, cand := range d.Candidates {
+				if !cand.valid() {
+					t.Fatalf("Pick(%v, %d, %d) leaked invalid candidate %+v", kind, n, machines, cand)
+				}
+				if seen[cand.Pairing()] {
+					t.Fatalf("duplicate candidate %s", cand.Pairing())
+				}
+				seen[cand.Pairing()] = true
+			}
+		}
+	})
+}

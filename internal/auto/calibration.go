@@ -1,0 +1,126 @@
+package auto
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// CalibrationVersion is the schema version this package reads and
+// writes; Parse rejects other versions so a stale checked-in table fails
+// loudly instead of silently mis-routing.
+const CalibrationVersion = 1
+
+// DPGate bounds the instance shapes routed through EXACT-DP before any
+// metaheuristic runs. The gates are deliberately generous: an attempt
+// inside the gate can still decline with a typed error (no agreeable
+// order, state budget exceeded) and costs only the O(n log n) domain
+// check, so the gate's job is to skip hopeless attempts on big
+// instances, not to predict success exactly.
+type DPGate struct {
+	// CDDMaxN admits single-machine CDD instances with n ≤ CDDMaxN to a
+	// DP attempt (the DP itself additionally requires agreeable weights).
+	CDDMaxN int `json:"cddMaxN"`
+	// EarlyWorkMaxN admits EARLYWORK instances (any machine count) with
+	// n ≤ EarlyWorkMaxN.
+	EarlyWorkMaxN int `json:"earlyWorkMaxN"`
+}
+
+// Bucket is one row of the cost model: for instances of Kind with
+// n ≤ MaxN, Choice is the measured-best configuration and Candidates the
+// near-best set worth racing when a deadline allows it.
+type Bucket struct {
+	// Kind is the problem kind's textual name ("CDD", "UCDDCP",
+	// "EARLYWORK").
+	Kind string `json:"kind"`
+	// MaxN is the bucket's inclusive upper job count; ≤ 0 means
+	// open-ended (the kind's tail bucket).
+	MaxN int `json:"maxN,omitempty"`
+	// Choice is the predicted-best configuration for the bucket.
+	Choice Choice `json:"choice"`
+	// Candidates is the racing set (the sweep's top configurations);
+	// Choice is implicitly its leader and need not be repeated.
+	Candidates []Choice `json:"candidates,omitempty"`
+	// MeanCost and Trials record the sweep evidence behind Choice (the
+	// winning configuration's mean best cost over the bucket's fixed-seed
+	// instances); informational only.
+	MeanCost float64 `json:"meanCost,omitempty"`
+	Trials   int     `json:"trials,omitempty"`
+}
+
+// Calibration is the offline cost model consulted by Pick: DP routing
+// gates plus per-(kind, size) buckets, fit by cmd/autocal from
+// fixed-seed sweeps and checked in as internal/auto/calibration.json.
+type Calibration struct {
+	// Version is the schema version (CalibrationVersion).
+	Version int `json:"version"`
+	// Source describes the sweep that produced the table (autocal
+	// parameters); informational only.
+	Source string `json:"source,omitempty"`
+	// DP holds the EXACT-DP routing gates.
+	DP DPGate `json:"dp"`
+	// Buckets holds the model rows, sorted by kind then MaxN.
+	Buckets []Bucket `json:"buckets"`
+}
+
+//go:embed calibration.json
+var defaultCalibrationJSON []byte
+
+var (
+	defaultOnce sync.Once
+	defaultCal  *Calibration
+)
+
+// Default returns the embedded checked-in calibration table. The
+// embedded table is validated at first use; a build that embeds a
+// corrupt table panics on the first AUTO solve rather than mis-routing
+// silently.
+func Default() *Calibration {
+	defaultOnce.Do(func() {
+		c, err := Parse(defaultCalibrationJSON)
+		if err != nil {
+			panic(fmt.Sprintf("auto: embedded calibration.json invalid: %v", err))
+		}
+		defaultCal = c
+	})
+	return defaultCal
+}
+
+// Parse decodes and validates a calibration table. Unknown pairings in
+// buckets are tolerated here (Pick filters them per-lookup) so a table
+// written by a newer binary still loads; structural problems — wrong
+// version, malformed JSON — are errors.
+func Parse(b []byte) (*Calibration, error) {
+	var c Calibration
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("auto: parse calibration: %w", err)
+	}
+	if c.Version != CalibrationVersion {
+		return nil, fmt.Errorf("auto: calibration version %d, want %d", c.Version, CalibrationVersion)
+	}
+	sortBuckets(c.Buckets)
+	return &c, nil
+}
+
+// Load reads a calibration table from disk (cmd/autocal round-trips
+// through it).
+func Load(path string) (*Calibration, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("auto: load calibration: %w", err)
+	}
+	return Parse(b)
+}
+
+// Marshal renders the table in the checked-in format: sorted buckets,
+// two-space indentation, trailing newline.
+func (c *Calibration) Marshal() ([]byte, error) {
+	sortBuckets(c.Buckets)
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

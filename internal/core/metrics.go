@@ -110,6 +110,18 @@ type Metrics struct {
 	// short ("chain", "level", "generation", "iteration",
 	// "kernel-iteration"); empty for completed runs.
 	InterruptedAt string `json:"interruptedAt,omitempty"`
+	// AutoPick names the pairing the AUTO meta-driver dispatched to
+	// ("EXACT-DP/cpu-serial", "SA/cpu-parallel", …); empty outside AUTO
+	// runs.
+	AutoPick string `json:"autoPick,omitempty"`
+	// RaceCandidates lists the candidate pairings an AUTO race launched,
+	// in launch order; empty when the calibration model picked directly.
+	RaceCandidates []string `json:"raceCandidates,omitempty"`
+	// RaceWinner names the candidate whose best-so-far won the race, and
+	// RaceReason states why ("leader-at-checkpoint", "best-at-deadline",
+	// "dp-certificate", "model-pick").
+	RaceWinner string `json:"raceWinner,omitempty"`
+	RaceReason string `json:"raceReason,omitempty"`
 }
 
 // Phase returns the metric for one phase name (zero value when the phase

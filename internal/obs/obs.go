@@ -55,6 +55,13 @@ const (
 	// PhaseDP is the pseudo-polynomial dynamic program of the EXACT-DP
 	// driver (state expansion plus sequence reconstruction).
 	PhaseDP
+	// PhasePick is the AUTO meta-driver's calibration lookup (and, when
+	// the instance is DP-eligible, the EXACT-DP attempt it gates).
+	PhasePick
+	// PhaseRace is one candidate leg of an AUTO race; the meta-driver
+	// additionally appends one free-form "race:<pairing>" PhaseMetric per
+	// candidate to the final Metrics.
+	PhaseRace
 	numPhases
 )
 
@@ -86,6 +93,10 @@ func (p Phase) String() string {
 		return "persistent"
 	case PhaseDP:
 		return "dp"
+	case PhasePick:
+		return "pick"
+	case PhaseRace:
+		return "race"
 	default:
 		return "phase(?)"
 	}

@@ -25,9 +25,12 @@ type SolveRequest struct {
 	// semantic rejections (unknown kind, negative machine count) answer
 	// 422 instead of the generic 400 of malformed bodies.
 	Instance *problem.Instance `json:"instance"`
-	// Algorithm names the metaheuristic ("SA", "DPSO", "TA", "ES";
-	// default SA).
-	Algorithm duedate.Algorithm `json:"algorithm,omitempty"`
+	// Algorithm names the solver ("SA", "DPSO", "TA", "ES", "EXACT-DP",
+	// or "AUTO" for the self-tuning portfolio driver). Absent (null), the
+	// server's configured default algorithm applies — historically SA,
+	// switchable to AUTO with duedated -algorithm; a pointer so an
+	// explicit "SA" and "field absent" stay distinguishable.
+	Algorithm *duedate.Algorithm `json:"algorithm,omitempty"`
 	// Engine names the backend ("gpu", "cpu-parallel", "cpu-serial";
 	// default gpu).
 	Engine duedate.Engine `json:"engine,omitempty"`
@@ -59,11 +62,22 @@ type SolveRequest struct {
 	NoCache bool `json:"noCache,omitempty"`
 }
 
+// applyDefaults resolves the request's absent algorithm to the server's
+// configured default. Every decode path calls it exactly once before
+// options(), cacheKey() or the job store run, so those always see a
+// concrete selection.
+func (r *SolveRequest) applyDefaults(def duedate.Algorithm) {
+	if r.Algorithm == nil {
+		a := def
+		r.Algorithm = &a
+	}
+}
+
 // options translates the request into facade Options. The deadline is
 // not set here — the pool stamps it at admission time.
 func (r *SolveRequest) options() duedate.Options {
 	return duedate.Options{
-		Algorithm:   r.Algorithm,
+		Algorithm:   *r.Algorithm,
 		Engine:      r.Engine,
 		Iterations:  r.Iterations,
 		Grid:        r.Grid,
@@ -84,7 +98,7 @@ func (r *SolveRequest) options() duedate.Options {
 // level, which never perturbs a trajectory.
 func (r *SolveRequest) cacheKey() string {
 	return fmt.Sprintf("%s|%s|%s|it=%d|g=%d|b=%d|seed=%d|mu=%g|pert=%d|ts=%d|pers=%t",
-		r.Instance.CanonicalHash(), r.Algorithm, r.Engine,
+		r.Instance.CanonicalHash(), *r.Algorithm, r.Engine,
 		r.Iterations, r.Grid, r.Block, r.Seed,
 		r.Cooling, r.Pert, r.TempSamples, r.Persistent)
 }

@@ -48,6 +48,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, code, "bad request: %v", err)
 		return
 	}
+	req.applyDefaults(s.cfg.DefaultAlgorithm)
 	key := req.cacheKey()
 	opts := req.options()
 	// A doomed submission is rejected here with the same (status, code)

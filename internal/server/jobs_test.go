@@ -75,7 +75,7 @@ func waitJobTerminal(t *testing.T, ts *httptest.Server, id string) JobView {
 func TestJobLifecycleBitIdentical(t *testing.T) {
 	_, ts := newTestServer(t, Config{Pool: 2})
 	req := SolveRequest{
-		Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.SA,
+		Instance: duedate.PaperExample(duedate.CDD), Algorithm: algp(duedate.SA),
 		Engine: duedate.EngineCPUSerial, Iterations: 60, Grid: 1, Block: 8,
 		Seed: 42, TempSamples: 50,
 	}

@@ -117,7 +117,7 @@ func (st *jobStore) add(req *SolveRequest, cancel context.CancelFunc) *job {
 	j := &job{
 		id:        fmt.Sprintf("j%06d-%.12s", st.seq, hash),
 		hash:      hash,
-		algorithm: req.Algorithm,
+		algorithm: *req.Algorithm,
 		engine:    req.Engine,
 		seed:      seed,
 		cancel:    cancel,

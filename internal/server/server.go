@@ -106,6 +106,12 @@ type Config struct {
 	// begins before being cancelled to their best-so-far (default 5s;
 	// negative cancels immediately).
 	JobGrace time.Duration
+	// DefaultAlgorithm answers requests whose "algorithm" field is
+	// absent. The zero value is SA — the service's historical default —
+	// so existing deployments are unchanged; duedated -algorithm auto
+	// switches unspecified requests onto the self-tuning portfolio
+	// driver. Explicit request algorithms always win.
+	DefaultAlgorithm duedate.Algorithm
 }
 
 // withDefaults resolves the documented defaults.
@@ -318,6 +324,7 @@ func decodeErrorCode(err error) (int, string) {
 // returns the response or the failure's (HTTP status, stable code,
 // error). It is the shared core of the solve and batch handlers.
 func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (*SolveResponse, int, string, error) {
+	req.applyDefaults(s.cfg.DefaultAlgorithm)
 	key := req.cacheKey()
 	if !req.NoCache {
 		if resp, ok := s.cache.get(key); ok {

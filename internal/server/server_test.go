@@ -19,6 +19,10 @@ import (
 	"repro/internal/problem"
 )
 
+// algp spells an explicit request algorithm (the wire field is a
+// pointer so absence selects the server's configured default).
+func algp(a duedate.Algorithm) *duedate.Algorithm { return &a }
+
 // postJSON marshals v and posts it to url, returning the status and body.
 func postJSON(t *testing.T, url string, v any) (int, []byte) {
 	t.Helper()
@@ -74,17 +78,17 @@ func TestSolveRoundTripBitIdentical(t *testing.T) {
 		req  SolveRequest
 	}{
 		{"cdd-cpu-serial", SolveRequest{
-			Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.SA,
+			Instance: duedate.PaperExample(duedate.CDD), Algorithm: algp(duedate.SA),
 			Engine: duedate.EngineCPUSerial, Iterations: 60, Grid: 1, Block: 8,
 			Seed: 42, TempSamples: 50,
 		}},
 		{"ucddcp-gpu", SolveRequest{
-			Instance: duedate.PaperExample(duedate.UCDDCP), Algorithm: duedate.SA,
+			Instance: duedate.PaperExample(duedate.UCDDCP), Algorithm: algp(duedate.SA),
 			Engine: duedate.EngineGPU, Iterations: 40, Grid: 1, Block: 4,
 			Seed: 7, TempSamples: 50,
 		}},
 		{"cdd-dpso-cpu-parallel", SolveRequest{
-			Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.DPSO,
+			Instance: duedate.PaperExample(duedate.CDD), Algorithm: algp(duedate.DPSO),
 			Engine: duedate.EngineCPUParallel, Iterations: 40, Grid: 1, Block: 8,
 			Seed: 3,
 		}},
@@ -192,7 +196,7 @@ func TestQueueSaturationReturns429(t *testing.T) {
 func TestResultCacheHitAndMiss(t *testing.T) {
 	_, ts := newTestServer(t, Config{Pool: 1})
 	req := SolveRequest{
-		Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.SA,
+		Instance: duedate.PaperExample(duedate.CDD), Algorithm: algp(duedate.SA),
 		Engine: duedate.EngineCPUSerial, Iterations: 40, Grid: 1, Block: 4,
 		Seed: 9, TempSamples: 50,
 	}
@@ -269,7 +273,7 @@ func TestDeadlineExpiredReturnsInterrupted(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := SolveRequest{
-		Instance: inst[0], Algorithm: duedate.SA, Engine: duedate.EngineCPUSerial,
+		Instance: inst[0], Algorithm: algp(duedate.SA), Engine: duedate.EngineCPUSerial,
 		Iterations: 200000, Grid: 8, Block: 8, Seed: 5, TempSamples: 10,
 		TimeoutMs: 60,
 	}
@@ -318,10 +322,10 @@ func TestErrorStatusMapping(t *testing.T) {
 		code string
 	}{
 		{"unsupported-pairing-ta-gpu",
-			reqBody(t, SolveRequest{Instance: valid, Algorithm: duedate.TA, Engine: duedate.EngineGPU}),
+			reqBody(t, SolveRequest{Instance: valid, Algorithm: algp(duedate.TA), Engine: duedate.EngineGPU}),
 			http.StatusUnprocessableEntity, CodeUnsupportedPairing},
 		{"unsupported-pairing-es-gpu",
-			reqBody(t, SolveRequest{Instance: valid, Algorithm: duedate.ES, Engine: duedate.EngineGPU}),
+			reqBody(t, SolveRequest{Instance: valid, Algorithm: algp(duedate.ES), Engine: duedate.EngineGPU}),
 			http.StatusUnprocessableEntity, CodeUnsupportedPairing},
 		{"invalid-options-negative-grid",
 			reqBody(t, SolveRequest{Instance: valid, Engine: duedate.EngineCPUSerial, Grid: -1}),
@@ -407,7 +411,7 @@ func TestParallelEarlyWorkRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := SolveRequest{
-		Instance: inst, Algorithm: duedate.SA, Engine: duedate.EngineCPUSerial,
+		Instance: inst, Algorithm: algp(duedate.SA), Engine: duedate.EngineCPUSerial,
 		Iterations: 60, Grid: 1, Block: 8, Seed: 13, TempSamples: 50,
 	}
 	status, body := postJSON(t, ts.URL+"/v1/solve", req)
@@ -479,13 +483,13 @@ func TestParallelEarlyWorkRoundTrip(t *testing.T) {
 func TestBatchMixedOutcomes(t *testing.T) {
 	_, ts := newTestServer(t, Config{Pool: 2})
 	good := SolveRequest{
-		Instance: duedate.PaperExample(duedate.UCDDCP), Algorithm: duedate.SA,
+		Instance: duedate.PaperExample(duedate.UCDDCP), Algorithm: algp(duedate.SA),
 		Engine: duedate.EngineCPUSerial, Iterations: 40, Grid: 1, Block: 4, Seed: 11, TempSamples: 50,
 	}
 	batch := BatchRequest{Requests: []SolveRequest{
 		good,
 		{}, // missing instance
-		{Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.TA, Engine: duedate.EngineGPU},
+		{Instance: duedate.PaperExample(duedate.CDD), Algorithm: algp(duedate.TA), Engine: duedate.EngineGPU},
 	}}
 	status, body := postJSON(t, ts.URL+"/v1/batch", batch)
 	if status != http.StatusOK {
@@ -696,7 +700,7 @@ func TestRunServesAndDrainsOnContextCancel(t *testing.T) {
 	})
 
 	req := SolveRequest{
-		Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.SA,
+		Instance: duedate.PaperExample(duedate.CDD), Algorithm: algp(duedate.SA),
 		Engine: duedate.EngineCPUSerial, Iterations: 40, Grid: 1, Block: 4, Seed: 2, TempSamples: 50,
 	}
 	status, body := postJSON(t, base+"/v1/solve", req)
@@ -770,7 +774,7 @@ func TestOptimalCertificateRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := SolveRequest{
-		Instance: inst, Algorithm: duedate.ExactDP, Engine: duedate.EngineCPUSerial, Seed: 3,
+		Instance: inst, Algorithm: algp(duedate.ExactDP), Engine: duedate.EngineCPUSerial, Seed: 3,
 	}
 	status, body := postJSON(t, ts.URL+"/v1/solve", req)
 	if status != http.StatusOK {
@@ -815,7 +819,7 @@ func TestOptimalCertificateRoundTrip(t *testing.T) {
 	// A metaheuristic on the same instance cannot prove optimality, even
 	// when it reaches the same cost: the wire field stays absent.
 	saReq := SolveRequest{
-		Instance: inst, Algorithm: duedate.SA, Engine: duedate.EngineCPUSerial,
+		Instance: inst, Algorithm: algp(duedate.SA), Engine: duedate.EngineCPUSerial,
 		Iterations: 60, Grid: 1, Block: 8, Seed: 2, TempSamples: 50,
 	}
 	status, body = postJSON(t, ts.URL+"/v1/solve", saReq)
@@ -844,7 +848,7 @@ func TestOptimalCertificateRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	ireq := SolveRequest{
-		Instance: big, Algorithm: duedate.ExactDP, Engine: duedate.EngineCPUSerial,
+		Instance: big, Algorithm: algp(duedate.ExactDP), Engine: duedate.EngineCPUSerial,
 		Seed: 3, TimeoutMs: 1,
 	}
 	status, body = postJSON(t, ts.URL+"/v1/solve", ireq)
@@ -861,5 +865,104 @@ func TestOptimalCertificateRoundTrip(t *testing.T) {
 	}
 	if len(cut.Sequence) != n || !problem.IsPermutation(cut.Sequence) {
 		t.Fatalf("interrupted best-so-far is not a valid permutation")
+	}
+}
+
+// agreeableTestCDD builds a small symmetric-weight CDD instance the
+// exact DP provably solves, so AUTO's certificate route is observable
+// through the wire.
+func agreeableTestCDD(t *testing.T, n int) *duedate.Instance {
+	t.Helper()
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := range p {
+		p[i] = 1 + (i*7)%13
+		alpha[i] = 1 + (i*5)%7
+		beta[i] = alpha[i]
+		sum += int64(p[i])
+	}
+	in, err := duedate.NewCDDInstance("server-auto-agreeable", p, alpha, beta, sum+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestDefaultAlgorithmAppliesWhenUnspecified pins the request-default
+// contract: with -algorithm auto configured, a body without "algorithm"
+// routes through the AUTO portfolio driver (observable via the echoed
+// algorithm and, on a DP-eligible small, the optimality certificate),
+// while an explicit request algorithm always wins over the default.
+func TestDefaultAlgorithmAppliesWhenUnspecified(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1, DefaultAlgorithm: duedate.Auto})
+	in := agreeableTestCDD(t, 12)
+
+	status, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, Seed: 3})
+	if status != http.StatusOK {
+		t.Fatalf("unspecified-algorithm solve: %d %s", status, body)
+	}
+	var resp SolveResponse
+	decodeInto(t, body, &resp)
+	if resp.Algorithm != duedate.Auto {
+		t.Fatalf("unspecified algorithm resolved to %v, want the configured AUTO default", resp.Algorithm)
+	}
+	if !resp.Optimal {
+		t.Fatalf("AUTO on a DP-eligible small did not return the certificate: %s", body)
+	}
+
+	status, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		Instance: in, Algorithm: algp(duedate.TA), Engine: duedate.EngineCPUSerial, Seed: 3,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("explicit-algorithm solve: %d %s", status, body)
+	}
+	resp = SolveResponse{}
+	decodeInto(t, body, &resp)
+	if resp.Algorithm != duedate.TA {
+		t.Fatalf("explicit algorithm %v did not win over the configured default", resp.Algorithm)
+	}
+
+	// The async path resolves the same default.
+	status, body = postJSON(t, ts.URL+"/v1/jobs", SolveRequest{Instance: in, Seed: 4})
+	if status != http.StatusAccepted {
+		t.Fatalf("job submit: %d %s", status, body)
+	}
+	var sub JobSubmitResponse
+	decodeInto(t, body, &sub)
+	if sub.Job.Algorithm != duedate.Auto {
+		t.Fatalf("job echoed algorithm %v, want the configured AUTO default", sub.Job.Algorithm)
+	}
+}
+
+// TestAutoWireValue pins the "auto" wire spelling end to end on a
+// default (SA-default) server: explicit AUTO requests solve and echo
+// AUTO, and an unspecified algorithm still resolves to SA, byte-
+// compatible with the pre-portfolio service.
+func TestAutoWireValue(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1})
+	in := agreeableTestCDD(t, 10)
+
+	status, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		Instance: in, Algorithm: algp(duedate.Auto), Seed: 2,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("AUTO solve: %d %s", status, body)
+	}
+	var resp SolveResponse
+	decodeInto(t, body, &resp)
+	if resp.Algorithm != duedate.Auto || !resp.Optimal {
+		t.Fatalf("AUTO wire value mishandled: algorithm=%v optimal=%t", resp.Algorithm, resp.Optimal)
+	}
+
+	status, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, Seed: 2})
+	if status != http.StatusOK {
+		t.Fatalf("default solve: %d %s", status, body)
+	}
+	resp = SolveResponse{}
+	decodeInto(t, body, &resp)
+	if resp.Algorithm != duedate.SA {
+		t.Fatalf("unspecified algorithm on a default server resolved to %v, want SA", resp.Algorithm)
 	}
 }

@@ -60,7 +60,7 @@ func TestWireHitServesCachedBytes(t *testing.T) {
 	s, ts := newTestServer(t, Config{Pool: 1})
 	s.solve = instantSolve
 	req := SolveRequest{
-		Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.SA,
+		Instance: duedate.PaperExample(duedate.CDD), Algorithm: algp(duedate.SA),
 		Engine: duedate.EngineCPUSerial, Iterations: 5, Seed: 3,
 	}
 	status, body1 := postJSON(t, ts.URL+"/v1/solve", req)
@@ -194,7 +194,7 @@ func benchServeAllocs(b *testing.B, path string, payload any) {
 
 func BenchmarkServeSolveAllocs(b *testing.B) {
 	benchServeAllocs(b, "/v1/solve", SolveRequest{
-		Instance: duedate.PaperExample(duedate.CDD), Algorithm: duedate.SA,
+		Instance: duedate.PaperExample(duedate.CDD), Algorithm: algp(duedate.SA),
 		Engine: duedate.EngineCPUSerial, Iterations: 5, Seed: 1,
 	})
 }

@@ -1,0 +1,229 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	duedate "repro"
+	"repro/internal/auto"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/problem"
+	"repro/internal/xrand"
+)
+
+// This file is the AUTO leg of the verification run: the self-tuning
+// portfolio meta-driver raced against every static pairing under an
+// equal iteration budget and the SAME seed. In model mode (no deadline)
+// the AUTO dispatch is bit-identical to one of the static pairings, so
+// the leg's core assertion is structural:
+//
+//   - auto-vs-static: AUTO's cost never exceeds the WORST static
+//     metaheuristic pairing's cost on the same instance, seed and
+//     budget. A violation means the dispatch mangled the caller's
+//     options (seed, geometry or iteration passthrough broke).
+//   - auto-dp-certificate: on instances inside the calibration DP gates
+//     that the exact layer actually solves, AUTO must return the proven
+//     optimum with Result.Optimal set — the "free certificates on
+//     DP-applicable smalls" contract.
+//   - auto-honest-cost / auto-feasible: the usual driver honesty layer
+//     on AUTO's own result.
+//
+// The per-trial seed is shared by AUTO and every static run (unlike the
+// main chain, which deliberately diverges per-driver seeds), because the
+// equal-budget comparison is only meaningful on a common trajectory.
+
+// autoStream tags the AUTO leg's RNG streams, above dpStream so neither
+// leg's instances perturb the other's.
+const autoStream = uint64(1) << 49
+
+// runAutoLeg executes cfg.AutoTrials rounds of the AUTO leg. A cancelled
+// ctx stops between instances, mirroring Run.
+func (r *Report) runAutoLeg(ctx context.Context, cfg Config) error {
+	b := Budget{}.withDefaults()
+	for t := 0; t < cfg.AutoTrials; t++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("verify: cancelled at auto trial %d: %w", t, err)
+		}
+		rng := xrand.NewStream(cfg.Seed, autoStream|uint64(t))
+		seed := cfg.Seed + uint64(t)*7919 + 1
+		for _, in := range autoLegInstances(rng, cfg, t) {
+			if cfg.Machines > 0 && in.MachineCount() != cfg.Machines {
+				in.Machines = cfg.Machines
+				in.Name = fmt.Sprintf("%s/m%d", in.Name, cfg.Machines)
+			}
+			if err := in.Validate(); err != nil {
+				r.add(Discrepancy{
+					Check: "generator", Instance: in.Name,
+					Detail: fmt.Sprintf("auto-leg instance invalid: %v", err),
+				})
+				continue
+			}
+			r.AutoInstances++
+			r.checkAutoInstance(ctx, b, in, seed)
+		}
+	}
+	return nil
+}
+
+// autoLegInstances generates the trial's instance mix: a DP-eligible
+// agreeable small (certificate check), a general-weight CDD and a UCDDCP
+// (pure dispatch checks), and an EARLYWORK knapsack (DP-eligible at any
+// machine count).
+func autoLegInstances(rng *xrand.XORWOW, cfg Config, t int) []*problem.Instance {
+	out := []*problem.Instance{
+		dpAgreeableCDD(rng, fmt.Sprintf("auto-agreeable-cdd/t%d", t), 12+rng.Intn(9), t, false),
+		autoGeneralCDD(rng, fmt.Sprintf("auto-general-cdd/t%d", t)),
+		autoUCDDCP(rng, fmt.Sprintf("auto-ucddcp/t%d", t)),
+	}
+	m := cfg.Machines
+	if m <= 0 {
+		m = 1 + t%3
+	}
+	n := 10 + rng.Intn(7)
+	p := make([]int, n)
+	for i := range p {
+		p[i] = 1 + rng.Intn(6)
+	}
+	out = append(out, mustEarlyWork(fmt.Sprintf("auto-earlywork/t%d/m%d", t, m), p, m, int64(4+rng.Intn(15))))
+	return out
+}
+
+// autoGeneralCDD draws asymmetric weights, so the DP declines and the
+// leg exercises the calibration-model fallback path.
+func autoGeneralCDD(rng *xrand.XORWOW, name string) *problem.Instance {
+	n := 8 + rng.Intn(5)
+	p := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	var sum int64
+	for i := range p {
+		p[i] = 1 + rng.Intn(15)
+		alpha[i] = 1 + rng.Intn(9)
+		beta[i] = 1 + rng.Intn(9)
+		sum += int64(p[i])
+	}
+	return mustCDD(name, p, alpha, beta, sum*6/10+1)
+}
+
+// autoUCDDCP draws an unrestricted compressible instance (UCDDCP is
+// outside every DP gate, so AUTO must model-route it).
+func autoUCDDCP(rng *xrand.XORWOW, name string) *problem.Instance {
+	n := 6 + rng.Intn(5)
+	p := make([]int, n)
+	m := make([]int, n)
+	alpha := make([]int, n)
+	beta := make([]int, n)
+	gamma := make([]int, n)
+	var sum int64
+	for i := range p {
+		p[i] = 2 + rng.Intn(12)
+		m[i] = 1 + rng.Intn(p[i])
+		alpha[i] = 1 + rng.Intn(8)
+		beta[i] = 1 + rng.Intn(8)
+		gamma[i] = 1 + rng.Intn(8)
+		sum += int64(p[i])
+	}
+	in, err := problem.NewUCDDCP(name, p, m, alpha, beta, gamma, sum+int64(rng.Intn(20)))
+	if err != nil {
+		panic(fmt.Sprintf("verify: auto-leg UCDDCP generator produced an invalid instance: %v", err))
+	}
+	return in
+}
+
+// checkAutoInstance runs AUTO and every static metaheuristic pairing on
+// one instance with identical options, then applies the leg's checks.
+func (r *Report) checkAutoInstance(ctx context.Context, b Budget, in *problem.Instance, seed uint64) {
+	base := duedate.Options{
+		Iterations:  b.Iterations,
+		Grid:        b.Grid,
+		Block:       b.Block,
+		TempSamples: b.TempSamples,
+		Seed:        seed,
+	}
+
+	ao := base
+	ao.Algorithm = duedate.Auto
+	r.Checks["auto-solve"]++
+	ares, err := duedate.SolveContext(ctx, in, ao)
+	if err != nil {
+		r.add(Discrepancy{
+			Check: "auto-error", Instance: in.Name, Driver: "AUTO/cpu-parallel",
+			Detail: fmt.Sprintf("solve failed: %v", err),
+		})
+		return
+	}
+	if len(ares.BestSeq) != in.GenomeLen() || !problem.IsPermutation(ares.BestSeq) {
+		r.add(Discrepancy{
+			Check: "auto-feasible", Instance: in.Name, Driver: "AUTO/cpu-parallel",
+			Detail: fmt.Sprintf("best genome %v is not a permutation of 0..%d", ares.BestSeq, in.GenomeLen()-1),
+		})
+		return
+	}
+	if honest := core.NewEvaluator(in).Cost(ares.BestSeq); honest != ares.BestCost {
+		r.add(Discrepancy{
+			Check: "auto-honest-cost", Instance: in.Name, Driver: "AUTO/cpu-parallel",
+			Detail: fmt.Sprintf("reported cost %d, sequence re-evaluates to %d", ares.BestCost, honest),
+		})
+	}
+
+	// Equal-budget, equal-seed statics. EXACT-DP is excluded: it either
+	// proves the optimum (no "worst" to lose to) or declines.
+	worst, worstName := int64(-1), ""
+	for _, p := range duedate.Pairings() {
+		if p.Algorithm == duedate.Auto || p.Algorithm == duedate.ExactDP {
+			continue
+		}
+		o := base
+		o.Algorithm, o.Engine = p.Algorithm, p.Engine
+		res, serr := duedate.SolveContext(ctx, in, o)
+		if serr != nil {
+			r.add(Discrepancy{
+				Check: "auto-static-error", Instance: in.Name, Driver: p.Algorithm.String() + "/" + p.Engine.String(),
+				Detail: fmt.Sprintf("static comparison solve failed: %v", serr),
+			})
+			continue
+		}
+		if res.BestCost > worst {
+			worst, worstName = res.BestCost, p.Algorithm.String()+"/"+p.Engine.String()
+		}
+	}
+	if worst >= 0 {
+		r.Checks["auto-vs-static"]++
+		if ares.BestCost > worst {
+			r.add(Discrepancy{
+				Check: "auto-vs-static", Instance: in.Name, Driver: "AUTO/cpu-parallel",
+				Detail: fmt.Sprintf("AUTO cost %d loses to the worst static pairing %s at %d under an equal budget and seed",
+					ares.BestCost, worstName, worst),
+			})
+		}
+	}
+
+	// Free-certificate contract: when the calibration gates route the
+	// shape to the DP and the DP proves an optimum, AUTO must have
+	// returned exactly that optimum with the certificate set.
+	dec := auto.Default().Pick(in.Kind, in.N(), in.MachineCount())
+	if !dec.AttemptDP {
+		return
+	}
+	dp, dpErr := exact.SolveDP(in)
+	if dpErr != nil {
+		if errors.Is(dpErr, exact.ErrInapplicable) || errors.Is(dpErr, exact.ErrTooLarge) {
+			return // decline path: AUTO fell back, nothing to certify
+		}
+		r.add(Discrepancy{
+			Check: "auto-dp-certificate", Instance: in.Name, Driver: "EXACT-DP",
+			Detail: fmt.Sprintf("DP oracle failed unexpectedly: %v", dpErr),
+		})
+		return
+	}
+	r.Checks["auto-dp-certificate"]++
+	if !ares.Optimal || ares.BestCost != dp.Cost {
+		r.add(Discrepancy{
+			Check: "auto-dp-certificate", Instance: in.Name, Driver: "AUTO/cpu-parallel",
+			Detail: fmt.Sprintf("DP proves optimum %d but AUTO returned cost %d (optimal=%t) — the DP route was skipped or mangled",
+				dp.Cost, ares.BestCost, ares.Optimal),
+		})
+	}
+}

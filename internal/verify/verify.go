@@ -67,6 +67,12 @@ type Config struct {
 	// (default 240; the lower bound is fixed at 200, the paper-protocol
 	// regime the enumeration oracles cannot reach).
 	DPMaxN int
+	// AutoTrials is the number of AUTO-leg trials: the portfolio
+	// meta-driver raced against every static pairing under an equal
+	// budget and shared seed, plus the DP free-certificate contract (see
+	// autoleg.go). Default 3; negative disables the leg. The leg only
+	// runs when drivers are under test.
+	AutoTrials int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DPMaxN < 200 {
 		c.DPMaxN = 240
+	}
+	if c.AutoTrials == 0 {
+		c.AutoTrials = 3
 	}
 	return c
 }
@@ -142,6 +151,8 @@ type Report struct {
 	// separately so the per-family accounting stays comparable across
 	// configurations).
 	DPInstances int `json:"dpInstances"`
+	// AutoInstances counts the instances of the AUTO portfolio leg.
+	AutoInstances int `json:"autoInstances"`
 	// Checks counts executed checks by name (a "check" is one comparison
 	// or invariant evaluation, so the totals show real coverage).
 	Checks map[string]int64 `json:"checks"`
@@ -243,6 +254,16 @@ func Run(ctx context.Context, cfg Config, drivers []Driver) (*Report, error) {
 	// enumeration oracles cannot reach (n into the hundreds).
 	if cfg.DPTrials > 0 {
 		if err := rep.runDPLeg(ctx, cfg, drivers); err != nil {
+			rep.Elapsed = time.Since(start)
+			return rep, err
+		}
+	}
+
+	// The AUTO leg: the portfolio meta-driver against every static
+	// pairing under an equal budget and shared seed (skipped together
+	// with the drivers — it is a driver-level comparison).
+	if cfg.AutoTrials > 0 && len(drivers) > 0 {
+		if err := rep.runAutoLeg(ctx, cfg); err != nil {
 			rep.Elapsed = time.Since(start)
 			return rep, err
 		}

@@ -16,7 +16,7 @@ import (
 // — instead of hand-rolling per-command switch statements.
 
 // ParseAlgorithm maps a name to its Algorithm, inverting String():
-// "SA", "DPSO", "TA" or "ES", case-insensitively.
+// "SA", "DPSO", "TA", "ES", "EXACT-DP" or "AUTO", case-insensitively.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch strings.ToUpper(strings.TrimSpace(s)) {
 	case "SA":
@@ -29,8 +29,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return ES, nil
 	case "EXACT-DP", "EXACTDP":
 		return ExactDP, nil
+	case "AUTO":
+		return Auto, nil
 	}
-	return 0, fmt.Errorf("duedate: %w: unknown algorithm %q (want SA, DPSO, TA, ES or EXACT-DP)", ErrInvalidOptions, s)
+	return 0, fmt.Errorf("duedate: %w: unknown algorithm %q (want SA, DPSO, TA, ES, EXACT-DP or AUTO)", ErrInvalidOptions, s)
 }
 
 // ParseEngine maps a name to its Engine, inverting String(): "gpu",

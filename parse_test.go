@@ -115,8 +115,8 @@ func TestFlagValueSet(t *testing.T) {
 // algorithm then engine; every pairing's names round-trip through parse.
 func TestPairingsEnumeratesRegistry(t *testing.T) {
 	ps := duedate.Pairings()
-	if len(ps) != 11 {
-		t.Fatalf("Pairings() returned %d combos, want 11: %v", len(ps), ps)
+	if len(ps) != 12 {
+		t.Fatalf("Pairings() returned %d combos, want 12: %v", len(ps), ps)
 	}
 	for i := 1; i < len(ps); i++ {
 		prev, cur := ps[i-1], ps[i]
@@ -126,11 +126,12 @@ func TestPairingsEnumeratesRegistry(t *testing.T) {
 		}
 	}
 	want := map[duedate.Algorithm][]duedate.Engine{
-		duedate.SA:   {duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial},
-		duedate.DPSO: {duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial},
+		duedate.SA:      {duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial},
+		duedate.DPSO:    {duedate.EngineGPU, duedate.EngineCPUParallel, duedate.EngineCPUSerial},
 		duedate.TA:      {duedate.EngineCPUParallel, duedate.EngineCPUSerial},
 		duedate.ES:      {duedate.EngineCPUParallel, duedate.EngineCPUSerial},
 		duedate.ExactDP: {duedate.EngineCPUSerial},
+		duedate.Auto:    {duedate.EngineCPUParallel},
 	}
 	have := map[duedate.Algorithm]map[duedate.Engine]bool{}
 	for _, p := range ps {

@@ -48,6 +48,15 @@ const (
 	// its domain or state budget. Supports single-machine agreeable CDD
 	// and EARLYWORK on any machine count, on the cpu-serial engine only.
 	ExactDP
+	// Auto is the self-tuning portfolio meta-driver (internal/auto): it
+	// routes DP-eligible instances to EXACT-DP for a free optimality
+	// certificate, otherwise consults the checked-in calibration table
+	// for the predicted-best static pairing (bit-identical to running
+	// that pairing directly with the same seed), and — when a Deadline
+	// is set — races the top calibration candidates under the shared
+	// budget, culling losers at a checkpoint. Result.Metrics records the
+	// pick and, for races, the per-candidate phases and the winner.
+	Auto
 )
 
 // String implements fmt.Stringer.
@@ -63,6 +72,8 @@ func (a Algorithm) String() string {
 		return "ES"
 	case ExactDP:
 		return "EXACT-DP"
+	case Auto:
+		return "AUTO"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -152,6 +163,13 @@ func (o Options) normalized() (Options, error) {
 	}
 	if o.Workers < 0 {
 		return o, fmt.Errorf("duedate: %w: negative Workers %d (zero selects GOMAXPROCS)", ErrInvalidOptions, o.Workers)
+	}
+	if o.Algorithm == Auto {
+		// The meta-driver registers exactly one pairing (AUTO on
+		// cpu-parallel) and dispatches to whatever engine its calibration
+		// or race selects, so any requested engine is accepted and folded
+		// onto the canonical registry key.
+		o.Engine = EngineCPUParallel
 	}
 	if o.Grid == 0 {
 		o.Grid = 4
